@@ -1,0 +1,755 @@
+(* The benchmark and experiment harness.
+
+   Part 1 regenerates every experiment of DESIGN.md's index (E1–E11):
+   the paper has no numeric tables — its evaluation consists of worked
+   examples (the copier figure, Table 1 and the protocol, the multiplier
+   figure) and the two model-limitation claims of §4 — so each
+   experiment re-derives the corresponding claim and prints a
+   paper-vs-measured line.  EXPERIMENTS.md records the outputs.
+
+   Part 2 holds the ablations (A1–A2) and a Bechamel timing suite
+   (P1–P7) characterising the cost of the semantic operations, the
+   bounded checker, the proof system and the simulator.
+
+   Run with: dune exec bench/main.exe            (everything)
+             dune exec bench/main.exe -- quick   (part 1 only) *)
+
+open Csp
+module Runner = Csp_sim.Runner
+
+let section title = Printf.printf "\n=== %s ===\n" title
+let result fmt = Printf.printf fmt
+
+let ok b = if b then "OK" else "FAILED"
+
+(* ---------------------------------------------------------------------- *)
+(* E1: the copier pipeline                                                 *)
+(* ---------------------------------------------------------------------- *)
+
+let e1_copier () =
+  section "E1: copier pipeline (§1.2, §2) — wire <= input, output <= input";
+  let module C = Paper.Copier in
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 3) C.defs in
+  let ctx = Sequent.context C.defs in
+  let line name p spec =
+    let sat = Sat.check ~depth:6 cfg p spec in
+    let proof =
+      match Tactic.prove_and_check ~tables:C.tables ctx (Sequent.Holds (p, spec)) with
+      | Ok (proof, report) ->
+        Printf.sprintf "proved (%d rules, %d obligations, %d tested)"
+          (Proof.size proof)
+          (List.length report.Check.obligations)
+          (Check.tested_obligations report)
+      | Error m -> "PROOF FAILED: " ^ m
+    in
+    result "  %-34s  %-42s  %s\n" name
+      (Format.asprintf "%a" Sat.pp_outcome sat)
+      proof
+  in
+  line "copier sat wire <= input" C.copier C.copier_spec;
+  line "recopier sat output <= wire" C.recopier C.recopier_spec;
+  line "network sat output <= input" C.network C.network_spec;
+  line "pipe sat output <= input" C.pipe C.network_spec;
+  line "copier sat #input <= #wire + 1" C.copier C.count_spec
+
+(* ---------------------------------------------------------------------- *)
+(* E2: the protocol and Table 1                                            *)
+(* ---------------------------------------------------------------------- *)
+
+let e2_protocol () =
+  section "E2: retransmission protocol — Table 1 regenerated";
+  let module P = Paper.Protocol in
+  let ctx = Sequent.context P.defs in
+  (match
+     Tactic.prove_and_check ~tables:P.tables ctx
+       (Sequent.Holds (P.sender, P.sender_spec))
+   with
+  | Ok (_, report) -> Format.printf "%a@." Check.pp_report report
+  | Error m -> result "Table 1 FAILED: %s\n" m);
+  List.iter
+    (fun (name, j) ->
+      match Tactic.prove_and_check ~tables:P.tables ctx j with
+      | Ok (proof, report) ->
+        result "  %-44s proved (%d rules, %d tested obligations)\n" name
+          (Proof.size proof)
+          (Check.tested_obligations report)
+      | Error m -> result "  %-44s FAILED: %s\n" name m)
+    [
+      ("receiver sat output <= f(wire)", Sequent.Holds (P.receiver, P.receiver_spec));
+      ("protocol sat output <= input", Sequent.Holds (P.protocol, P.protocol_spec));
+    ];
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) ~hide_fuel:8 P.defs in
+  result "  bounded check: protocol sat output <= input: %s\n"
+    (Format.asprintf "%a" Sat.pp_outcome
+       (Sat.check ~depth:5 cfg P.protocol P.protocol_spec));
+  (* goodput degradation under NACK bias *)
+  result "  %8s %10s %10s %10s %10s\n" "p(NACK)" "inputs" "outputs" "wire"
+    "goodput";
+  List.iter
+    (fun p_nack ->
+      let weight (e : Event.t) =
+        if Value.equal e.Event.value Value.nack then p_nack
+        else if Value.equal e.Event.value Value.ack then 1.0 -. p_nack
+        else 1.0
+      in
+      let r =
+        Runner.run
+          ~scheduler:(Scheduler.weighted ~seed:11 ~weight)
+          ~max_steps:10_000 cfg P.protocol
+      in
+      let count c = Stats.count r.Runner.stats (Channel.simple c) in
+      result "  %8.2f %10d %10d %10d %10.4f\n" p_nack (count "input")
+        (count "output") (count "wire")
+        (float_of_int (count "output")
+        /. float_of_int r.Runner.stats.Stats.steps))
+    [ 0.0; 0.25; 0.5; 0.75; 0.9 ]
+
+(* ---------------------------------------------------------------------- *)
+(* E3: the multiplier                                                      *)
+(* ---------------------------------------------------------------------- *)
+
+let e3_multiplier () =
+  section "E3: systolic matrix-vector multiplier (§1.3(5))";
+  result "  %-14s %-10s %-44s %s\n" "vector" "outputs" "bounded check"
+    "monitor";
+  List.iter
+    (fun v ->
+      let m = Paper.Multiplier.make ~v in
+      let cfg = Step.config ~sampler:(Sampler.nat_bound 2) m.Paper.Multiplier.defs in
+      let sat =
+        Sat.check ~nat_bound:8 ~depth:6 cfg m.Paper.Multiplier.network
+          m.Paper.Multiplier.spec
+      in
+      let r =
+        Runner.run
+          ~scheduler:(Scheduler.uniform ~seed:2)
+          ~monitors:[ Runner.monitor "spec" m.Paper.Multiplier.spec ]
+          ~max_steps:300 cfg m.Paper.Multiplier.multiplier
+      in
+      result "  %-14s %-10d %-44s %s\n"
+        ("[" ^ String.concat ";" (List.map string_of_int v) ^ "]")
+        (Stats.count r.Runner.stats (Channel.simple "output"))
+        (Format.asprintf "%a" Sat.pp_outcome sat)
+        (ok (r.Runner.violations = [])))
+    [ [ 1; 2; 3 ]; [ 2; 7; 1 ]; [ 5 ]; [ 1; 0; 2; 1 ] ]
+
+(* ---------------------------------------------------------------------- *)
+(* E4: §3.1 theorems on random closures                                    *)
+(* ---------------------------------------------------------------------- *)
+
+let random_closure st depth =
+  let rand_event () =
+    Event.make
+      (Channel.simple (String.make 1 (Char.chr (97 + Random.State.int st 3))))
+      (Value.Int (Random.State.int st 2))
+  in
+  let rand_trace () =
+    List.init (Random.State.int st depth) (fun _ -> rand_event ())
+  in
+  Closure.of_traces (List.init (1 + Random.State.int st 6) (fun _ -> rand_trace ()))
+
+let e4_model_theorems () =
+  section "E4: §3.1 theorems (prefix closure, distributivity) on random closures";
+  let st = Random.State.make [| 2026 |] in
+  let trials = 2000 in
+  let count name pred =
+    let passed = ref 0 in
+    for _ = 1 to trials do
+      let a = random_closure st 5 and b = random_closure st 5 in
+      if pred a b then incr passed
+    done;
+    result "  %-52s %d/%d\n" name !passed trials
+  in
+  let in_a c = Channel.base c = "a" in
+  let closed t =
+    List.for_all
+      (fun s -> List.for_all (fun p -> Closure.mem p t) (Trace.prefixes s))
+      (Closure.to_traces t)
+  in
+  count "(a -> P) is a prefix closure" (fun a _ ->
+      closed (Closure.prefix (Event.vi "a" 0) a));
+  count "P\\C is a prefix closure" (fun a _ -> closed (Closure.hide in_a a));
+  count "par is a prefix closure" (fun a b ->
+      closed (Closure.par ~in_x:(fun _ -> true) ~in_y:in_a a b));
+  count "(a -> (P u Q)) = (a -> P) u (a -> Q)" (fun a b ->
+      let e = Event.vi "a" 0 in
+      Closure.equal
+        (Closure.prefix e (Closure.union a b))
+        (Closure.union (Closure.prefix e a) (Closure.prefix e b)));
+  count "(P u Q)\\C = P\\C u Q\\C" (fun a b ->
+      Closure.equal
+        (Closure.hide in_a (Closure.union a b))
+        (Closure.union (Closure.hide in_a a) (Closure.hide in_a b)))
+
+(* ---------------------------------------------------------------------- *)
+(* E5: operational vs denotational                                         *)
+(* ---------------------------------------------------------------------- *)
+
+let e5_op_vs_deno () =
+  section "E5: operational enumeration = denotational fixpoint";
+  let sampler = Sampler.nat_bound 2 in
+  let check name defs p depth =
+    match
+      Equiv.operational_vs_denotational ~depth
+        (Step.config ~sampler defs)
+        (Denote.config ~sampler defs)
+        p
+    with
+    | Ok () -> result "  %-40s agree up to depth %d\n" name depth
+    | Error s ->
+      result "  %-40s DISAGREE on %s\n" name (Trace.to_string s)
+  in
+  check "copier" Paper.Copier.defs Paper.Copier.copier 6;
+  check "copier network" Paper.Copier.defs Paper.Copier.network 5;
+  check "protocol network" Paper.Protocol.defs Paper.Protocol.network 4;
+  check "multiplier network" Paper.Multiplier.default.Paper.Multiplier.defs
+    Paper.Multiplier.default.Paper.Multiplier.network 4
+
+(* ---------------------------------------------------------------------- *)
+(* E6: soundness — accepted proofs vs bounded model checking               *)
+(* ---------------------------------------------------------------------- *)
+
+let e6_soundness () =
+  section "E6: soundness — every checker-accepted judgment survives model checking";
+  let cases =
+    [
+      ("copier/wire<=input", Paper.Copier.defs, Paper.Copier.tables,
+       Paper.Copier.copier, Paper.Copier.copier_spec);
+      ("network/output<=input", Paper.Copier.defs, Paper.Copier.tables,
+       Paper.Copier.network, Paper.Copier.network_spec);
+      ("sender/f(wire)<=input", Paper.Protocol.defs, Paper.Protocol.tables,
+       Paper.Protocol.sender, Paper.Protocol.sender_spec);
+      ("receiver/output<=f(wire)", Paper.Protocol.defs, Paper.Protocol.tables,
+       Paper.Protocol.receiver, Paper.Protocol.receiver_spec);
+      ("protocol/output<=input", Paper.Protocol.defs, Paper.Protocol.tables,
+       Paper.Protocol.protocol, Paper.Protocol.protocol_spec);
+    ]
+  in
+  List.iter
+    (fun (name, defs, tables, p, spec) ->
+      let proved =
+        Result.is_ok
+          (Tactic.prove_and_check ~tables (Sequent.context defs)
+             (Sequent.Holds (p, spec)))
+      in
+      let checked =
+        match
+          Sat.check ~depth:5
+            (Step.config ~sampler:(Sampler.nat_bound 2) defs)
+            p spec
+        with
+        | Sat.Holds _ -> true
+        | Sat.Fails _ -> false
+      in
+      result "  %-28s proved=%b  model-checked=%b  %s\n" name proved checked
+        (ok (proved && checked)))
+    cases
+
+(* ---------------------------------------------------------------------- *)
+(* E7: partial correctness cannot exclude deadlock                         *)
+(* ---------------------------------------------------------------------- *)
+
+let e7_partiality () =
+  section "E7: §4 defect 1 — STOP satisfies every satisfiable invariant";
+  let specs =
+    [
+      ("wire <= input", Paper.Copier.copier_spec);
+      ("output <= input", Paper.Copier.network_spec);
+      ("f(wire) <= input", Paper.Protocol.sender_spec);
+    ]
+  in
+  List.iter
+    (fun (name, spec) ->
+      let accepted =
+        Result.is_ok
+          (Check.check (Sequent.context Defs.empty)
+             (Sequent.Holds (Process.Stop, spec))
+             Proof.Emptiness)
+      in
+      result "  STOP sat %-22s accepted by the emptiness rule: %b\n" name
+        accepted)
+    specs;
+  (* a deadlocking handshake passes its safety checks *)
+  let ab = Chan_set.of_names [ "a"; "b" ] in
+  let defs =
+    Defs.empty
+    |> Defs.define "l"
+         (Process.send "a" (Expr.int 0)
+            (Process.recv "b" "x" Vset.Nat (Process.ref_ "l")))
+    |> Defs.define "r"
+         (Process.send "b" (Expr.int 0)
+            (Process.recv "a" "x" Vset.Nat (Process.ref_ "r")))
+  in
+  let net = Process.Par (ab, ab, Process.ref_ "l", Process.ref_ "r") in
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) defs in
+  result "  crossed handshake: deadlocked=%b, yet sat-check of output<=input: %s\n"
+    (Step.is_deadlocked cfg net)
+    (Format.asprintf "%a" Sat.pp_outcome
+       (Sat.check ~depth:4 cfg net Paper.Copier.network_spec))
+
+(* ---------------------------------------------------------------------- *)
+(* E8: STOP | P = P in the model                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let e8_nondet_defect () =
+  section "E8: §4 defect 2 — STOP | P is identically P in the prefix-closure model";
+  let sampler = Sampler.nat_bound 2 in
+  List.iter
+    (fun (name, defs, p) ->
+      let dcfg = Denote.config ~sampler defs in
+      result "  STOP | %-18s = %-18s at depths 1..6: %s\n" name name
+        (ok
+           (List.for_all
+              (fun depth -> Equiv.stop_choice_identity ~depth dcfg p)
+              [ 1; 2; 3; 4; 5; 6 ])))
+    [
+      ("copier", Paper.Copier.defs, Paper.Copier.copier);
+      ("receiver", Paper.Protocol.defs, Paper.Protocol.receiver);
+      ("copier-network", Paper.Copier.defs, Paper.Copier.network);
+    ];
+  (* absorption of a branch that deadlocks after common behaviour *)
+  let p =
+    Process.send "a" (Expr.int 0) (Process.send "b" (Expr.int 1) Process.Stop)
+  in
+  let q = Process.send "a" (Expr.int 0) Process.Stop in
+  result "  (a!0 -> STOP | a!0 -> b!1 -> STOP) = (a!0 -> b!1 -> STOP): %s\n"
+    (ok (Equiv.choice_absorption ~depth:5 (Denote.config ~sampler Defs.empty) q p))
+
+(* ---------------------------------------------------------------------- *)
+(* E9: the refusals extension repairs the §4 defect                        *)
+(* ---------------------------------------------------------------------- *)
+
+let e9_failures_extension () =
+  section
+    "E9 (extension): stable failures — the 'more realistic model of \
+non-determinism' of §4";
+  let sampler = Sampler.nat_bound 2 in
+  List.iter
+    (fun (name, defs, p) ->
+      let cfg = Step.config ~sampler defs in
+      result
+        "  %-18s trace model: STOP|P = P;  failures model distinguishes: %b\n"
+        name
+        (Failures.distinguishes_stop_choice cfg ~depth:3 p))
+    [
+      ("copier", Paper.Copier.defs, Paper.Copier.copier);
+      ("receiver", Paper.Protocol.defs, Paper.Protocol.receiver);
+      ("a!0 -> STOP", Defs.empty, Process.send "a" (Expr.int 0) Process.Stop);
+    ];
+  (* deadlock becomes expressible: the crossed handshake *)
+  let ab = Chan_set.of_names [ "a"; "b" ] in
+  let defs =
+    Defs.empty
+    |> Defs.define "l"
+         (Process.send "a" (Expr.int 0)
+            (Process.recv "b" "x" Vset.Nat (Process.ref_ "l")))
+    |> Defs.define "r"
+         (Process.send "b" (Expr.int 0)
+            (Process.recv "a" "x" Vset.Nat (Process.ref_ "r")))
+  in
+  let net = Process.Par (ab, ab, Process.ref_ "l", Process.ref_ "r") in
+  let cfg = Step.config ~sampler defs in
+  (match Failures.can_deadlock cfg ~depth:3 net with
+  | Some s ->
+    result "  crossed handshake: failures model reports deadlock after %s\n"
+      (Trace.to_string s)
+  | None -> result "  crossed handshake: FAILED to report the deadlock\n");
+  (match
+     Failures.can_deadlock ~choice:`Internal cfg ~depth:3
+       (Process.Choice (Process.Stop, Process.ref_ "l"))
+   with
+  | Some [] ->
+    result "  STOP | l: immediate deadlock reported (internal reading)\n"
+  | _ -> result "  STOP | l: FAILED\n");
+  match
+    Failures.can_deadlock
+      (Step.config ~sampler Paper.Protocol.defs)
+      ~depth:3 Paper.Protocol.protocol
+  with
+  | None -> result "  protocol: no reachable deadlock (depth 3)\n"
+  | Some s ->
+    result "  protocol: unexpected deadlock after %s\n" (Trace.to_string s)
+
+(* ---------------------------------------------------------------------- *)
+(* E10: mutation kill matrix                                               *)
+(* ---------------------------------------------------------------------- *)
+
+(* Can the tooling detect a single-point fault injected into the
+   protocol?  Three detectors, in the order a user would run them:
+   bounded model checking of the end-to-end spec, the proof checker
+   (does the paper's proof still go through?), and — for the faults
+   partial correctness provably cannot see (§4) — the refusals
+   extension's deadlock detection. *)
+let e10_mutations () =
+  section "E10: mutation kill matrix (protocol, single-point faults)";
+  let module P = Paper.Protocol in
+  let spec = P.protocol_spec in
+  let totals = Hashtbl.create 8 in
+  let bump key =
+    Hashtbl.replace totals key (1 + Option.value ~default:0 (Hashtbl.find_opt totals key))
+  in
+  let classify (mutant, defs') =
+    let cfg = Step.config ~sampler:(Sampler.nat_bound 2) ~hide_fuel:8 defs' in
+    let killed_by_sat =
+      match Sat.check ~depth:5 cfg (Process.ref_ "protocol") spec with
+      | Sat.Fails _ -> true
+      | Sat.Holds _ -> false
+      | exception _ -> true (* e.g. the mutant became unproductive *)
+    in
+    let killed_by_proof =
+      not
+        (Result.is_ok
+           (Tactic.prove_and_check ~tables:P.tables (Sequent.context defs')
+              (Sequent.Holds (Process.ref_ "protocol", spec))))
+    in
+    let killed_by_refusals =
+      match Failures.can_deadlock cfg ~depth:3 (Process.ref_ "protocol") with
+      | Some _ -> true
+      | None -> false
+      | exception _ -> true
+    in
+    let verdict =
+      if killed_by_sat then "killed by sat-check"
+      else if killed_by_proof then "killed by proof failure"
+      else if killed_by_refusals then "killed only by refusals (§4!)"
+      else "SURVIVED"
+    in
+    bump (mutant.Mutate.operator, verdict);
+    (mutant.Mutate.description, verdict)
+  in
+  let all_mutants =
+    List.concat_map
+      (fun name -> Mutate.mutate_def P.defs name)
+      [ "sender"; "q"; "receiver" ]
+  in
+  let classified = List.map classify all_mutants in
+  result "  %d mutants over sender, q, receiver\n" (List.length classified);
+  let op_name = function
+    | `Value -> "value"
+    | `Channel -> "channel"
+    | `Branch -> "branch"
+    | `Truncate -> "truncate"
+  in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+  |> List.sort compare
+  |> List.iter (fun ((op, verdict), n) ->
+         result "  %-10s %-32s %d\n" (op_name op) verdict n);
+  List.iter
+    (fun (d, v) ->
+      if v = "SURVIVED" then result "  survivor: %s\n" d)
+    classified
+
+(* ---------------------------------------------------------------------- *)
+(* E11: compositional proof vs state-space growth                          *)
+(* ---------------------------------------------------------------------- *)
+
+(* The deepest point of the paper: the parallelism rule proves a network
+   from per-component invariants, so proof size grows with the number of
+   components while the state space grows with their product.  Measured
+   on the n-stage copier chain. *)
+let e11_compositionality () =
+  section "E11: compositional proofs vs state explosion (n-stage chain)";
+  result "  %4s %10s %12s %14s %14s %10s\n" "n" "LTS states" "proof rules"
+    "sat-check(ms)" "proof(ms)" "status";
+  List.iter
+    (fun n ->
+      let defs, chain = Paper.Copier.chain_defs n in
+      let cfg = Step.config ~sampler:(Sampler.nat_bound 2) defs in
+      let stage_spec i =
+        Assertion.Prefix
+          ( Term.Chan (Chan_expr.indexed "c" (Expr.int i)),
+            Term.Chan (Chan_expr.indexed "c" (Expr.int (i - 1))) )
+      in
+      let tables =
+        Tactic.tables
+          ~invariants:
+            (List.init n (fun i ->
+                 (Paper.Copier.stage_name (i + 1), stage_spec (i + 1))))
+          ()
+      in
+      let states =
+        match chain with
+        | Process.Hide (_, network) ->
+          Lts.num_states (Lts.explore ~max_states:100000 cfg network)
+        | _ -> 0
+      in
+      let t0 = Unix.gettimeofday () in
+      let sat_ok =
+        if n <= 6 then
+          match Sat.check ~depth:6 cfg chain (Paper.Copier.chain_spec n) with
+          | Sat.Holds _ -> true
+          | Sat.Fails _ -> false
+        else true (* beyond n=6 bounded checking is already impractical *)
+      in
+      let sat_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let t1 = Unix.gettimeofday () in
+      let proof =
+        Tactic.prove_and_check ~tables (Sequent.context defs)
+          (Sequent.Holds (chain, Paper.Copier.chain_spec n))
+      in
+      let proof_ms = (Unix.gettimeofday () -. t1) *. 1000.0 in
+      match proof with
+      | Ok (p, _) ->
+        result "  %4d %10d %12d %14.1f %14.1f %10s\n" n states
+          (Proof.size p)
+          (if n <= 6 then sat_ms else Float.nan)
+          proof_ms
+          (ok sat_ok)
+      | Error m -> result "  %4d PROOF FAILED: %s\n" n m)
+    [ 1; 2; 3; 4; 6; 8; 12 ]
+
+(* ---------------------------------------------------------------------- *)
+(* A1/A2: ablations of design choices                                      *)
+(* ---------------------------------------------------------------------- *)
+
+(* A1: what does the prover's syntactic phase buy?  Disable it and
+   every obligation falls through to bounded testing. *)
+let a1_prover_ablation () =
+  section "A1 (ablation): obligation prover with/without the syntactic phase";
+  let run name defs tables p spec =
+    List.iter
+      (fun (mode, config) ->
+        let t0 = Unix.gettimeofday () in
+        match
+          Tactic.prove_and_check ~config ~tables (Sequent.context defs)
+            (Sequent.Holds (p, spec))
+        with
+        | Ok (_, report) ->
+          result "  %-28s %-22s %6.1f ms, %d/%d obligations by testing\n" name
+            mode
+            ((Unix.gettimeofday () -. t0) *. 1000.0)
+            (Check.tested_obligations report)
+            (List.length report.Check.obligations)
+        | Error m -> result "  %-28s %-22s FAILED: %s\n" name mode m)
+      [
+        ("with syntactic rules", Csp_assertion.Prover.default_config);
+        ( "testing only",
+          { Csp_assertion.Prover.default_config with syntactic_phase = false }
+        );
+      ]
+  in
+  run "copier/wire<=input" Paper.Copier.defs Paper.Copier.tables
+    Paper.Copier.copier Paper.Copier.copier_spec;
+  run "sender/Table-1" Paper.Protocol.defs Paper.Protocol.tables
+    Paper.Protocol.sender Paper.Protocol.sender_spec
+
+(* A2: prefix closures as tries vs. as plain sorted trace lists. *)
+module Naive = struct
+  type t = Csp_trace.Trace.t list (* sorted, deduplicated, prefix-closed *)
+
+  let of_closure c = List.sort_uniq Trace.compare (Closure.to_traces c)
+  let union a b = List.sort_uniq Trace.compare (a @ b)
+  let mem s (t : t) = List.exists (Trace.equal s) t
+
+  let hide in_c (t : t) =
+    List.sort_uniq Trace.compare (List.map (Trace.hide in_c) t)
+end
+
+let a2_closure_ablation () =
+  section "A2 (ablation): trie-based closures vs sorted trace lists";
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 3) Paper.Copier.defs in
+  let trie = Step.traces cfg ~depth:8 Paper.Copier.copier in
+  let listed = Naive.of_closure trie in
+  result "  %d traces at depth 8\n" (Closure.cardinal trie);
+  let time name f =
+    let t0 = Unix.gettimeofday () in
+    let iters = 200 in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    result "  %-34s %8.1f us/op\n" name
+      ((Unix.gettimeofday () -. t0) *. 1_000_000.0 /. float_of_int iters)
+  in
+  let in_wire c = Channel.base c = "wire" in
+  let probe = List.nth listed (List.length listed / 2) in
+  time "trie union" (fun () -> Closure.union trie trie);
+  time "list union" (fun () -> Naive.union listed listed);
+  time "trie mem" (fun () -> Closure.mem probe trie);
+  time "list mem" (fun () -> Naive.mem probe listed);
+  time "trie hide" (fun () -> Closure.hide in_wire trie);
+  time "list hide" (fun () -> Naive.hide in_wire listed)
+
+(* ---------------------------------------------------------------------- *)
+(* Part 2: Bechamel timing suites (P1–P6)                                  *)
+(* ---------------------------------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let sampler = Sampler.nat_bound 2 in
+  (* P1: closure operations *)
+  let closure_of_copier depth =
+    Step.traces (Step.config ~sampler Paper.Copier.defs) ~depth Paper.Copier.copier
+  in
+  let c5 = closure_of_copier 5 and c7 = closure_of_copier 7 in
+  let p1 =
+    Test.make_grouped ~name:"P1-closure"
+      [
+        Test.make ~name:"union(d7)" (Staged.stage (fun () -> Closure.union c7 c7));
+        Test.make ~name:"hide(d7)"
+          (Staged.stage (fun () ->
+               Closure.hide (fun c -> Channel.base c = "wire") c7));
+        Test.make ~name:"par(d5)"
+          (Staged.stage (fun () ->
+               Closure.par
+                 ~in_x:(fun _ -> true)
+                 ~in_y:(fun c -> Channel.base c = "wire")
+                 c5 c5));
+        Test.make ~name:"to_traces(d7)" (Staged.stage (fun () -> Closure.to_traces c7));
+      ]
+  in
+  (* P2: denotational fixpoint, depth sweep *)
+  let p2 =
+    Test.make_indexed ~name:"P2-denote-copier" ~args:[ 3; 5; 7 ] (fun depth ->
+        Staged.stage (fun () ->
+            Denote.denote
+              (Denote.config ~sampler Paper.Copier.defs)
+              ~depth Paper.Copier.copier))
+  in
+  (* P3: operational enumeration, depth sweep on the protocol network *)
+  let p3 =
+    Test.make_indexed ~name:"P3-step-protocol" ~args:[ 3; 4; 5 ] (fun depth ->
+        Staged.stage (fun () ->
+            Step.traces
+              (Step.config ~sampler Paper.Protocol.defs)
+              ~depth Paper.Protocol.network))
+  in
+  (* P4: bounded sat-checking *)
+  let p4 =
+    Test.make_grouped ~name:"P4-satcheck"
+      [
+        Test.make ~name:"copier(d6)"
+          (Staged.stage (fun () ->
+               Sat.check ~depth:6
+                 (Step.config ~sampler Paper.Copier.defs)
+                 Paper.Copier.copier Paper.Copier.copier_spec));
+        Test.make ~name:"protocol(d4)"
+          (Staged.stage (fun () ->
+               Sat.check ~depth:4
+                 (Step.config ~sampler ~hide_fuel:8 Paper.Protocol.defs)
+                 Paper.Protocol.protocol Paper.Protocol.protocol_spec));
+      ]
+  in
+  (* P5: proof construction + checking *)
+  let chain_test n =
+    let defs, chain = Paper.Copier.chain_defs n in
+    let stage_spec i =
+      Assertion.Prefix
+        ( Term.Chan (Chan_expr.indexed "c" (Expr.int i)),
+          Term.Chan (Chan_expr.indexed "c" (Expr.int (i - 1))) )
+    in
+    let tables =
+      Tactic.tables
+        ~invariants:
+          (List.init n (fun i ->
+               (Paper.Copier.stage_name (i + 1), stage_spec (i + 1))))
+        ()
+    in
+    let ctx = Sequent.context defs in
+    fun () ->
+      match
+        Tactic.prove_and_check ~tables ctx
+          (Sequent.Holds (chain, Paper.Copier.chain_spec n))
+      with
+      | Ok _ -> ()
+      | Error m -> failwith m
+  in
+  let p5 =
+    Test.make_grouped ~name:"P5-prove"
+      [
+        Test.make ~name:"copier"
+          (Staged.stage (fun () ->
+               Tactic.prove_and_check ~tables:Paper.Copier.tables
+                 (Sequent.context Paper.Copier.defs)
+                 (Sequent.Holds (Paper.Copier.copier, Paper.Copier.copier_spec))));
+        Test.make ~name:"table1"
+          (Staged.stage (fun () ->
+               Tactic.prove_and_check ~tables:Paper.Protocol.tables
+                 (Sequent.context Paper.Protocol.defs)
+                 (Sequent.Holds (Paper.Protocol.sender, Paper.Protocol.sender_spec))));
+        Test.make ~name:"chain4" (Staged.stage (chain_test 4));
+        Test.make ~name:"chain8" (Staged.stage (chain_test 8));
+      ]
+  in
+  (* P6: simulator throughput (1000 steps per run) *)
+  let p6 =
+    Test.make_grouped ~name:"P6-simulate"
+      [
+        Test.make ~name:"protocol-1000steps"
+          (Staged.stage (fun () ->
+               Runner.run
+                 ~scheduler:(Scheduler.uniform ~seed:1)
+                 ~max_steps:1000
+                 (Step.config ~sampler Paper.Protocol.defs)
+                 Paper.Protocol.protocol));
+        Test.make ~name:"multiplier-1000steps"
+          (Staged.stage (fun () ->
+               let m = Paper.Multiplier.default in
+               Runner.run
+                 ~scheduler:(Scheduler.uniform ~seed:1)
+                 ~max_steps:1000
+                 (Step.config ~sampler m.Paper.Multiplier.defs)
+                 m.Paper.Multiplier.multiplier));
+      ]
+  in
+  let p7 =
+    Test.make_grouped ~name:"P7-failures"
+      [
+        Test.make ~name:"receiver(d3)"
+          (Staged.stage (fun () ->
+               Failures.failures
+                 (Step.config ~sampler Paper.Protocol.defs)
+                 ~depth:3 Paper.Protocol.receiver));
+        Test.make ~name:"lts-protocol"
+          (Staged.stage (fun () ->
+               Lts.explore ~max_states:500
+                 (Step.config ~sampler Paper.Protocol.defs)
+                 Paper.Protocol.protocol));
+      ]
+  in
+  [ p1; p2; p3; p4; p5; p6; p7 ]
+
+let run_timings () =
+  section "P1-P7: timing (Bechamel, monotonic clock; ns per run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, v) ->
+             let est =
+               match Analyze.OLS.estimates v with
+               | Some [ e ] -> Printf.sprintf "%14.1f ns/run" e
+               | _ -> "  (no estimate)"
+             in
+             result "  %-36s %s\n" name est))
+    (make_tests ())
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  e1_copier ();
+  e2_protocol ();
+  e3_multiplier ();
+  e4_model_theorems ();
+  e5_op_vs_deno ();
+  e6_soundness ();
+  e7_partiality ();
+  e8_nondet_defect ();
+  e9_failures_extension ();
+  e10_mutations ();
+  e11_compositionality ();
+  if not quick then begin
+    a1_prover_ablation ();
+    a2_closure_ablation ();
+    run_timings ()
+  end;
+  print_newline ()

@@ -1,0 +1,452 @@
+(* cspc — command-line front end.
+
+   Subcommands: parse, traces, simulate, check, prove, deadlock.
+   A .csp file contains process definitions and `assert` declarations in
+   the concrete syntax of Csp_syntax.Parser. *)
+
+open Csp
+module Parser = Csp_syntax.Parser
+module Printer = Csp_syntax.Printer
+
+let die fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error m -> die "%s" m in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Parser.parse_file s with
+  | Ok file -> file
+  | Error m -> die "%s: %s" path m
+
+let find_process file name =
+  match Defs.lookup file.Parser.defs name with
+  | Some _ -> Process.ref_ name
+  | None -> die "process %s is not defined" name
+
+let tables_of file =
+  let invariants =
+    List.filter_map
+      (function Parser.Assert_plain (n, a) -> Some (n, a) | _ -> None)
+      file.Parser.decls
+  in
+  let array_invariants =
+    List.filter_map
+      (function
+        | Parser.Assert_array (q, x, m, a) -> Some (q, (x, m, a))
+        | _ -> None)
+      file.Parser.decls
+  in
+  Tactic.tables ~invariants ~array_invariants ()
+
+let step_config file ~nat_bound ~hide_fuel =
+  Step.config ~sampler:(Sampler.nat_bound nat_bound) ~hide_fuel
+    file.Parser.defs
+
+(* ---- parse ---------------------------------------------------------- *)
+
+let cmd_parse path =
+  let file = load path in
+  print_endline (Printer.defs file.Parser.defs);
+  List.iter
+    (function
+      | Parser.Assert_plain (n, a) ->
+        Printf.printf "assert %s sat %s\n" n (Printer.assertion a)
+      | Parser.Assert_array (q, x, m, a) ->
+        Printf.printf "assert forall %s:%s. %s[%s] sat %s\n" x (Printer.vset m)
+          q x
+          (Printer.assertion ~bound:[ x ] a))
+    file.Parser.decls
+
+(* ---- traces --------------------------------------------------------- *)
+
+let cmd_traces path name depth nat_bound denotational =
+  let file = load path in
+  let p = find_process file name in
+  let closure =
+    if denotational then
+      Denote.denote
+        (Denote.config ~sampler:(Sampler.nat_bound nat_bound) file.Parser.defs)
+        ~depth p
+    else Step.traces (step_config file ~nat_bound ~hide_fuel:16) ~depth p
+  in
+  Printf.printf "%d traces (maximal shown):\n" (Closure.cardinal closure);
+  List.iter
+    (fun t -> print_endline (Trace.to_string t))
+    (Closure.maximal_traces closure)
+
+(* ---- simulate ------------------------------------------------------- *)
+
+let cmd_simulate path name steps seed nat_bound =
+  let file = load path in
+  let p = find_process file name in
+  let monitors =
+    List.filter_map
+      (function
+        | Parser.Assert_plain (n, a) when String.equal n name ->
+          Some (Csp_sim.Runner.monitor n a)
+        | _ -> None)
+      file.Parser.decls
+  in
+  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let r =
+    Csp_sim.Runner.run ~scheduler:(Scheduler.uniform ~seed) ~monitors
+      ~max_steps:steps cfg p
+  in
+  Format.printf "%a@." Csp_sim.Runner.pp_result r;
+  List.iter
+    (fun v ->
+      Format.printf "VIOLATION %s at step %d: %a@."
+        v.Csp_sim.Runner.monitor_name v.Csp_sim.Runner.at_step History.pp
+        v.Csp_sim.Runner.history)
+    r.Csp_sim.Runner.violations;
+  if r.Csp_sim.Runner.violations <> [] then exit 1
+
+(* ---- check (bounded sat) -------------------------------------------- *)
+
+let target_process file = function
+  | Parser.Assert_plain (n, _) -> find_process file n
+  | Parser.Assert_array (q, x, m, _) ->
+    ignore (find_process file q);
+    (* check every sampled instance *)
+    let _ = (x, m) in
+    Process.ref_ q
+
+let cmd_check path depth nat_bound =
+  let file = load path in
+  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let failures = ref 0 in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Parser.Assert_plain (n, a) ->
+        let p = find_process file n in
+        let out = Sat.check ~depth cfg p a in
+        Format.printf "%s sat %s: %a@." n (Printer.assertion a) Sat.pp_outcome
+          out;
+        (match out with Sat.Fails _ -> incr failures | Sat.Holds _ -> ())
+      | Parser.Assert_array (q, x, m, a) ->
+        List.iter
+          (fun v ->
+            let p = Process.Ref (q, Some (Expr.Const v)) in
+            let a' =
+              Assertion.subst_var x (Term.Const v) a
+            in
+            let out = Sat.check ~depth cfg p a' in
+            Format.printf "%s[%s] sat %s: %a@." q (Value.to_string v)
+              (Printer.assertion a') Sat.pp_outcome out;
+            match out with Sat.Fails _ -> incr failures | Sat.Holds _ -> ())
+          (Sampler.sample (Sampler.nat_bound nat_bound) m))
+    file.Parser.decls;
+  ignore target_process;
+  if !failures > 0 then die "%d assertion(s) failed" !failures
+
+(* ---- prove ---------------------------------------------------------- *)
+
+let cmd_prove path verbose emit =
+  let file = load path in
+  let tables = tables_of file in
+  let ctx = Sequent.context file.Parser.defs in
+  let failures = ref 0 in
+  let proved = ref [] in
+  List.iter
+    (fun decl ->
+      let name, judgment =
+        match decl with
+        | Parser.Assert_plain (n, a) -> (n, Sequent.Holds (Process.ref_ n, a))
+        | Parser.Assert_array (q, x, m, a) ->
+          (q ^ "[]", Sequent.Holds_all (q, x, m, a))
+      in
+      match Tactic.prove_and_check ~tables ctx judgment with
+      | Ok (proof, report) ->
+        proved := (judgment, proof) :: !proved;
+        Printf.printf "PROVED %s: %d rules, %d obligations (%d by testing)\n"
+          name (Proof.size proof)
+          (List.length report.Check.obligations)
+          (Check.tested_obligations report);
+        if verbose then Format.printf "%a@." Check.pp_report report
+      | Error m ->
+        incr failures;
+        Printf.printf "FAILED %s: %s\n" name m)
+    file.Parser.decls;
+  (match emit with
+  | None -> ()
+  | Some out ->
+    let oc = open_out out in
+    output_string oc (Cert.write_many (List.rev !proved));
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "wrote %d certificate(s) to %s\n" (List.length !proved) out);
+  if !failures > 0 then exit 1
+
+(* ---- check-cert --------------------------------------------------------- *)
+
+let cmd_check_cert path cert_path =
+  let file = load path in
+  let ic = open_in cert_path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Cert.read_many raw with
+  | Error m -> die "%s: %s" cert_path m
+  | Ok certs ->
+    let ctx = Sequent.context file.Parser.defs in
+    let failures = ref 0 in
+    List.iter
+      (fun (j, proof) ->
+        match Check.check ctx j proof with
+        | Ok report ->
+          Printf.printf "CHECKED %s (%d rules, %d tested obligations)\n"
+            (Sequent.judgment_to_string j)
+            report.Check.rules_applied
+            (Check.tested_obligations report)
+        | Error m ->
+          incr failures;
+          Printf.printf "REJECTED %s: %s\n" (Sequent.judgment_to_string j) m)
+      certs;
+    if !failures > 0 then exit 1
+
+(* ---- deadlock ------------------------------------------------------- *)
+
+let cmd_deadlock path name steps runs nat_bound =
+  let file = load path in
+  let p = find_process file name in
+  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let deadlocks = ref 0 in
+  for seed = 1 to runs do
+    let r =
+      Csp_sim.Runner.run ~scheduler:(Scheduler.uniform ~seed) ~max_steps:steps
+        cfg p
+    in
+    if r.Csp_sim.Runner.stop = Csp_sim.Runner.Deadlock then incr deadlocks
+  done;
+  Printf.printf "%d/%d runs deadlocked within %d steps\n" !deadlocks runs steps;
+  if !deadlocks > 0 then exit 1
+
+(* ---- graph ----------------------------------------------------------- *)
+
+let cmd_graph path name max_states nat_bound output =
+  let file = load path in
+  let p = find_process file name in
+  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let lts = Lts.explore ~max_states cfg p in
+  Printf.printf
+    "%d states, %d transitions%s; deterministic=%b; deadlock states: %d\n"
+    (Lts.num_states lts) (Lts.num_transitions lts)
+    (if lts.Lts.complete then "" else " (truncated)")
+    (Lts.is_deterministic lts)
+    (List.length (Lts.deadlock_states lts));
+  let dot = Lts.to_dot ~name lts in
+  match output with
+  | None -> print_string dot
+  | Some f ->
+    let oc = open_out f in
+    output_string oc dot;
+    close_out oc;
+    Printf.printf "wrote %s\n" f
+
+(* ---- refusals ---------------------------------------------------------- *)
+
+let cmd_refusals path name depth nat_bound =
+  let file = load path in
+  let p = find_process file name in
+  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let fs = Failures.failures cfg ~depth p in
+  Format.printf "%a@." Failures.pp fs;
+  (match Failures.can_deadlock cfg ~depth p with
+  | Some [] -> print_endline "may deadlock immediately"
+  | Some s -> Printf.printf "may deadlock after %s\n" (Trace.to_string s)
+  | None -> Printf.printf "no reachable deadlock within depth %d\n" depth);
+  Printf.printf "STOP | %s distinguished from %s in the refusals model: %b\n"
+    name name
+    (Failures.distinguishes_stop_choice cfg ~depth p)
+
+(* ---- refine ------------------------------------------------------------ *)
+
+let cmd_refine path impl spec depth nat_bound weak =
+  let file = load path in
+  let p = find_process file impl and q = find_process file spec in
+  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  if weak then
+    Printf.printf "%s and %s weakly bisimilar (bounded): %b\n" impl spec
+      (Bisim.weak_equivalent cfg p q)
+  else begin
+    match Equiv.trace_refines ~depth cfg ~impl:p ~spec:q with
+    | Ok () ->
+      Printf.printf "%s trace-refines %s up to depth %d\n" impl spec depth
+    | Error s ->
+      Printf.printf "NOT a refinement: %s allows %s, %s does not\n" impl
+        (Trace.to_string s) spec;
+      exit 1
+  end
+
+(* ---- infer ------------------------------------------------------------ *)
+
+let cmd_infer path name nat_bound =
+  let file = load path in
+  let p = find_process file name in
+  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let tables = tables_of file in
+  let results = Infer.infer ~tables cfg ~name p in
+  if results = [] then print_endline "no invariants conjectured"
+  else
+    List.iter
+      (fun c ->
+        Printf.printf "%s  %s\n"
+          (if c.Infer.proved then "PROVED   " else "conjecture")
+          (Printer.assertion c.Infer.assertion))
+      results
+
+(* ---- cmdliner glue --------------------------------------------------- *)
+
+open Cmdliner
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".csp file")
+
+let name_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "p"; "process" ] ~docv:"NAME" ~doc:"Process name to run")
+
+let depth_arg default =
+  Arg.(value & opt int default & info [ "d"; "depth" ] ~doc:"Trace depth bound")
+
+let nat_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "nat-bound" ] ~doc:"Sample size for NAT-typed inputs")
+
+let steps_arg =
+  Arg.(value & opt int 1000 & info [ "steps" ] ~doc:"Maximum simulation steps")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed")
+let runs_arg = Arg.(value & opt int 20 & info [ "runs" ] ~doc:"Number of runs")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full proof tables")
+
+let parse_cmd =
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and pretty-print a .csp file")
+    Term.(const cmd_parse $ path_arg)
+
+let traces_cmd =
+  let deno =
+    Arg.(
+      value & flag
+      & info [ "denotational" ]
+          ~doc:"Use the denotational fixpoint semantics instead of the \
+                operational enumeration")
+  in
+  Cmd.v (Cmd.info "traces" ~doc:"Enumerate traces of a process")
+    Term.(const cmd_traces $ path_arg $ name_arg $ depth_arg 5 $ nat_arg $ deno)
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute a process with a random scheduler, monitoring its \
+             declared assertions")
+    Term.(const cmd_simulate $ path_arg $ name_arg $ steps_arg $ seed_arg $ nat_arg)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Bounded model check of every declared assertion (exact up to \
+             the depth and sample)")
+    Term.(const cmd_check $ path_arg $ depth_arg 6 $ nat_arg)
+
+let prove_cmd =
+  let emit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"FILE" ~doc:"Write proof certificates here")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Prove every declared assertion with the inference rules of the \
+             paper, using the declarations as loop invariants")
+    Term.(const cmd_prove $ path_arg $ verbose_arg $ emit)
+
+let check_cert_cmd =
+  let cert =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CERT" ~doc:"Certificate file from prove --emit")
+  in
+  Cmd.v
+    (Cmd.info "check-cert"
+       ~doc:"Re-verify proof certificates against the definitions, without \
+             re-running the tactic")
+    Term.(const cmd_check_cert $ path_arg $ cert)
+
+let graph_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT to this file")
+  in
+  let max_states =
+    Arg.(value & opt int 2000 & info [ "max-states" ] ~doc:"State bound")
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Explore the labelled transition system and emit Graphviz DOT")
+    Term.(const cmd_graph $ path_arg $ name_arg $ max_states $ nat_arg $ out)
+
+let refusals_cmd =
+  Cmd.v
+    (Cmd.info "refusals"
+       ~doc:"Print the bounded stable-failures of a process (the §4 \
+             extension: distinguishes STOP|P from P and reports \
+             deadlocks)")
+    Term.(const cmd_refusals $ path_arg $ name_arg $ depth_arg 3 $ nat_arg)
+
+let refine_cmd =
+  let spec =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "spec" ] ~docv:"NAME" ~doc:"Specification process")
+  in
+  let weak =
+    Arg.(
+      value & flag
+      & info [ "weak" ] ~doc:"Check weak bisimilarity instead of trace \
+                              refinement")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Check that one process trace-refines another (or is weakly \
+             bisimilar to it)")
+    Term.(const cmd_refine $ path_arg $ name_arg $ spec $ depth_arg 5 $ nat_arg $ weak)
+
+let infer_cmd =
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"Discover invariants: observe simulated histories, \
+             conjecture template instances, and prove the survivors \
+             with the recursion rule")
+    Term.(const cmd_infer $ path_arg $ name_arg $ nat_arg)
+
+let deadlock_cmd =
+  Cmd.v
+    (Cmd.info "deadlock"
+       ~doc:"Search for deadlocks by repeated randomised execution (partial \
+             correctness cannot rule them out — §4)")
+    Term.(const cmd_deadlock $ path_arg $ name_arg $ steps_arg $ runs_arg $ nat_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "cspc" ~version:"1.0.0"
+       ~doc:"Trace assertions and proofs for communicating sequential \
+             processes (Zhou & Hoare, 1981)")
+    [
+      parse_cmd; traces_cmd; simulate_cmd; check_cmd; prove_cmd;
+      deadlock_cmd; graph_cmd; refusals_cmd; infer_cmd; refine_cmd;
+      check_cert_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,97 @@
+(* §4, first defect, made concrete: the proof system establishes only
+   partial correctness, so it cannot detect — let alone rule out —
+   deadlock.
+
+   We build a network that deadlocks after one communication:
+
+     greedy = a!1 -> a!2 -> greedy          (alphabet {a, b}!)
+     taker  = a?x:NAT -> b!x -> taker       (alphabet {a, b})
+
+   Both processes claim channel b in their alphabets, but greedy never
+   actually communicates on it, so after the handshake a.1 the taker
+   waits forever for a partner on b while greedy waits forever on a.2.
+
+   Nevertheless `taker sat b <= a` is provable, parallelism lifts it to
+   the network, and STOP itself satisfies the same assertion by the
+   emptiness rule — "the process STOP satisfies any satisfiable
+   invariant whatsoever".  The simulator, by contrast, hits the
+   deadlock immediately, on every seed.
+
+   Run with: dune exec examples/deadlock_demo.exe *)
+
+open Csp
+
+let defs =
+  Defs.empty
+  |> Defs.define "greedy"
+       (Process.send "a" (Expr.int 1)
+          (Process.send "a" (Expr.int 2) (Process.ref_ "greedy")))
+  |> Defs.define "taker"
+       (Process.recv "a" "x" Vset.Nat
+          (Process.send "b" (Expr.Var "x") (Process.ref_ "taker")))
+
+let alphabet = Chan_set.of_names [ "a"; "b" ]
+
+let network =
+  Process.Par (alphabet, alphabet, Process.ref_ "greedy", Process.ref_ "taker")
+
+let spec = Assertion.Prefix (Term.chan "b", Term.chan "a")
+
+let () =
+  (* The proof goes through... *)
+  let ctx = Sequent.context defs in
+  let tables =
+    Tactic.tables
+      ~invariants:[ ("greedy", Assertion.True); ("taker", spec) ]
+      ()
+  in
+  (match
+     Tactic.prove_and_check ~tables ctx
+       (Sequent.Holds
+          (network, Assertion.And (Assertion.True, spec)))
+   with
+  | Ok (_, report) ->
+    Format.printf "network proof accepted: (true & b <= a), %d obligations@."
+      (List.length report.Check.obligations)
+  | Error m -> Format.printf "network proof failed: %s@." m);
+
+  (* ...and so does the degenerate one: STOP meets the same spec. *)
+  (match
+     Check.check ctx (Sequent.Holds (Process.Stop, spec)) Proof.Emptiness
+   with
+  | Ok _ ->
+    Format.printf
+      "STOP sat b <= a accepted by the emptiness rule — STOP satisfies \
+       every satisfiable invariant (§4)@."
+  | Error m -> Format.printf "unexpected: %s@." m);
+
+  (* ...but execution tells the real story. *)
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 4) defs in
+  let deadlocks = ref 0 and steps_total = ref 0 in
+  let runs = 50 in
+  for seed = 1 to runs do
+    let r =
+      Csp_sim.Runner.run ~scheduler:(Scheduler.uniform ~seed) ~max_steps:100
+        ~monitors:[ Csp_sim.Runner.monitor "b<=a" spec ]
+        cfg network
+    in
+    assert (r.Csp_sim.Runner.violations = []);
+    if r.Csp_sim.Runner.stop = Csp_sim.Runner.Deadlock then begin
+      incr deadlocks;
+      steps_total := !steps_total + r.Csp_sim.Runner.stats.Stats.steps
+    end
+  done;
+  Format.printf
+    "simulation: %d/%d runs deadlocked (after %.1f communications on \
+     average); the invariant was never violated@."
+    !deadlocks runs
+    (float_of_int !steps_total /. float_of_int (max 1 !deadlocks));
+
+  (* The trace model agrees that nothing distinguishes the network from
+     its one-step approximation: its complete trace set is tiny. *)
+  let traces = Step.traces cfg ~depth:10 network in
+  Format.printf "the network's complete trace set: ";
+  List.iter
+    (fun t -> Format.printf "%a " Trace.pp t)
+    (Closure.to_traces traces);
+  Format.printf "@."

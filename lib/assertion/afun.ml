@@ -1,0 +1,54 @@
+module Value = Csp_trace.Value
+module M = Map.Make (String)
+
+type t = {
+  name : string;
+  doc : string;
+  apply : Value.t list -> Value.t list;
+}
+
+type env = t M.t
+
+let empty_env = M.empty
+let register f env = M.add f.name f env
+let find env name = M.find_opt name env
+
+let protocol_cancel =
+  let is_signal v = Value.equal v Value.ack || Value.equal v Value.nack in
+  let rec apply = function
+    | [] -> []
+    | x :: s when is_signal x -> apply s (* stray signal at a data position *)
+    | [ _ ] -> []
+    | x :: a :: s ->
+      if Value.equal a Value.ack then x :: apply s
+      else if Value.equal a Value.nack then apply s
+      else apply (a :: s)
+  in
+  {
+    name = "f";
+    doc = "cancel ACKs and <x,NACK> pairs (the protocol function of §2.2)";
+    apply;
+  }
+
+let identity = { name = "id"; doc = "identity"; apply = Fun.id }
+
+let odds =
+  let rec apply = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: _ :: s -> x :: apply s
+  in
+  { name = "odds"; doc = "elements at positions 1, 3, 5, …"; apply }
+
+let evens =
+  let rec apply = function
+    | [] | [ _ ] -> []
+    | _ :: y :: s -> y :: apply s
+  in
+  { name = "evens"; doc = "elements at positions 2, 4, 6, …"; apply }
+
+let default_env =
+  List.fold_left
+    (fun env f -> register f env)
+    empty_env
+    [ protocol_cancel; identity; odds; evens ]

@@ -1,0 +1,39 @@
+(** Named sequence functions usable in assertions.
+
+    §2.2 introduces a function [f] from wire histories to message
+    sequences that cancels all [ACK]s and all consecutive pairs
+    [⟨x, NACK⟩]; the protocol's correctness is stated through it.  An
+    environment maps names to such functions so assertions can apply
+    them with {!Term.App}. *)
+
+type t = {
+  name : string;
+  doc : string;
+  apply : Csp_trace.Value.t list -> Csp_trace.Value.t list;
+}
+
+type env
+
+val empty_env : env
+val register : t -> env -> env
+val find : env -> string -> t option
+
+val protocol_cancel : t
+(** The paper's [f]:
+    [f(⟨⟩) = ⟨⟩], [f(⟨x⟩) = ⟨⟩], [f(x^ACK^s) = x^f(s)],
+    [f(x^NACK^s) = f(s)].  The paper only applies [f] to alternating
+    wire histories; this implementation extends it to a total function
+    by skipping unacknowledged data and stray signals, so it never
+    emits [ACK] or [NACK]. *)
+
+val identity : t
+val evens : t
+(** Elements at odd 1-based positions dropped — i.e. the subsequence of
+    2nd, 4th, … elements.  Useful for request/reply channels in tests
+    and examples. *)
+
+val odds : t
+(** The subsequence of 1st, 3rd, … elements. *)
+
+val default_env : env
+(** [f], [id], [odds], [evens]. *)

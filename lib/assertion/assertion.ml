@@ -1,0 +1,218 @@
+module Value = Csp_trace.Value
+module Seq_ops = Csp_trace.Seq_ops
+module Chan_expr = Csp_lang.Chan_expr
+module Vset = Csp_lang.Vset
+module Valuation = Csp_lang.Valuation
+
+type cmp = Le | Lt | Ge | Gt
+
+type t =
+  | True
+  | False
+  | Prefix of Term.t * Term.t
+  | Eq of Term.t * Term.t
+  | Cmp of cmp * Term.t * Term.t
+  | Mem of Term.t * Vset.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Forall of string * Vset.t * t
+  | Exists of string * Vset.t * t
+
+let conj = function
+  | [] -> True
+  | r :: rest -> List.fold_left (fun acc s -> And (acc, s)) r rest
+
+let prefix_le a b = Prefix (a, b)
+
+let cmp_fun = function
+  | Le -> ( <= )
+  | Lt -> ( < )
+  | Ge -> ( >= )
+  | Gt -> ( > )
+
+let quantifier_domain (c : Term.ctx) m =
+  match Vset.enumerate m with
+  | Some vs -> vs
+  | None -> Vset.enumerate_bounded ~bound:c.Term.nat_bound m
+
+let rec eval (c : Term.ctx) = function
+  | True -> true
+  | False -> false
+  | Prefix (a, b) ->
+    Seq_ops.is_prefix (Term.eval_seq c a) (Term.eval_seq c b)
+  | Eq (a, b) -> Value.equal (Term.eval c a) (Term.eval c b)
+  | Cmp (op, a, b) -> cmp_fun op (Term.eval_int c a) (Term.eval_int c b)
+  | Mem (a, m) -> Vset.mem m (Term.eval c a)
+  | Not r -> not (eval c r)
+  | And (r, s) -> eval c r && eval c s
+  | Or (r, s) -> eval c r || eval c s
+  | Imp (r, s) -> (not (eval c r)) || eval c s
+  | Forall (x, m, r) ->
+    List.for_all
+      (fun v -> eval { c with rho = Valuation.add x v c.Term.rho } r)
+      (quantifier_domain c m)
+  | Exists (x, m, r) ->
+    List.exists
+      (fun v -> eval { c with rho = Valuation.add x v c.Term.rho } r)
+      (quantifier_domain c m)
+
+let dedup eq xs =
+  List.rev
+    (List.fold_left
+       (fun acc x -> if List.exists (eq x) acc then acc else x :: acc)
+       [] xs)
+
+let free_vars r =
+  let rec go bound acc = function
+    | True | False -> acc
+    | Prefix (a, b) | Eq (a, b) | Cmp (_, a, b) ->
+      acc
+      @ List.filter
+          (fun v -> not (List.mem v bound))
+          (Term.free_vars a @ Term.free_vars b)
+    | Mem (a, _) ->
+      acc @ List.filter (fun v -> not (List.mem v bound)) (Term.free_vars a)
+    | Not r -> go bound acc r
+    | And (r, s) | Or (r, s) | Imp (r, s) -> go bound (go bound acc r) s
+    | Forall (x, _, r) | Exists (x, _, r) -> go (x :: bound) acc r
+  in
+  dedup String.equal (go [] [] r)
+
+let free_chans r =
+  let rec go acc = function
+    | True | False -> acc
+    | Prefix (a, b) | Eq (a, b) | Cmp (_, a, b) ->
+      acc @ Term.free_chans a @ Term.free_chans b
+    | Mem (a, _) -> acc @ Term.free_chans a
+    | Not r -> go acc r
+    | And (r, s) | Or (r, s) | Imp (r, s) -> go (go acc r) s
+    | Forall (_, _, r) | Exists (_, _, r) -> go acc r
+  in
+  dedup Chan_expr.equal (go [] r)
+
+let mentions_channel ?(rho = Valuation.empty) r (chan : Csp_trace.Channel.t) =
+  List.exists
+    (fun ce ->
+      String.equal ce.Chan_expr.name chan.Csp_trace.Channel.name
+      &&
+      match Chan_expr.eval rho ce with
+      | c -> Csp_trace.Channel.equal c chan
+      | exception Csp_lang.Expr.Eval_error _ -> true (* conservative *))
+    (free_chans r)
+
+let rec map_term f = function
+  | True -> True
+  | False -> False
+  | Prefix (a, b) -> Prefix (f a, f b)
+  | Eq (a, b) -> Eq (f a, f b)
+  | Cmp (op, a, b) -> Cmp (op, f a, f b)
+  | Mem (a, m) -> Mem (f a, m)
+  | Not r -> Not (map_term f r)
+  | And (r, s) -> And (map_term f r, map_term f s)
+  | Or (r, s) -> Or (map_term f r, map_term f s)
+  | Imp (r, s) -> Imp (map_term f r, map_term f s)
+  | Forall (x, m, r) -> Forall (x, m, map_term f r)
+  | Exists (x, m, r) -> Exists (x, m, map_term f r)
+
+let rec subst_var x t = function
+  | True -> True
+  | False -> False
+  | Prefix (a, b) -> Prefix (Term.subst_var x t a, Term.subst_var x t b)
+  | Eq (a, b) -> Eq (Term.subst_var x t a, Term.subst_var x t b)
+  | Cmp (op, a, b) -> Cmp (op, Term.subst_var x t a, Term.subst_var x t b)
+  | Mem (a, m) -> Mem (Term.subst_var x t a, m)
+  | Not r -> Not (subst_var x t r)
+  | And (r, s) -> And (subst_var x t r, subst_var x t s)
+  | Or (r, s) -> Or (subst_var x t r, subst_var x t s)
+  | Imp (r, s) -> Imp (subst_var x t r, subst_var x t s)
+  | Forall (y, m, r) ->
+    if String.equal x y then Forall (y, m, r) else Forall (y, m, subst_var x t r)
+  | Exists (y, m, r) ->
+    if String.equal x y then Exists (y, m, r) else Exists (y, m, subst_var x t r)
+
+let subst_empty r = map_term (Term.map_chan (fun _ -> Term.empty_seq)) r
+
+(* Two channel expressions are definitely-equal when syntactically equal
+   or both closed and evaluating to the same channel; definitely-distinct
+   when their base names differ or both are closed and evaluate to
+   different channels.  Anything else is ambiguous. *)
+type chan_rel = Equal | Distinct | Ambiguous
+
+let chan_rel (a : Chan_expr.t) (b : Chan_expr.t) =
+  if not (String.equal a.Chan_expr.name b.Chan_expr.name) then Distinct
+  else if Chan_expr.equal a b then Equal
+  else
+    match Chan_expr.eval_opt a, Chan_expr.eval_opt b with
+    | Some ca, Some cb ->
+      if Csp_trace.Channel.equal ca cb then Equal else Distinct
+    | _ -> Ambiguous
+
+let cons_channel c x r =
+  let ambiguous = ref None in
+  let r' =
+    map_term
+      (Term.map_chan (fun ce ->
+           match chan_rel c ce with
+           | Equal -> Term.Cons (x, Term.Chan ce)
+           | Distinct -> Term.Chan ce
+           | Ambiguous ->
+             ambiguous := Some ce;
+             Term.Chan ce))
+      r
+  in
+  match !ambiguous with
+  | None -> Ok r'
+  | Some ce ->
+    Error
+      (Format.asprintf
+         "cannot decide whether %a and %a are the same channel" Chan_expr.pp c
+         Chan_expr.pp ce)
+
+let rec equal a b =
+  match a, b with
+  | True, True | False, False -> true
+  | Prefix (a1, a2), Prefix (b1, b2) | Eq (a1, a2), Eq (b1, b2) ->
+    Term.equal a1 b1 && Term.equal a2 b2
+  | Cmp (o1, a1, a2), Cmp (o2, b1, b2) ->
+    o1 = o2 && Term.equal a1 b1 && Term.equal a2 b2
+  | Mem (a1, m1), Mem (a2, m2) -> Term.equal a1 a2 && Vset.equal m1 m2
+  | Not r, Not s -> equal r s
+  | And (r1, s1), And (r2, s2)
+  | Or (r1, s1), Or (r2, s2)
+  | Imp (r1, s1), Imp (r2, s2) ->
+    equal r1 r2 && equal s1 s2
+  | Forall (x1, m1, r1), Forall (x2, m2, r2)
+  | Exists (x1, m1, r1), Exists (x2, m2, r2) ->
+    String.equal x1 x2 && Vset.equal m1 m2 && equal r1 r2
+  | ( ( True | False | Prefix _ | Eq _ | Cmp _ | Mem _ | Not _ | And _ | Or _
+      | Imp _ | Forall _ | Exists _ ),
+      _ ) ->
+    false
+
+let cmp_str = function Le -> "<=" | Lt -> "<" | Ge -> ">=" | Gt -> ">"
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Prefix (a, b) -> Format.fprintf ppf "%a <= %a" Term.pp a Term.pp b
+  | Eq (a, b) -> Format.fprintf ppf "%a = %a" Term.pp a Term.pp b
+  | Cmp (op, a, b) ->
+    Format.fprintf ppf "%a %s %a" Term.pp a (cmp_str op) Term.pp b
+  | Mem (a, m) -> Format.fprintf ppf "%a in %a" Term.pp a Vset.pp m
+  | Not r -> Format.fprintf ppf "~%a" pp_atom r
+  | And (r, s) -> Format.fprintf ppf "%a & %a" pp_atom r pp_atom s
+  | Or (r, s) -> Format.fprintf ppf "%a \\/ %a" pp_atom r pp_atom s
+  | Imp (r, s) -> Format.fprintf ppf "%a => %a" pp_atom r pp_atom s
+  | Forall (x, m, r) ->
+    Format.fprintf ppf "forall %s:%a. %a" x Vset.pp m pp r
+  | Exists (x, m, r) ->
+    Format.fprintf ppf "exists %s:%a. %a" x Vset.pp m pp r
+
+and pp_atom ppf r =
+  match r with
+  | True | False | Prefix _ | Eq _ | Cmp _ | Mem _ | Not _ -> pp ppf r
+  | _ -> Format.fprintf ppf "(%a)" pp r
+
+let to_string r = Format.asprintf "%a" pp r

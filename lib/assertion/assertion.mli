@@ -1,0 +1,51 @@
+(** Assertions: predicates with free channel names (§2).
+
+    An assertion is evaluated against a valuation for its variables and
+    a channel history [ch(s)]; a process [P] satisfies [R] invariantly
+    when [R] holds of [ch(s)] for every trace [s] of [P]. *)
+
+type cmp = Le | Lt | Ge | Gt
+
+type t =
+  | True
+  | False
+  | Prefix of Term.t * Term.t       (** [s ≤ t] on sequences *)
+  | Eq of Term.t * Term.t           (** value or sequence equality *)
+  | Cmp of cmp * Term.t * Term.t    (** integer comparison *)
+  | Mem of Term.t * Csp_lang.Vset.t (** set membership, e.g. [e ∈ M] *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Forall of string * Csp_lang.Vset.t * t
+  | Exists of string * Csp_lang.Vset.t * t
+
+val conj : t list -> t
+val prefix_le : Term.t -> Term.t -> t
+val eval : Term.ctx -> t -> bool
+(** Quantifiers over infinite sets are enumerated up to the context's
+    [nat_bound].
+    @raise Term.Eval_error on ill-typed or unbound terms. *)
+
+val free_vars : t -> string list
+val free_chans : t -> Csp_lang.Chan_expr.t list
+
+val mentions_channel :
+  ?rho:Csp_lang.Valuation.t -> t -> Csp_trace.Channel.t -> bool
+(** Does the assertion mention (possibly via an unevaluable subscript,
+    conservatively) the given concrete channel? *)
+
+val subst_var : string -> Term.t -> t -> t
+
+val subst_empty : t -> t
+(** The paper's [R_<>]: every channel name replaced by [⟨⟩]. *)
+
+val cons_channel : Csp_lang.Chan_expr.t -> Term.t -> t -> (t, string) result
+(** The paper's [R^c_{e^c}]: every occurrence of channel [c] replaced by
+    [e^c].  Fails when the assertion contains a channel expression that
+    cannot be told apart from [c] (same base name, unevaluable
+    subscripts), since the substitution would then be unsound. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

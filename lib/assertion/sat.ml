@@ -1,0 +1,28 @@
+module History = Csp_trace.History
+module Trace = Csp_trace.Trace
+module Closure = Csp_semantics.Closure
+module Step = Csp_semantics.Step
+
+type outcome =
+  | Holds of { traces : int; depth : int }
+  | Fails of { trace : Csp_trace.Trace.t }
+
+let check_closure ?rho ?funs ?nat_bound closure assertion =
+  let ctx0 = Term.ctx ?rho ?funs ?nat_bound () in
+  let traces = Closure.to_traces closure in
+  let rec go n = function
+    | [] -> Holds { traces = n; depth = Closure.depth closure }
+    | s :: rest ->
+      let ctx = { ctx0 with Term.hist = History.of_trace s } in
+      if Assertion.eval ctx assertion then go (n + 1) rest
+      else Fails { trace = s }
+  in
+  go 0 traces
+
+let check ?rho ?funs ?nat_bound ?(depth = 6) cfg p assertion =
+  check_closure ?rho ?funs ?nat_bound (Step.traces cfg ~depth p) assertion
+
+let pp_outcome ppf = function
+  | Holds { traces; depth } ->
+    Format.fprintf ppf "holds on all %d traces up to depth %d" traces depth
+  | Fails { trace } -> Format.fprintf ppf "fails on trace %a" Trace.pp trace

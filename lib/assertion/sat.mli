@@ -1,0 +1,36 @@
+(** Bounded verification of [P sat R].
+
+    [P sat R] means: R holds of [ch(s)] for every trace [s] of [P]
+    (§3.3).  The trace sets enumerated here are prefix-closed, so
+    checking every member is exactly "R is true before and after every
+    communication".  Enumeration is bounded by a depth and a sampler, so
+    [Holds] is evidence up to that bound, while [Fails] is a definitive
+    counterexample. *)
+
+type outcome =
+  | Holds of { traces : int; depth : int }
+  | Fails of { trace : Csp_trace.Trace.t }
+
+val check :
+  ?rho:Csp_lang.Valuation.t ->
+  ?funs:Afun.env ->
+  ?nat_bound:int ->
+  ?depth:int ->
+  Csp_semantics.Step.config ->
+  Csp_lang.Process.t ->
+  Assertion.t ->
+  outcome
+(** Enumerate the process's visible traces operationally (default depth
+    6) and evaluate the assertion on each. *)
+
+val check_closure :
+  ?rho:Csp_lang.Valuation.t ->
+  ?funs:Afun.env ->
+  ?nat_bound:int ->
+  Csp_semantics.Closure.t ->
+  Assertion.t ->
+  outcome
+(** The same check against an already-computed prefix closure (e.g. a
+    denotational one). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

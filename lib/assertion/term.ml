@@ -1,0 +1,258 @@
+module Value = Csp_trace.Value
+module History = Csp_trace.History
+module Seq_ops = Csp_trace.Seq_ops
+module Chan_expr = Csp_lang.Chan_expr
+module Expr = Csp_lang.Expr
+module Valuation = Csp_lang.Valuation
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Chan of Chan_expr.t
+  | Len of t
+  | Index of t * t
+  | Cons of t * t
+  | Cat of t * t
+  | App of string * t
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Sum of string * t * t * t
+
+type ctx = {
+  rho : Valuation.t;
+  hist : History.t;
+  funs : Afun.env;
+  nat_bound : int;
+}
+
+let ctx ?(rho = Valuation.empty) ?(hist = History.empty)
+    ?(funs = Afun.default_env) ?(nat_bound = 32) () =
+  { rho; hist; funs; nat_bound }
+
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let as_int = function
+  | Value.Int n -> n
+  | v -> err "expected an integer, got %a" Value.pp v
+
+let as_seq = function
+  | Value.Seq s -> s
+  | v -> err "expected a sequence, got %a" Value.pp v
+
+let rec eval c = function
+  | Const v -> v
+  | Var x -> (
+    match Valuation.find_opt x c.rho with
+    | Some v -> v
+    | None -> err "unbound variable %s" x)
+  | Chan ce ->
+    let chan =
+      match Chan_expr.eval c.rho ce with
+      | chan -> chan
+      | exception Expr.Eval_error m -> err "channel subscript: %s" m
+    in
+    Value.Seq (History.get c.hist chan)
+  | Len s -> Value.Int (List.length (as_seq (eval c s)))
+  | Index (s, i) -> (
+    let sv = as_seq (eval c s) and iv = as_int (eval c i) in
+    match Seq_ops.index sv iv with
+    | Some v -> v
+    | None -> err "index %d out of range" iv)
+  | Cons (x, s) -> Value.Seq (eval c x :: as_seq (eval c s))
+  | Cat (s, t) -> Value.Seq (as_seq (eval c s) @ as_seq (eval c t))
+  | App (f, s) -> (
+    match Afun.find c.funs f with
+    | Some fn -> Value.Seq (fn.Afun.apply (as_seq (eval c s)))
+    | None -> err "unknown sequence function %s" f)
+  | Neg a -> Value.Int (-as_int (eval c a))
+  | Add (a, b) -> Value.Int (as_int (eval c a) + as_int (eval c b))
+  | Sub (a, b) -> Value.Int (as_int (eval c a) - as_int (eval c b))
+  | Mul (a, b) -> Value.Int (as_int (eval c a) * as_int (eval c b))
+  | Div (a, b) ->
+    let bv = as_int (eval c b) in
+    if bv = 0 then err "division by zero"
+    else Value.Int (as_int (eval c a) / bv)
+  | Mod (a, b) ->
+    let bv = as_int (eval c b) in
+    if bv = 0 then err "modulo by zero" else Value.Int (as_int (eval c a) mod bv)
+  | Sum (x, lo, hi, body) ->
+    let lov = as_int (eval c lo) and hiv = as_int (eval c hi) in
+    let rec go i acc =
+      if i > hiv then acc
+      else
+        let c' = { c with rho = Valuation.add x (Value.Int i) c.rho } in
+        go (i + 1) (acc + as_int (eval c' body))
+    in
+    Value.Int (go lov 0)
+
+let eval_seq c t = as_seq (eval c t)
+let eval_int c t = as_int (eval c t)
+let int n = Const (Value.Int n)
+let chan name = Chan (Chan_expr.simple name)
+let chan_ix name e = Chan (Chan_expr.indexed name e)
+let empty_seq = Const (Value.Seq [])
+
+let rec of_expr = function
+  | Expr.Const v -> Some (Const v)
+  | Expr.Var x -> Some (Var x)
+  | Expr.Neg a -> Option.map (fun a -> Neg a) (of_expr a)
+  | Expr.Add (a, b) -> of_expr2 (fun a b -> Add (a, b)) a b
+  | Expr.Sub (a, b) -> of_expr2 (fun a b -> Sub (a, b)) a b
+  | Expr.Mul (a, b) -> of_expr2 (fun a b -> Mul (a, b)) a b
+  | Expr.Div (a, b) -> of_expr2 (fun a b -> Div (a, b)) a b
+  | Expr.Mod (a, b) -> of_expr2 (fun a b -> Mod (a, b)) a b
+  | Expr.Idx (a, b) -> of_expr2 (fun a b -> Index (a, b)) a b
+  | Expr.Tuple _ -> None
+
+and of_expr2 f a b =
+  match of_expr a, of_expr b with
+  | Some a, Some b -> Some (f a b)
+  | _ -> None
+
+let dedup eq xs =
+  List.rev
+    (List.fold_left
+       (fun acc x -> if List.exists (eq x) acc then acc else x :: acc)
+       [] xs)
+
+let free_vars t =
+  let rec go bound acc = function
+    | Const _ -> acc
+    | Var x -> if List.mem x bound then acc else acc @ [ x ]
+    | Chan ce ->
+      acc @ List.filter (fun v -> not (List.mem v bound)) (Chan_expr.free_vars ce)
+    | Len a | App (_, a) | Neg a -> go bound acc a
+    | Index (a, b) | Cons (a, b) | Cat (a, b) | Add (a, b) | Sub (a, b)
+    | Mul (a, b) | Div (a, b) | Mod (a, b) ->
+      go bound (go bound acc a) b
+    | Sum (x, lo, hi, body) ->
+      let acc = go bound (go bound acc lo) hi in
+      go (x :: bound) acc body
+  in
+  dedup String.equal (go [] [] t)
+
+let free_chans t =
+  let rec go acc = function
+    | Const _ | Var _ -> acc
+    | Chan ce -> acc @ [ ce ]
+    | Len a | App (_, a) | Neg a -> go acc a
+    | Index (a, b) | Cons (a, b) | Cat (a, b) | Add (a, b) | Sub (a, b)
+    | Mul (a, b) | Div (a, b) | Mod (a, b) ->
+      go (go acc a) b
+    | Sum (_, lo, hi, body) -> go (go (go acc lo) hi) body
+  in
+  dedup Chan_expr.equal (go [] t)
+
+(* Convert a term to a process-language expression when it fits, so that
+   substitution can also reach channel subscripts. *)
+let rec to_expr = function
+  | Const v -> Some (Expr.Const v)
+  | Var x -> Some (Expr.Var x)
+  | Neg a -> Option.map (fun a -> Expr.Neg a) (to_expr a)
+  | Add (a, b) -> both (fun a b -> Expr.Add (a, b)) a b
+  | Sub (a, b) -> both (fun a b -> Expr.Sub (a, b)) a b
+  | Mul (a, b) -> both (fun a b -> Expr.Mul (a, b)) a b
+  | Div (a, b) -> both (fun a b -> Expr.Div (a, b)) a b
+  | Mod (a, b) -> both (fun a b -> Expr.Mod (a, b)) a b
+  | _ -> None
+
+and both f a b =
+  match to_expr a, to_expr b with
+  | Some a, Some b -> Some (f a b)
+  | _ -> None
+
+let rec subst_var x r t =
+  let s = subst_var x r in
+  match t with
+  | Const _ -> t
+  | Var y -> if String.equal x y then r else t
+  | Chan ce -> (
+    match to_expr r with
+    | Some e -> Chan (Chan_expr.subst x e ce)
+    | None -> t)
+  | Len a -> Len (s a)
+  | Index (a, b) -> Index (s a, s b)
+  | Cons (a, b) -> Cons (s a, s b)
+  | Cat (a, b) -> Cat (s a, s b)
+  | App (f, a) -> App (f, s a)
+  | Neg a -> Neg (s a)
+  | Add (a, b) -> Add (s a, s b)
+  | Sub (a, b) -> Sub (s a, s b)
+  | Mul (a, b) -> Mul (s a, s b)
+  | Div (a, b) -> Div (s a, s b)
+  | Mod (a, b) -> Mod (s a, s b)
+  | Sum (y, lo, hi, body) ->
+    if String.equal x y then Sum (y, s lo, s hi, body)
+    else Sum (y, s lo, s hi, s body)
+
+let rec map_chan f t =
+  let m = map_chan f in
+  match t with
+  | Const _ | Var _ -> t
+  | Chan ce -> f ce
+  | Len a -> Len (m a)
+  | Index (a, b) -> Index (m a, m b)
+  | Cons (a, b) -> Cons (m a, m b)
+  | Cat (a, b) -> Cat (m a, m b)
+  | App (g, a) -> App (g, m a)
+  | Neg a -> Neg (m a)
+  | Add (a, b) -> Add (m a, m b)
+  | Sub (a, b) -> Sub (m a, m b)
+  | Mul (a, b) -> Mul (m a, m b)
+  | Div (a, b) -> Div (m a, m b)
+  | Mod (a, b) -> Mod (m a, m b)
+  | Sum (x, lo, hi, body) -> Sum (x, m lo, m hi, m body)
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> Value.equal x y
+  | Var x, Var y -> String.equal x y
+  | Chan x, Chan y -> Chan_expr.equal x y
+  | Len x, Len y | Neg x, Neg y -> equal x y
+  | App (f, x), App (g, y) -> String.equal f g && equal x y
+  | Index (a1, a2), Index (b1, b2)
+  | Cons (a1, a2), Cons (b1, b2)
+  | Cat (a1, a2), Cat (b1, b2)
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2)
+  | Mod (a1, a2), Mod (b1, b2) ->
+    equal a1 b1 && equal a2 b2
+  | Sum (x1, l1, h1, b1), Sum (x2, l2, h2, b2) ->
+    String.equal x1 x2 && equal l1 l2 && equal h1 h2 && equal b1 b2
+  | ( ( Const _ | Var _ | Chan _ | Len _ | Index _ | Cons _ | Cat _ | App _
+      | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Mod _ | Sum _ ),
+      _ ) ->
+    false
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var x -> Format.pp_print_string ppf x
+  | Chan ce -> Chan_expr.pp ppf ce
+  | Len s -> Format.fprintf ppf "#%a" pp_atom s
+  | Index (s, i) -> Format.fprintf ppf "%a_%a" pp_atom s pp_atom i
+  | Cons (x, s) -> Format.fprintf ppf "%a^%a" pp_atom x pp_atom s
+  | Cat (s, t) -> Format.fprintf ppf "%a ++ %a" pp_atom s pp_atom t
+  | App (f, s) -> Format.fprintf ppf "%s(%a)" f pp s
+  | Neg a -> Format.fprintf ppf "-%a" pp_atom a
+  | Add (a, b) -> Format.fprintf ppf "%a + %a" pp a pp_atom b
+  | Sub (a, b) -> Format.fprintf ppf "%a - %a" pp a pp_atom b
+  | Mul (a, b) -> Format.fprintf ppf "%a * %a" pp_atom a pp_atom b
+  | Div (a, b) -> Format.fprintf ppf "%a / %a" pp_atom a pp_atom b
+  | Mod (a, b) -> Format.fprintf ppf "%a mod %a" pp_atom a pp_atom b
+  | Sum (x, lo, hi, body) ->
+    Format.fprintf ppf "sum(%s, %a, %a, %a)" x pp lo pp hi pp body
+
+and pp_atom ppf t =
+  match t with
+  | Const _ | Var _ | Chan _ | App _ | Sum _ | Len _ -> pp ppf t
+  | _ -> Format.fprintf ppf "(%a)" pp t
+
+let to_string t = Format.asprintf "%a" pp t

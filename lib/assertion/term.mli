@@ -1,0 +1,79 @@
+(** Terms of the assertion language.
+
+    A term denotes a message value — possibly a sequence — given a
+    valuation for its free variables and a channel history interpreting
+    its free channel names (§2: a channel name in an assertion stands
+    for the sequence of values communicated along it so far). *)
+
+type t =
+  | Const of Csp_trace.Value.t
+  | Var of string
+  | Chan of Csp_lang.Chan_expr.t  (** the history of a channel *)
+  | Len of t                      (** [#s] *)
+  | Index of t * t                (** [s_i], 1-based *)
+  | Cons of t * t                 (** [x^s] *)
+  | Cat of t * t                  (** [s^t], sequence catenation *)
+  | App of string * t             (** named sequence function, e.g. [f(wire)] *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Sum of string * t * t * t
+      (** [Sum (x, lo, hi, body)] is [Σ_{x=lo}^{hi} body]. *)
+
+type ctx = {
+  rho : Csp_lang.Valuation.t;   (** free program variables *)
+  hist : Csp_trace.History.t;   (** free channel names, as ch(s) *)
+  funs : Afun.env;              (** named sequence functions *)
+  nat_bound : int;              (** enumeration bound for ∀/∃ over NAT *)
+}
+
+val ctx :
+  ?rho:Csp_lang.Valuation.t ->
+  ?hist:Csp_trace.History.t ->
+  ?funs:Afun.env ->
+  ?nat_bound:int ->
+  unit ->
+  ctx
+(** Defaults: empty valuation and history, {!Afun.default_env},
+    [nat_bound = 32]. *)
+
+exception Eval_error of string
+
+val eval : ctx -> t -> Csp_trace.Value.t
+val eval_seq : ctx -> t -> Csp_trace.Value.t list
+(** Like {!eval} but insists on a sequence result. *)
+
+val eval_int : ctx -> t -> int
+
+val int : int -> t
+val chan : string -> t
+(** [chan c]: history of the unsubscripted channel named [c]. *)
+
+val chan_ix : string -> Csp_lang.Expr.t -> t
+val empty_seq : t
+
+val of_expr : Csp_lang.Expr.t -> t option
+(** Embed a process-language expression as a term ([None] only for
+    tuples, which the assertion language does not handle). *)
+
+val free_vars : t -> string list
+(** Free variables ([Sum] binds its index). *)
+
+val free_chans : t -> Csp_lang.Chan_expr.t list
+(** Channel expressions occurring in the term, deduplicated
+    syntactically. *)
+
+val subst_var : string -> t -> t -> t
+(** Capture-avoiding substitution for a variable (also descends into
+    channel subscripts when the replacement is a constant). *)
+
+val map_chan : (Csp_lang.Chan_expr.t -> t) -> t -> t
+(** Replace every channel occurrence; the basis for the proof-rule
+    substitutions [R_<>] and [R^c_{e^c}]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,266 @@
+module Value = Csp_trace.Value
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Chan_set = Csp_lang.Chan_set
+module Expr = Csp_lang.Expr
+module Vset = Csp_lang.Vset
+module Defs = Csp_lang.Defs
+module Term = Csp_assertion.Term
+module Assertion = Csp_assertion.Assertion
+module Tactic = Csp_proof.Tactic
+
+(* Nested binary parallel over a list of (process, alphabet) pairs,
+   accumulating the alphabet of the left operand. *)
+let par_chain = function
+  | [] -> invalid_arg "par_chain: empty network"
+  | (p0, a0) :: rest ->
+    let process, _ =
+      List.fold_left
+        (fun (p, a) (q, b) -> (Process.Par (a, b, p, q), Chan_set.union a b))
+        (p0, a0) rest
+    in
+    process
+
+module Copier = struct
+  let x = Expr.Var "x"
+  let y = Expr.Var "y"
+
+  let defs =
+    Defs.empty
+    |> Defs.define "copier"
+         (Process.recv "input" "x" Vset.Nat
+            (Process.send "wire" x (Process.ref_ "copier")))
+    |> Defs.define "recopier"
+         (Process.recv "wire" "y" Vset.Nat
+            (Process.send "output" y (Process.ref_ "recopier")))
+
+  let copier = Process.ref_ "copier"
+  let recopier = Process.ref_ "recopier"
+  let alphabet_x = Chan_set.of_names [ "input"; "wire" ]
+  let alphabet_y = Chan_set.of_names [ "wire"; "output" ]
+  let network = Process.Par (alphabet_x, alphabet_y, copier, recopier)
+  let pipe = Process.Hide (Chan_set.of_names [ "wire" ], network)
+  let copier_spec = Assertion.Prefix (Term.chan "wire", Term.chan "input")
+  let recopier_spec = Assertion.Prefix (Term.chan "output", Term.chan "wire")
+  let network_spec = Assertion.Prefix (Term.chan "output", Term.chan "input")
+
+  let count_spec =
+    Assertion.Cmp
+      ( Assertion.Le,
+        Term.Len (Term.chan "input"),
+        Term.Add (Term.Len (Term.chan "wire"), Term.int 1) )
+
+  let tables =
+    Tactic.tables
+      ~invariants:
+        [ ("copier", copier_spec); ("recopier", recopier_spec) ]
+      ()
+
+  (* A chain of n copiers: stage i copies c[i-1] to c[i]. *)
+  let stage_name i = Printf.sprintf "stage%d" i
+  let chan_c i = Chan_expr.indexed "c" (Expr.int i)
+
+  let chain_defs n =
+    if n < 1 then invalid_arg "chain_defs: need at least one stage";
+    let defs =
+      List.fold_left
+        (fun defs i ->
+          Defs.define (stage_name i)
+            (Process.Input
+               ( chan_c (i - 1),
+                 "x",
+                 Vset.Nat,
+                 Process.Output (chan_c i, Expr.Var "x",
+                                 Process.ref_ (stage_name i)) ))
+            defs)
+        Defs.empty
+        (List.init n (fun i -> i + 1))
+    in
+    let stages =
+      List.map
+        (fun i ->
+          ( Process.ref_ (stage_name i),
+            Chan_set.of_channels
+              [ Csp_trace.Channel.indexed "c" (i - 1);
+                Csp_trace.Channel.indexed "c" i ] ))
+        (List.init n (fun i -> i + 1))
+    in
+    let network = par_chain stages in
+    let internal =
+      Chan_set.of_channels
+        (List.init (max 0 (n - 1)) (fun i -> Csp_trace.Channel.indexed "c" (i + 1)))
+    in
+    (defs, Process.Hide (internal, network))
+
+  let chain_spec n =
+    Assertion.Prefix
+      ( Term.Chan (chan_c n),
+        Term.Chan (chan_c 0) )
+end
+
+module Protocol = struct
+  let message_set = Vset.Nat
+  let ack_set = Vset.Enum [ Value.ack ]
+  let nack_set = Vset.Enum [ Value.nack ]
+  let x = Expr.Var "x"
+  let z = Expr.Var "z"
+
+  (* q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x]) *)
+  let q_body =
+    Process.send "wire" x
+      (Process.Choice
+         ( Process.recv "wire" "y" ack_set (Process.ref_ "sender"),
+           Process.recv "wire" "y" nack_set (Process.call "q" x) ))
+
+  (* receiver = wire?z:M -> (wire!ACK -> output!z -> receiver
+                            | wire!NACK -> receiver) *)
+  let receiver_body =
+    Process.recv "wire" "z" message_set
+      (Process.Choice
+         ( Process.send "wire" (Expr.Const Value.ack)
+             (Process.send "output" z (Process.ref_ "receiver")),
+           Process.send "wire" (Expr.Const Value.nack)
+             (Process.ref_ "receiver") ))
+
+  let alphabet_x = Chan_set.of_names [ "input"; "wire" ]
+  let alphabet_y = Chan_set.of_names [ "wire"; "output" ]
+
+  let defs =
+    Defs.empty
+    |> Defs.define "sender"
+         (Process.recv "input" "x" message_set (Process.call "q" x))
+    |> Defs.define_array "q" "x" message_set q_body
+    |> Defs.define "receiver" receiver_body
+    |> Defs.define "protocol"
+         (Process.Hide
+            ( Chan_set.of_names [ "wire" ],
+              Process.Par
+                (alphabet_x, alphabet_y, Process.ref_ "sender",
+                 Process.ref_ "receiver") ))
+
+  let sender = Process.ref_ "sender"
+  let receiver = Process.ref_ "receiver"
+
+  let network =
+    Process.Par (alphabet_x, alphabet_y, sender, receiver)
+
+  let protocol = Process.ref_ "protocol"
+  let f_wire = Term.App ("f", Term.chan "wire")
+  let sender_spec = Assertion.Prefix (f_wire, Term.chan "input")
+
+  let q_spec =
+    ( "x",
+      message_set,
+      Assertion.Prefix (f_wire, Term.Cons (Term.Var "x", Term.chan "input")) )
+
+  let receiver_spec = Assertion.Prefix (Term.chan "output", f_wire)
+  let protocol_spec = Assertion.Prefix (Term.chan "output", Term.chan "input")
+
+  let tables =
+    Tactic.tables
+      ~invariants:
+        [
+          ("sender", sender_spec);
+          ("receiver", receiver_spec);
+          ("protocol", protocol_spec);
+        ]
+      ~array_invariants:[ ("q", q_spec) ]
+      ()
+end
+
+module Multiplier = struct
+  type t = {
+    v : int list;
+    defs : Defs.t;
+    network : Process.t;
+    multiplier : Process.t;
+    spec : Assertion.t;
+  }
+
+  let col i = Chan_expr.indexed "col" i
+  let row i = Chan_expr.indexed "row" i
+
+  let make ~v =
+    let n = List.length v in
+    if n < 1 then invalid_arg "Multiplier.make: empty vector";
+    let vval = Value.Seq (List.map (fun k -> Value.Int k) v) in
+    let i = Expr.Var "i" in
+    (* mult[i:1..n] = row[i]?x:NAT -> col[i-1]?y:NAT
+                      -> col[i]!(v[i]*x + y) -> mult[i] *)
+    let mult_body =
+      Process.Input
+        ( row i,
+          "x",
+          Vset.Nat,
+          Process.Input
+            ( col (Expr.Sub (i, Expr.int 1)),
+              "y",
+              Vset.Nat,
+              Process.Output
+                ( col i,
+                  Expr.Add
+                    ( Expr.Mul (Expr.Idx (Expr.Const vval, i), Expr.Var "x"),
+                      Expr.Var "y" ),
+                  Process.call "mult" i ) ) )
+    in
+    let defs =
+      Defs.empty
+      |> Defs.define_array "mult" "i" (Vset.Range (1, n)) mult_body
+      |> Defs.define "zeroes"
+           (Process.Output (col (Expr.int 0), Expr.int 0, Process.ref_ "zeroes"))
+      |> Defs.define "last"
+           (Process.Input
+              ( col (Expr.int n),
+                "y",
+                Vset.Nat,
+                Process.send "output" (Expr.Var "y") (Process.ref_ "last") ))
+    in
+    let chan_col i = Csp_trace.Channel.indexed "col" i in
+    let chan_row i = Csp_trace.Channel.indexed "row" i in
+    let stages =
+      [ (Process.ref_ "zeroes", Chan_set.of_channels [ chan_col 0 ]) ]
+      @ List.map
+          (fun k ->
+            ( Process.call "mult" (Expr.int k),
+              Chan_set.of_channels [ chan_row k; chan_col (k - 1); chan_col k ]
+            ))
+          (List.init n (fun k -> k + 1))
+      @ [
+          ( Process.ref_ "last",
+            Chan_set.union
+              (Chan_set.of_channels [ chan_col n ])
+              (Chan_set.of_names [ "output" ]) );
+        ]
+    in
+    let network = par_chain stages in
+    let internal =
+      Chan_set.of_channels (List.init (n + 1) (fun k -> chan_col k))
+    in
+    let multiplier = Process.Hide (internal, network) in
+    (* ∀i:NAT. 1 ≤ i ≤ #output ⇒ output_i = Σ_{j=1..n} v[j] * row[j]_i *)
+    let ti = Term.Var "i" in
+    let spec =
+      Assertion.Forall
+        ( "i",
+          Vset.Nat,
+          Assertion.Imp
+            ( Assertion.And
+                ( Assertion.Cmp (Assertion.Le, Term.int 1, ti),
+                  Assertion.Cmp
+                    (Assertion.Le, ti, Term.Len (Term.chan "output")) ),
+              Assertion.Eq
+                ( Term.Index (Term.chan "output", ti),
+                  Term.Sum
+                    ( "j",
+                      Term.int 1,
+                      Term.int n,
+                      Term.Mul
+                        ( Term.Index (Term.Const vval, Term.Var "j"),
+                          Term.Index
+                            ( Term.Chan (Chan_expr.indexed "row" (Expr.Var "j")),
+                              ti ) ) ) ) ) )
+    in
+    { v; defs; network; multiplier; spec }
+
+  let default = make ~v:[ 1; 2; 3 ]
+end

@@ -1,0 +1,99 @@
+(** The example systems of the paper, ready to run and to prove.
+
+    Three systems are built exactly as in §1.3 and §2.2: the copier
+    pipeline, the ACK/NACK retransmission protocol, and the systolic
+    matrix–vector multiplier.  Each comes with its definitions, its
+    network, the paper's assertions, and the invariant tables that let
+    {!Csp_proof.Tactic.auto} reproduce the paper's proofs (including
+    Table 1). *)
+
+open Csp_lang
+open Csp_assertion
+open Csp_proof
+
+(** §1.3(1), §2: the copier pipeline
+    [input → copier → wire → recopier → output]. *)
+module Copier : sig
+  val defs : Defs.t
+  val copier : Process.t
+  val recopier : Process.t
+
+  val network : Process.t
+  (** [copier ‖ recopier], alphabets [{input,wire}] and [{wire,output}]. *)
+
+  val pipe : Process.t
+  (** [chan wire; (copier ‖ recopier)]. *)
+
+  val copier_spec : Assertion.t
+  (** [wire ≤ input]. *)
+
+  val recopier_spec : Assertion.t
+  (** [output ≤ wire]. *)
+
+  val network_spec : Assertion.t
+  (** [output ≤ input]. *)
+
+  val count_spec : Assertion.t
+  (** [#input ≤ #wire + 1] — the paper's length example. *)
+
+  val tables : Tactic.tables
+
+  val stage_name : int -> string
+  (** Definition name of the [i]-th stage of {!chain_defs}. *)
+
+  val chain_defs : int -> Defs.t * Process.t
+  (** [chain_defs n]: [n] copiers in series through channels
+      [c[0] … c[n]]; used for scaling experiments.  Returns the
+      definitions and the network (with [c[1..n-1]] concealed), which
+      copies [c[0]] to [c[n]]. *)
+
+  val chain_spec : int -> Assertion.t
+  (** [c[n] ≤ c[0]] for the n-stage chain. *)
+end
+
+(** §1.3(2)–(4), §2.2, Table 1: the retransmission protocol. *)
+module Protocol : sig
+  val message_set : Vset.t
+  (** The data messages [M] (natural numbers, as sampled). *)
+
+  val defs : Defs.t
+  (** [sender], [q[x:M]], [receiver], [protocol]. *)
+
+  val sender : Process.t
+  val receiver : Process.t
+  val network : Process.t
+  (** [sender ‖ receiver] with the wire visible. *)
+
+  val protocol : Process.t
+  (** [chan wire; (sender ‖ receiver)]. *)
+
+  val sender_spec : Assertion.t
+  (** [f(wire) ≤ input]. *)
+
+  val q_spec : string * Vset.t * Assertion.t
+  (** [∀x∈M. q[x] sat f(wire) ≤ x^input]. *)
+
+  val receiver_spec : Assertion.t
+  (** [output ≤ f(wire)]. *)
+
+  val protocol_spec : Assertion.t
+  (** [output ≤ input]. *)
+
+  val tables : Tactic.tables
+end
+
+(** §1.3(5): the matrix–vector multiplier network. *)
+module Multiplier : sig
+  type t = {
+    v : int list;          (** the fixed vector; its length sets the size *)
+    defs : Defs.t;
+    network : Process.t;   (** all [col] channels visible *)
+    multiplier : Process.t;  (** [chan col[0..n]; network] *)
+    spec : Assertion.t;
+        (** ∀i. 1 ≤ i ≤ #output ⇒ outputᵢ = Σⱼ v[j]·row[j]ᵢ *)
+  }
+
+  val make : v:int list -> t
+  val default : t
+  (** [v = [1; 2; 3]], the paper's 3-stage network. *)
+end

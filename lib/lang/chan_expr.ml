@@ -1,0 +1,41 @@
+module Channel = Csp_trace.Channel
+
+type t = { name : string; subs : Expr.t list }
+
+let simple name = { name; subs = [] }
+let indexed name e = { name; subs = [ e ] }
+
+let eval rho c =
+  Channel.make ~indices:(List.map (Expr.eval rho) c.subs) c.name
+
+let eval_opt c =
+  match eval Valuation.empty c with
+  | chan -> Some chan
+  | exception Expr.Eval_error _ -> None
+
+let of_channel (c : Channel.t) =
+  { name = c.name; subs = List.map (fun v -> Expr.Const v) c.indices }
+
+let free_vars c =
+  List.concat_map Expr.free_vars c.subs
+  |> List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) []
+  |> List.rev
+
+let subst x r c = { c with subs = List.map (Expr.subst x r) c.subs }
+let subst_value x v c = subst x (Expr.Const v) c
+let is_closed c = List.for_all Expr.is_closed c.subs
+
+let equal a b =
+  String.equal a.name b.name
+  && List.length a.subs = List.length b.subs
+  && List.for_all2 Expr.equal a.subs b.subs
+
+let pp ppf c =
+  match c.subs with
+  | [] -> Format.pp_print_string ppf c.name
+  | subs ->
+    Format.fprintf ppf "%s[%a]" c.name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Expr.pp)
+      subs

@@ -1,0 +1,25 @@
+(** Channel expressions: a channel name with expression subscripts.
+
+    [col[i-1]] in the multiplier's definition is the channel expression
+    with base ["col"] and subscript [i - 1]; under a valuation binding
+    [i] it evaluates to a concrete {!Csp_trace.Channel.t}. *)
+
+type t = { name : string; subs : Expr.t list }
+
+val simple : string -> t
+val indexed : string -> Expr.t -> t
+
+val eval : Valuation.t -> t -> Csp_trace.Channel.t
+(** @raise Expr.Eval_error when a subscript cannot be evaluated. *)
+
+val eval_opt : t -> Csp_trace.Channel.t option
+(** Evaluate under the empty valuation; [None] if not closed. *)
+
+val of_channel : Csp_trace.Channel.t -> t
+
+val free_vars : t -> string list
+val subst : string -> Expr.t -> t -> t
+val subst_value : string -> Csp_trace.Value.t -> t -> t
+val is_closed : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

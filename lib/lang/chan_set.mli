@@ -1,0 +1,36 @@
+(** Channel sets: the alphabets [X], [Y] of parallel composition and the
+    lists [L] of locally-declared channels in [chan L; P].
+
+    A set is a list of items; an item matches either one concrete
+    channel, every channel in a subscript family ([col[0..3]]), or every
+    channel sharing a base name (used when alphabets are inferred from
+    the text of a process, where subscripts may not be closed). *)
+
+type item =
+  | Chan of Chan_expr.t        (** a single channel, e.g. [wire] or [col[i]] *)
+  | Family of string * Vset.t  (** [name[M]]: every [name[v]] with v ∈ M *)
+  | Base of string             (** every channel whose base name matches *)
+
+type t = item list
+
+val empty : t
+val of_channels : Csp_trace.Channel.t list -> t
+val of_names : string list -> t
+(** Each name matches the single unsubscripted channel of that name. *)
+
+val bases : string list -> t
+val family : string -> Vset.t -> item
+
+val mem : ?rho:Valuation.t -> t -> Csp_trace.Channel.t -> bool
+(** [mem cs c]: does [c] belong to the set?  Items whose subscripts
+    cannot be evaluated under [rho] are matched conservatively by base
+    name (so alphabets never silently shrink). *)
+
+val union : t -> t -> t
+
+val base_names : t -> string list
+(** The base names mentioned by the set, deduplicated. *)
+
+val subst_value : string -> Csp_trace.Value.t -> t -> t
+val free_vars : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+module Value = Csp_trace.Value
+module M = Map.Make (String)
+
+type def = {
+  name : string;
+  param : (string * Vset.t) option;
+  body : Process.t;
+}
+
+type t = def M.t
+
+let empty = M.empty
+let add d defs = M.add d.name d defs
+let define name body defs = add { name; param = None; body } defs
+
+let define_array name x m body defs =
+  add { name; param = Some (x, m); body } defs
+
+let of_list ds = List.fold_left (fun acc d -> add d acc) empty ds
+let lookup defs name = M.find_opt name defs
+let names defs = List.map fst (M.bindings defs)
+
+exception Undefined of string
+exception Bad_argument of string
+
+let unfold defs name arg =
+  match lookup defs name with
+  | None -> raise (Undefined name)
+  | Some d -> (
+    match d.param, arg with
+    | None, None -> d.body
+    | None, Some _ ->
+      raise (Bad_argument (name ^ " is not a process array"))
+    | Some _, None ->
+      raise (Bad_argument (name ^ " is a process array and needs a subscript"))
+    | Some (x, m), Some v ->
+      if not (Vset.mem m v) then
+        raise
+          (Bad_argument
+             (Format.asprintf "%s[%a]: subscript outside %a" name Value.pp v
+                Vset.pp m));
+      Process.subst_value x v d.body)
+
+let unfold_ref defs rho name arg_expr =
+  unfold defs name (Option.map (Expr.eval rho) arg_expr)
+
+let channel_bases defs p =
+  let dedup_add acc x = if List.mem x acc then acc else acc @ [ x ] in
+  let visited = Hashtbl.create 8 in
+  let rec go acc p =
+    let acc = List.fold_left dedup_add acc (Process.channel_bases p) in
+    List.fold_left
+      (fun acc n ->
+        if Hashtbl.mem visited n then acc
+        else begin
+          Hashtbl.add visited n ();
+          match lookup defs n with None -> acc | Some d -> go acc d.body
+        end)
+      acc (Process.refs p)
+  in
+  go [] p
+
+(* A definition is productive when every reference reachable from its body
+   without passing a communication prefix leads only into productive
+   definitions — i.e. the "unguarded reference" graph is acyclic. *)
+let well_guarded defs =
+  let rec unguarded_refs acc = function
+    | Process.Stop | Process.Output _ | Process.Input _ -> acc
+    | Process.Choice (p, q) | Process.Par (_, _, p, q) ->
+      unguarded_refs (unguarded_refs acc p) q
+    | Process.Hide (_, p) -> unguarded_refs acc p
+    | Process.Ref (n, _) -> if List.mem n acc then acc else acc @ [ n ]
+  in
+  let edges name =
+    match lookup defs name with
+    | None -> []
+    | Some d -> unguarded_refs [] d.body
+  in
+  (* Detect a cycle in the unguarded-reference graph by DFS. *)
+  let state = Hashtbl.create 8 in
+  (* state: 1 = in progress, 2 = done *)
+  let rec visit n =
+    match Hashtbl.find_opt state n with
+    | Some 2 -> Ok ()
+    | Some _ -> Error (n ^ " has an unguarded recursive reference")
+    | None ->
+      Hashtbl.replace state n 1;
+      let rec loop = function
+        | [] ->
+          Hashtbl.replace state n 2;
+          Ok ()
+        | m :: rest -> ( match visit m with Ok () -> loop rest | e -> e)
+      in
+      loop (edges n)
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | n :: rest -> ( match visit n with Ok () -> all rest | e -> e)
+  in
+  all (names defs)
+
+let pp ppf defs =
+  let pp_def ppf d =
+    match d.param with
+    | None -> Format.fprintf ppf "%s = %a" d.name Process.pp d.body
+    | Some (x, m) ->
+      Format.fprintf ppf "%s[%s:%a] = %a" d.name x Vset.pp m Process.pp d.body
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@\n")
+    pp_def ppf
+    (List.map snd (M.bindings defs))

@@ -1,0 +1,50 @@
+(** Definition environments: lists of (possibly mutually recursive)
+    process and process-array equations, §1.1 (7)–(9).
+
+    A plain equation [p ≜ P] has no parameter; a process-array equation
+    [q[x:M] ≜ Q] carries the bound variable and its set.  Occurrences of
+    the defined names inside bodies are recursive. *)
+
+type def = {
+  name : string;
+  param : (string * Vset.t) option;
+  body : Process.t;
+}
+
+type t
+
+val empty : t
+val add : def -> t -> t
+val define : string -> Process.t -> t -> t
+(** [define p body defs] adds the plain equation [p ≜ body]. *)
+
+val define_array : string -> string -> Vset.t -> Process.t -> t -> t
+(** [define_array q x m body defs] adds [q[x:M] ≜ body]. *)
+
+val of_list : def list -> t
+val lookup : t -> string -> def option
+val names : t -> string list
+
+exception Undefined of string
+exception Bad_argument of string
+
+val unfold : t -> string -> Csp_trace.Value.t option -> Process.t
+(** Replace a (possibly subscripted) process name by its definition,
+    substituting the evaluated argument for the array parameter.
+    @raise Undefined for unknown names.
+    @raise Bad_argument on arity mismatch or when the argument is not a
+    member of the declared set. *)
+
+val unfold_ref : t -> Valuation.t -> string -> Expr.t option -> Process.t
+(** Like {!unfold}, evaluating the argument expression first. *)
+
+val channel_bases : t -> Process.t -> string list
+(** Base names of all channels a process can communicate on, following
+    process references (each definition visited once). *)
+
+val well_guarded : t -> (unit, string) result
+(** Check that every cycle of recursive references passes through at
+    least one communication prefix, so that fixpoint approximation is
+    productive.  Returns [Error msg] naming an offending definition. *)
+
+val pp : Format.formatter -> t -> unit

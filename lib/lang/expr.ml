@@ -1,0 +1,123 @@
+module Value = Csp_trace.Value
+
+type t =
+  | Const of Value.t
+  | Var of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Idx of t * t
+  | Tuple of t list
+
+exception Eval_error of string
+
+let int n = Const (Value.Int n)
+let var x = Var x
+let value v = Const v
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let as_int v =
+  match Value.to_int v with
+  | Some n -> n
+  | None -> err "expected an integer, got %a" Value.pp v
+
+let rec eval rho = function
+  | Const v -> v
+  | Var x -> (
+    match Valuation.find_opt x rho with
+    | Some v -> v
+    | None -> err "unbound variable %s" x)
+  | Neg e -> Value.Int (-as_int (eval rho e))
+  | Add (a, b) -> arith rho ( + ) a b
+  | Sub (a, b) -> arith rho ( - ) a b
+  | Mul (a, b) -> arith rho ( * ) a b
+  | Div (a, b) -> arith_nonzero rho ( / ) "division" a b
+  | Mod (a, b) -> arith_nonzero rho (mod) "modulo" a b
+  | Idx (s, i) -> (
+    let sv = eval rho s and iv = as_int (eval rho i) in
+    match sv with
+    | Value.Seq xs -> (
+      match Csp_trace.Seq_ops.index xs iv with
+      | Some v -> v
+      | None -> err "index %d out of range for %a" iv Value.pp sv)
+    | _ -> err "indexing a non-sequence %a" Value.pp sv)
+  | Tuple es -> Value.Tuple (List.map (eval rho) es)
+
+and arith rho op a b = Value.Int (op (as_int (eval rho a)) (as_int (eval rho b)))
+
+and arith_nonzero rho op what a b =
+  let bv = as_int (eval rho b) in
+  if bv = 0 then err "%s by zero" what
+  else Value.Int (op (as_int (eval rho a)) bv)
+
+let free_vars e =
+  let add acc x = if List.mem x acc then acc else x :: acc in
+  let rec go acc = function
+    | Const _ -> acc
+    | Var x -> add acc x
+    | Neg a -> go acc a
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+    | Idx (a, b) ->
+      go (go acc a) b
+    | Tuple es -> List.fold_left go acc es
+  in
+  List.rev (go [] e)
+
+let rec subst x r = function
+  | Const _ as e -> e
+  | Var y as e -> if String.equal x y then r else e
+  | Neg a -> Neg (subst x r a)
+  | Add (a, b) -> Add (subst x r a, subst x r b)
+  | Sub (a, b) -> Sub (subst x r a, subst x r b)
+  | Mul (a, b) -> Mul (subst x r a, subst x r b)
+  | Div (a, b) -> Div (subst x r a, subst x r b)
+  | Mod (a, b) -> Mod (subst x r a, subst x r b)
+  | Idx (a, b) -> Idx (subst x r a, subst x r b)
+  | Tuple es -> Tuple (List.map (subst x r) es)
+
+let subst_value x v e = subst x (Const v) e
+let is_closed e = free_vars e = []
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> Value.equal x y
+  | Var x, Var y -> String.equal x y
+  | Neg x, Neg y -> equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2)
+  | Mod (a1, a2), Mod (b1, b2)
+  | Idx (a1, a2), Idx (b1, b2) ->
+    equal a1 b1 && equal a2 b2
+  | Tuple xs, Tuple ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | ( ( Const _ | Var _ | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Mod _
+      | Idx _ | Tuple _ ),
+      _ ) ->
+    false
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var x -> Format.pp_print_string ppf x
+  | Neg a -> Format.fprintf ppf "-%a" pp_atom a
+  | Add (a, b) -> Format.fprintf ppf "%a + %a" pp a pp_atom b
+  | Sub (a, b) -> Format.fprintf ppf "%a - %a" pp a pp_atom b
+  | Mul (a, b) -> Format.fprintf ppf "%a * %a" pp_atom a pp_atom b
+  | Div (a, b) -> Format.fprintf ppf "%a / %a" pp_atom a pp_atom b
+  | Mod (a, b) -> Format.fprintf ppf "%a mod %a" pp_atom a pp_atom b
+  | Idx (a, b) -> Format.fprintf ppf "%a[%a]" pp_atom a pp b
+  | Tuple es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp)
+      es
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Var _ | Tuple _ | Idx _ -> pp ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp e

@@ -1,0 +1,40 @@
+(** Value expressions of the process language.
+
+    Expressions are built from constants, variables and operators; the
+    paper stipulates that they contain no process or channel names.
+    [Idx] is 1-based sequence indexing, used for constant vectors such as
+    the multiplier's [v[i]]. *)
+
+type t =
+  | Const of Csp_trace.Value.t
+  | Var of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Idx of t * t        (** [Idx (s, i)]: the i-th element (1-based) of sequence s *)
+  | Tuple of t list
+
+exception Eval_error of string
+
+val int : int -> t
+val var : string -> t
+val value : Csp_trace.Value.t -> t
+
+val eval : Valuation.t -> t -> Csp_trace.Value.t
+(** Evaluate a closed-under-[valuation] expression.
+    @raise Eval_error on unbound variables or type mismatches. *)
+
+val free_vars : t -> string list
+(** Free variables, each listed once, in first-occurrence order. *)
+
+val subst : string -> t -> t -> t
+(** [subst x r e] replaces every occurrence of [Var x] in [e] by [r]. *)
+
+val subst_value : string -> Csp_trace.Value.t -> t -> t
+
+val is_closed : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

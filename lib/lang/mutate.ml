@@ -1,0 +1,97 @@
+module Value = Csp_trace.Value
+
+type mutant = {
+  description : string;
+  operator : [ `Value | `Channel | `Branch | `Truncate ];
+  body : Process.t;
+}
+
+(* Enumerate the results of applying [f] at every node of [p]; [f]
+   returns the list of replacements for the node it is given.  Each
+   element of the result differs from [p] at exactly one node. *)
+let rec at_each_node f p =
+  let here = f p in
+  let deeper =
+    match p with
+    | Process.Stop | Process.Ref _ -> []
+    | Process.Output (c, e, k) ->
+      List.map (fun k' -> Process.Output (c, e, k')) (at_each_node f k)
+    | Process.Input (c, x, m, k) ->
+      List.map (fun k' -> Process.Input (c, x, m, k')) (at_each_node f k)
+    | Process.Choice (a, b) ->
+      List.map (fun a' -> Process.Choice (a', b)) (at_each_node f a)
+      @ List.map (fun b' -> Process.Choice (a, b')) (at_each_node f b)
+    | Process.Par (xa, ya, a, b) ->
+      List.map (fun a' -> Process.Par (xa, ya, a', b)) (at_each_node f a)
+      @ List.map (fun b' -> Process.Par (xa, ya, a, b')) (at_each_node f b)
+    | Process.Hide (l, a) ->
+      List.map (fun a' -> Process.Hide (l, a')) (at_each_node f a)
+  in
+  here @ deeper
+
+let other_bases p (c : Chan_expr.t) =
+  List.filter (fun n -> n <> c.Chan_expr.name) (Process.channel_bases p)
+
+let mutants p =
+  let value_mutants =
+    at_each_node
+      (function
+        | Process.Output (c, Expr.Const (Value.Int n), k) ->
+          [ Process.Output (c, Expr.Const (Value.Int (n + 1)), k) ]
+        | Process.Output (c, Expr.Var x, k) ->
+          [ Process.Output (c, Expr.Add (Expr.Var x, Expr.int 1), k) ]
+        | _ -> [])
+      p
+    |> List.map (fun body ->
+           { description = "value+1 in an output"; operator = `Value; body })
+  in
+  let channel_mutants =
+    at_each_node
+      (function
+        | Process.Output (c, e, k) ->
+          List.map
+            (fun n -> Process.Output ({ c with Chan_expr.name = n }, e, k))
+            (other_bases p c)
+        | Process.Input (c, x, m, k) ->
+          List.map
+            (fun n -> Process.Input ({ c with Chan_expr.name = n }, x, m, k))
+            (other_bases p c)
+        | _ -> [])
+      p
+    |> List.map (fun body ->
+           { description = "communication moved to another channel";
+             operator = `Channel; body })
+  in
+  let branch_mutants =
+    at_each_node
+      (function Process.Choice (a, b) -> [ a; b ] | _ -> [])
+      p
+    |> List.map (fun body ->
+           { description = "one alternative dropped"; operator = `Branch; body })
+  in
+  let truncate_mutants =
+    at_each_node
+      (function
+        | Process.Output (c, e, k) when k <> Process.Stop ->
+          [ Process.Output (c, e, Process.Stop) ]
+        | Process.Input (c, x, m, k) when k <> Process.Stop ->
+          [ Process.Input (c, x, m, Process.Stop) ]
+        | _ -> [])
+      p
+    |> List.map (fun body ->
+           { description = "continuation truncated to STOP";
+             operator = `Truncate; body })
+  in
+  List.filter
+    (fun m -> not (Process.equal m.body p))
+    (value_mutants @ channel_mutants @ branch_mutants @ truncate_mutants)
+
+let mutate_def defs name =
+  match Defs.lookup defs name with
+  | None -> []
+  | Some d ->
+    List.map
+      (fun m ->
+        let description = Printf.sprintf "%s: %s" name m.description in
+        ({ m with description }, Defs.add { d with Defs.body = m.body } defs))
+      (mutants d.Defs.body)

@@ -1,0 +1,30 @@
+(** Systematic process mutation.
+
+    Single-point mutants of a process term, used to evaluate the
+    verification tooling: a useful checker should {e kill} (refute or
+    fail to prove) mutants that change behaviour.  Four operator
+    families:
+
+    - [value]: an output constant is incremented ([c!3 → c!4]);
+    - [channel]: one communication is moved to another base name
+      occurring in the same definition ([wire!x → output!x]);
+    - [branch]: one side of an alternative is dropped;
+    - [truncate]: a continuation is replaced by [STOP].
+
+    Truncation mutants are special: a prefix-closed specification can
+    never reject them — "STOP satisfies any satisfiable invariant
+    whatsoever" (§4) — so they calibrate what partial correctness
+    cannot see (the refusals extension can). *)
+
+type mutant = {
+  description : string;  (** e.g. ["value+1 in output on wire"] *)
+  operator : [ `Value | `Channel | `Branch | `Truncate ];
+  body : Process.t;
+}
+
+val mutants : Process.t -> mutant list
+(** All single-point mutants, syntactically distinct from the original. *)
+
+val mutate_def : Defs.t -> string -> (mutant * Defs.t) list
+(** Every mutant of the named definition's body, each packaged as a full
+    definition environment with only that body replaced. *)

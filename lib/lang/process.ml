@@ -1,0 +1,135 @@
+type t =
+  | Stop
+  | Output of Chan_expr.t * Expr.t * t
+  | Input of Chan_expr.t * string * Vset.t * t
+  | Choice of t * t
+  | Par of Chan_set.t * Chan_set.t * t * t
+  | Hide of Chan_set.t * t
+  | Ref of string * Expr.t option
+
+let stop = Stop
+let send c e p = Output (Chan_expr.simple c, e, p)
+let recv c x m p = Input (Chan_expr.simple c, x, m, p)
+
+let choice = function
+  | [] -> invalid_arg "Process.choice: empty alternative"
+  | p :: rest -> List.fold_left (fun acc q -> Choice (acc, q)) p rest
+
+let ref_ name = Ref (name, None)
+let call name e = Ref (name, Some e)
+
+let subst_chan_set x r cs =
+  List.map
+    (function
+      | Chan_set.Chan ce -> Chan_set.Chan (Chan_expr.subst x r ce)
+      | (Chan_set.Family _ | Chan_set.Base _) as i -> i)
+    cs
+
+let rec subst_expr x r = function
+  | Stop -> Stop
+  | Output (c, e, p) ->
+    Output (Chan_expr.subst x r c, Expr.subst x r e, subst_expr x r p)
+  | Input (c, y, m, p) ->
+    let c = Chan_expr.subst x r c in
+    if String.equal x y then Input (c, y, m, p)
+    else Input (c, y, m, subst_expr x r p)
+  | Choice (p, q) -> Choice (subst_expr x r p, subst_expr x r q)
+  | Par (xa, ya, p, q) ->
+    Par (subst_chan_set x r xa, subst_chan_set x r ya, subst_expr x r p,
+         subst_expr x r q)
+  | Hide (l, p) -> Hide (subst_chan_set x r l, subst_expr x r p)
+  | Ref (n, arg) -> Ref (n, Option.map (Expr.subst x r) arg)
+
+let subst_value x v p = subst_expr x (Expr.Const v) p
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+let free_vars p =
+  let rec go bound acc = function
+    | Stop -> acc
+    | Output (c, e, p) ->
+      let acc = acc @ Chan_expr.free_vars c @ Expr.free_vars e in
+      go bound (List.filter (fun v -> not (List.mem v bound)) acc) p
+    | Input (c, x, _, p) ->
+      let acc = acc @ List.filter (fun v -> not (List.mem v bound)) (Chan_expr.free_vars c) in
+      go (x :: bound) acc p
+    | Choice (p, q) -> go bound (go bound acc p) q
+    | Par (xa, ya, p, q) ->
+      let here = Chan_set.free_vars xa @ Chan_set.free_vars ya in
+      let acc = acc @ List.filter (fun v -> not (List.mem v bound)) here in
+      go bound (go bound acc p) q
+    | Hide (l, p) ->
+      let here = Chan_set.free_vars l in
+      let acc = acc @ List.filter (fun v -> not (List.mem v bound)) here in
+      go bound acc p
+    | Ref (_, arg) -> (
+      match arg with
+      | None -> acc
+      | Some e ->
+        acc @ List.filter (fun v -> not (List.mem v bound)) (Expr.free_vars e))
+  in
+  dedup (go [] [] p)
+
+let refs p =
+  let rec go acc = function
+    | Stop -> acc
+    | Output (_, _, p) | Input (_, _, _, p) | Hide (_, p) -> go acc p
+    | Choice (p, q) | Par (_, _, p, q) -> go (go acc p) q
+    | Ref (n, _) -> acc @ [ n ]
+  in
+  dedup (go [] p)
+
+let channel_bases p =
+  let rec go acc = function
+    | Stop | Ref _ -> acc
+    | Output (c, _, p) | Input (c, _, _, p) -> go (acc @ [ c.Chan_expr.name ]) p
+    | Choice (p, q) | Par (_, _, p, q) -> go (go acc p) q
+    | Hide (_, p) -> go acc p
+  in
+  dedup (go [] p)
+
+let rec size = function
+  | Stop | Ref _ -> 1
+  | Output (_, _, p) | Input (_, _, _, p) | Hide (_, p) -> 1 + size p
+  | Choice (p, q) | Par (_, _, p, q) -> 1 + size p + size q
+
+let rec equal a b =
+  match a, b with
+  | Stop, Stop -> true
+  | Output (c1, e1, p1), Output (c2, e2, p2) ->
+    Chan_expr.equal c1 c2 && Expr.equal e1 e2 && equal p1 p2
+  | Input (c1, x1, m1, p1), Input (c2, x2, m2, p2) ->
+    Chan_expr.equal c1 c2 && String.equal x1 x2 && Vset.equal m1 m2
+    && equal p1 p2
+  | Choice (p1, q1), Choice (p2, q2) -> equal p1 p2 && equal q1 q2
+  | Par (_, _, p1, q1), Par (_, _, p2, q2) -> equal p1 p2 && equal q1 q2
+  | Hide (_, p1), Hide (_, p2) -> equal p1 p2
+  | Ref (n1, a1), Ref (n2, a2) -> (
+    String.equal n1 n2
+    &&
+    match a1, a2 with
+    | None, None -> true
+    | Some e1, Some e2 -> Expr.equal e1 e2
+    | _ -> false)
+  | (Stop | Output _ | Input _ | Choice _ | Par _ | Hide _ | Ref _), _ -> false
+
+let rec pp ppf = function
+  | Stop -> Format.pp_print_string ppf "STOP"
+  | Output (c, e, p) ->
+    Format.fprintf ppf "%a!%a -> %a" Chan_expr.pp c Expr.pp e pp_prefix p
+  | Input (c, x, m, p) ->
+    Format.fprintf ppf "%a?%s:%a -> %a" Chan_expr.pp c x Vset.pp m pp_prefix p
+  | Choice (p, q) -> Format.fprintf ppf "%a | %a" pp_prefix p pp_prefix q
+  | Par (_, _, p, q) -> Format.fprintf ppf "(%a || %a)" pp p pp q
+  | Hide (l, p) -> Format.fprintf ppf "(chan %a; %a)" Chan_set.pp l pp p
+  | Ref (n, None) -> Format.pp_print_string ppf n
+  | Ref (n, Some e) -> Format.fprintf ppf "%s[%a]" n Expr.pp e
+
+and pp_prefix ppf p =
+  match p with
+  | Choice _ -> Format.fprintf ppf "(%a)" pp p
+  | _ -> pp ppf p
+
+let to_string p = Format.asprintf "%a" pp p

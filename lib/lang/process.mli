@@ -1,0 +1,58 @@
+(** Process expressions — the abstract syntax of the paper's §1.2.
+
+    Constructors follow the paper exactly: [Stop] never communicates;
+    [Output (c, e, p)] is [c!e → p]; [Input (c, x, m, p)] is
+    [c?x:M → p] and binds [x] in [p]; [Choice] is the non-deterministic
+    alternative [P | Q]; [Par (x, y, p, q)] is the alphabetised parallel
+    [P ‖_{X∩Y} Q]; [Hide (l, p)] is [chan L; P]; [Ref (p, None)] is a
+    process name and [Ref (q, Some e)] a subscripted process name
+    [q[e]]. *)
+
+type t =
+  | Stop
+  | Output of Chan_expr.t * Expr.t * t
+  | Input of Chan_expr.t * string * Vset.t * t
+  | Choice of t * t
+  | Par of Chan_set.t * Chan_set.t * t * t
+  | Hide of Chan_set.t * t
+  | Ref of string * Expr.t option
+
+val stop : t
+val send : string -> Expr.t -> t -> t
+(** [send c e p] is [c!e → p] on the unsubscripted channel [c]. *)
+
+val recv : string -> string -> Vset.t -> t -> t
+(** [recv c x m p] is [c?x:M → p] on the unsubscripted channel [c]. *)
+
+val choice : t list -> t
+(** Right-nested alternative of one or more processes.
+    @raise Invalid_argument on the empty list. *)
+
+val ref_ : string -> t
+val call : string -> Expr.t -> t
+
+val subst_value : string -> Csp_trace.Value.t -> t -> t
+(** Capture-avoiding substitution of a value for a free variable;
+    [Input] rebinding stops the descent. *)
+
+val subst_expr : string -> Expr.t -> t -> t
+(** Substitution of an arbitrary expression for a free variable (the
+    paper's [P^x_v] with [v] a fresh variable, used by the input and
+    recursion rules). *)
+
+val free_vars : t -> string list
+(** Free (value) variables, in first-occurrence order. *)
+
+val refs : t -> string list
+(** Process names referenced, deduplicated. *)
+
+val channel_bases : t -> string list
+(** Base names of channels textually used for communication in [t]
+    (not following process references; see {!Defs.channel_bases}). *)
+
+val size : t -> int
+(** Number of AST constructors — used for fuel accounting in tests. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,20 @@
+module Value = Csp_trace.Value
+module M = Map.Make (String)
+
+type t = Value.t M.t
+
+let empty = M.empty
+let add = M.add
+let find_opt = M.find_opt
+let mem = M.mem
+let remove = M.remove
+let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+let bindings = M.bindings
+
+let pp ppf m =
+  let bind ppf (x, v) = Format.fprintf ppf "%s=%a" x Value.pp v in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       bind)
+    (bindings m)

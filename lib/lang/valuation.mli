@@ -1,0 +1,17 @@
+(** Valuations: finite maps from program variables to message values.
+
+    A valuation interprets the free variables of expressions, processes
+    and assertions (the "environment" of the paper's §3.2, restricted to
+    ordinary variables; channel histories live in
+    {!Csp_trace.History}). *)
+
+type t
+
+val empty : t
+val add : string -> Csp_trace.Value.t -> t -> t
+val find_opt : string -> t -> Csp_trace.Value.t option
+val mem : string -> t -> bool
+val remove : string -> t -> t
+val of_list : (string * Csp_trace.Value.t) list -> t
+val bindings : t -> (string * Csp_trace.Value.t) list
+val pp : Format.formatter -> t -> unit

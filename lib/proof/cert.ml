@@ -1,0 +1,273 @@
+module Printer = Csp_syntax.Printer
+module Parser = Csp_syntax.Parser
+
+(* ---- a minimal S-expression layer ------------------------------------ *)
+
+type sexp = Atom of string | List of sexp list
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t')
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec render = function
+  | Atom s -> if needs_quoting s then quote s else s
+  | List xs -> "(" ^ String.concat " " (List.map render xs) ^ ")"
+
+exception Bad of string
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '(' then begin
+      toks := `L :: !toks;
+      incr i
+    end
+    else if c = ')' then begin
+      toks := `R :: !toks;
+      incr i
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = input.[!i] in
+        if c = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf input.[!i + 1];
+          i := !i + 2
+        end
+        else if c = '"' then begin
+          closed := true;
+          incr i
+        end
+        else begin
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then raise (Bad "unterminated string");
+      toks := `A (Buffer.contents buf) :: !toks
+    end
+    else begin
+      let j = ref !i in
+      while
+        !j < n
+        &&
+        let c = input.[!j] in
+        not (c = ' ' || c = '\n' || c = '\t' || c = '\r' || c = '(' || c = ')')
+      do
+        incr j
+      done;
+      toks := `A (String.sub input !i (!j - !i)) :: !toks;
+      i := !j
+    end
+  done;
+  List.rev !toks
+
+let parse_sexps input =
+  let rec one = function
+    | `A s :: rest -> (Atom s, rest)
+    | `L :: rest ->
+      let xs, rest = many rest in
+      (List xs, rest)
+    | `R :: _ -> raise (Bad "unexpected ')'")
+    | [] -> raise (Bad "unexpected end of input")
+  and many = function
+    | `R :: rest -> ([], rest)
+    | [] -> raise (Bad "missing ')'")
+    | toks ->
+      let x, rest = one toks in
+      let xs, rest = many rest in
+      (x :: xs, rest)
+  in
+  let rec all = function
+    | [] -> []
+    | toks ->
+      let x, rest = one toks in
+      x :: all rest
+  in
+  all (tokenize input)
+
+(* ---- encoding ---------------------------------------------------------- *)
+
+let a_atom ~bound a = Atom (Printer.assertion ~bound a)
+let vset_atom m = Atom (Printer.vset m)
+
+let hyp_sexp ~bound = function
+  | Sequent.Sat (p, r) -> List [ Atom "sat"; Atom p; a_atom ~bound r ]
+  | Sequent.Sat_array (q, x, m, s) ->
+    List
+      [ Atom "sat-array"; Atom q; Atom x; vset_atom m;
+        a_atom ~bound:(x :: bound) s ]
+
+let rec proof_sexp ~bound = function
+  | Proof.Assumption -> Atom "assumption"
+  | Proof.Triviality -> Atom "triviality"
+  | Proof.Emptiness -> Atom "emptiness"
+  | Proof.Consequence (r, p) ->
+    List [ Atom "consequence"; a_atom ~bound r; proof_sexp ~bound p ]
+  | Proof.Conjunction (p, q) ->
+    List [ Atom "conjunction"; proof_sexp ~bound p; proof_sexp ~bound q ]
+  | Proof.Output_rule p -> List [ Atom "output"; proof_sexp ~bound p ]
+  | Proof.Input_rule (v, p) ->
+    List [ Atom "input"; Atom v; proof_sexp ~bound:(v :: bound) p ]
+  | Proof.Alternative (p, q) ->
+    List [ Atom "alternative"; proof_sexp ~bound p; proof_sexp ~bound q ]
+  | Proof.Parallelism (r1, r2, p, q) ->
+    List
+      [ Atom "parallelism"; a_atom ~bound r1; a_atom ~bound r2;
+        proof_sexp ~bound p; proof_sexp ~bound q ]
+  | Proof.Chan_rule p -> List [ Atom "chan"; proof_sexp ~bound p ]
+  | Proof.Unfold p -> List [ Atom "unfold"; proof_sexp ~bound p ]
+  | Proof.Forall_elim (x, m, s, p) ->
+    List
+      [ Atom "forall-elim"; Atom x; vset_atom m; a_atom ~bound:(x :: bound) s;
+        proof_sexp ~bound p ]
+  | Proof.Fix (specs, i) ->
+    List
+      (Atom "fix" :: Atom (string_of_int i)
+      :: List.map
+           (fun spec ->
+             let body_bound =
+               match spec.Proof.spec_hyp with
+               | Sequent.Sat _ -> bound
+               | Sequent.Sat_array _ -> spec.Proof.fresh :: bound
+             in
+             List
+               [ Atom "spec"; hyp_sexp ~bound spec.Proof.spec_hyp;
+                 Atom spec.Proof.fresh;
+                 proof_sexp ~bound:body_bound spec.Proof.body_proof ])
+           specs)
+
+let judgment_sexp = function
+  | Sequent.Holds (p, r) ->
+    List [ Atom "sat"; Atom (Printer.process p); a_atom ~bound:[] r ]
+  | Sequent.Holds_all (q, x, m, s) ->
+    List
+      [ Atom "sat-all"; Atom q; Atom x; vset_atom m; a_atom ~bound:[ x ] s ]
+
+let write j p =
+  render
+    (List
+       [ Atom "cert";
+         List [ Atom "judgment"; judgment_sexp j ];
+         List [ Atom "proof"; proof_sexp ~bound:[] p ] ])
+
+let write_many items =
+  String.concat "\n" (List.map (fun (j, p) -> write j p) items)
+
+(* ---- decoding ---------------------------------------------------------- *)
+
+let fail fmt = Format.kasprintf (fun m -> raise (Bad m)) fmt
+
+let get_assertion ~bound = function
+  | Atom s -> (
+    match Parser.parse_assertion ~bound s with
+    | Ok a -> a
+    | Error m -> fail "bad assertion %S: %s" s m)
+  | List _ -> fail "expected an assertion atom"
+
+let get_vset = function
+  | Atom s -> (
+    match Parser.parse_value_set s with
+    | Ok m -> m
+    | Error e -> fail "bad value set %S: %s" s e)
+  | List _ -> fail "expected a value-set atom"
+
+let get_atom = function Atom s -> s | List _ -> fail "expected an atom"
+
+let get_hyp ~bound = function
+  | List [ Atom "sat"; Atom p; r ] -> Sequent.Sat (p, get_assertion ~bound r)
+  | List [ Atom "sat-array"; Atom q; Atom x; m; s ] ->
+    Sequent.Sat_array (q, x, get_vset m, get_assertion ~bound:(x :: bound) s)
+  | _ -> fail "bad hypothesis"
+
+let rec get_proof ~bound = function
+  | Atom "assumption" -> Proof.Assumption
+  | Atom "triviality" -> Proof.Triviality
+  | Atom "emptiness" -> Proof.Emptiness
+  | List [ Atom "consequence"; r; p ] ->
+    Proof.Consequence (get_assertion ~bound r, get_proof ~bound p)
+  | List [ Atom "conjunction"; p; q ] ->
+    Proof.Conjunction (get_proof ~bound p, get_proof ~bound q)
+  | List [ Atom "output"; p ] -> Proof.Output_rule (get_proof ~bound p)
+  | List [ Atom "input"; Atom v; p ] ->
+    Proof.Input_rule (v, get_proof ~bound:(v :: bound) p)
+  | List [ Atom "alternative"; p; q ] ->
+    Proof.Alternative (get_proof ~bound p, get_proof ~bound q)
+  | List [ Atom "parallelism"; r1; r2; p; q ] ->
+    Proof.Parallelism
+      ( get_assertion ~bound r1,
+        get_assertion ~bound r2,
+        get_proof ~bound p,
+        get_proof ~bound q )
+  | List [ Atom "chan"; p ] -> Proof.Chan_rule (get_proof ~bound p)
+  | List [ Atom "unfold"; p ] -> Proof.Unfold (get_proof ~bound p)
+  | List [ Atom "forall-elim"; Atom x; m; s; p ] ->
+    Proof.Forall_elim
+      (x, get_vset m, get_assertion ~bound:(x :: bound) s, get_proof ~bound p)
+  | List (Atom "fix" :: Atom i :: specs) ->
+    let specs =
+      List.map
+        (function
+          | List [ Atom "spec"; hyp; fresh; body ] ->
+            let spec_hyp = get_hyp ~bound hyp in
+            let fresh = get_atom fresh in
+            let body_bound =
+              match spec_hyp with
+              | Sequent.Sat _ -> bound
+              | Sequent.Sat_array _ -> fresh :: bound
+            in
+            {
+              Proof.spec_hyp;
+              fresh;
+              body_proof = get_proof ~bound:body_bound body;
+            }
+          | _ -> fail "bad specification")
+        specs
+    in
+    Proof.Fix (specs, int_of_string i)
+  | s -> fail "bad proof node %s" (render s)
+
+let get_judgment = function
+  | List [ Atom "sat"; Atom p; r ] -> (
+    match Parser.parse_process p with
+    | Ok proc -> Sequent.Holds (proc, get_assertion ~bound:[] r)
+    | Error m -> fail "bad process %S: %s" p m)
+  | List [ Atom "sat-all"; Atom q; Atom x; m; s ] ->
+    Sequent.Holds_all (q, x, get_vset m, get_assertion ~bound:[ x ] s)
+  | _ -> fail "bad judgment"
+
+let get_cert = function
+  | List [ Atom "cert"; List [ Atom "judgment"; j ]; List [ Atom "proof"; p ] ]
+    ->
+    (get_judgment j, get_proof ~bound:[] p)
+  | _ -> fail "not a certificate"
+
+let read_many input =
+  match List.map get_cert (parse_sexps input) with
+  | certs -> Ok certs
+  | exception Bad m -> Error m
+
+let read input =
+  match read_many input with
+  | Ok [ c ] -> Ok c
+  | Ok _ -> Error "expected exactly one certificate"
+  | Error m -> Error m

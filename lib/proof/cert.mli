@@ -1,0 +1,33 @@
+(** Proof certificates.
+
+    A checked proof tree can be written out and re-verified later — or
+    elsewhere — without re-running the tactic: the LCF-style separation
+    of proof {e search} from proof {e checking}.  The format is a small
+    S-expression syntax whose leaves reuse the concrete syntax of
+    processes, assertions and value sets, so certificates are readable
+    and diffable:
+
+    {v
+    (cert
+     (judgment (sat copier "wire <= input"))
+     (proof (fix 0
+       (spec (sat copier "wire <= input") _
+         (input v1 (output (consequence "wire <= input" assumption)))))))
+    v}
+
+    Bound variables introduced by the input and recursion rules are
+    tracked positionally, exactly as the checker tracks its universal
+    context, so assertions containing them parse back unambiguously.
+
+    [cspc prove --emit FILE] writes certificates; [cspc check-cert]
+    re-checks them against the definitions alone. *)
+
+val write : Sequent.judgment -> Proof.t -> string
+(** One certificate, as a printable S-expression. *)
+
+val read : string -> (Sequent.judgment * Proof.t, string) result
+
+val write_many : (Sequent.judgment * Proof.t) list -> string
+(** Concatenated certificates, one per line group. *)
+
+val read_many : string -> ((Sequent.judgment * Proof.t) list, string) result

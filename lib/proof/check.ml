@@ -1,0 +1,366 @@
+open Csp_assertion
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Chan_set = Csp_lang.Chan_set
+module Expr = Csp_lang.Expr
+module Vset = Csp_lang.Vset
+module Defs = Csp_lang.Defs
+
+type obligation = {
+  description : string;
+  formula : Assertion.t;
+  verdict : Prover.verdict;
+}
+
+type step = {
+  index : int;
+  judgment : string;
+  rule : string;
+  premises : int list;
+}
+
+type report = {
+  obligations : obligation list;
+  steps : step list;
+  rules_applied : int;
+}
+
+exception Check_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Check_error s)) fmt
+
+(* Universal context: variables introduced by the input and recursion
+   rules, with the sets they range over.  Obligations are closed by
+   quantifying over it, innermost binder last. *)
+type uctx = (string * Vset.t) list
+
+let close (u : uctx) f =
+  List.fold_left (fun acc (x, m) -> Assertion.Forall (x, m, acc)) f u
+
+type state = {
+  config : Prover.config;
+  mutable obligations : obligation list;
+  mutable steps : step list;
+  mutable next : int;
+}
+
+let oblige st u description formula =
+  let formula = close u formula in
+  let verdict = Prover.prove ~config:st.config (Prover.goal formula) in
+  st.obligations <- { description; formula; verdict } :: st.obligations;
+  match verdict with
+  | Prover.Refuted _ ->
+    fail "obligation refuted (%s): %a" description Assertion.pp formula
+  | Prover.Proved _ | Prover.Unknown _ -> ()
+
+let record st judgment rule premises =
+  let index = st.next in
+  st.next <- index + 1;
+  st.steps <-
+    { index; judgment = Sequent.judgment_to_string judgment; rule; premises }
+    :: st.steps;
+  index
+
+let term_of_expr e =
+  match Term.of_expr e with
+  | Some t -> t
+  | None -> fail "expression %a has no assertion-language counterpart" Expr.pp e
+
+let cons_channel c x r =
+  match Assertion.cons_channel c x r with
+  | Ok r' -> r'
+  | Error m -> fail "substitution R^c: %s" m
+
+(* Channel-scope side conditions: every channel mentioned by the
+   assertion must belong to the given channel set (rule 8), or must
+   avoid it entirely (rule 9).  Closed channel expressions are decided
+   exactly; open ones by base name, conservatively for the respective
+   rule. *)
+let chans_within set r =
+  List.for_all
+    (fun ce ->
+      match Chan_expr.eval_opt ce with
+      | Some c -> Chan_set.mem set c
+      | None -> List.mem ce.Chan_expr.name (Chan_set.base_names set))
+    (Assertion.free_chans r)
+
+let chans_avoid set r =
+  List.for_all
+    (fun ce ->
+      match Chan_expr.eval_opt ce with
+      | Some c -> not (Chan_set.mem set c)
+      | None -> not (List.mem ce.Chan_expr.name (Chan_set.base_names set)))
+    (Assertion.free_chans r)
+
+let free_in_uctx v (u : uctx) = List.mem_assoc v u
+
+let check_fresh v ~invariant ~process ~chan (u : uctx) =
+  if List.mem v (Assertion.free_vars invariant) then
+    fail "variable %s is not fresh: free in the invariant" v;
+  if List.mem v (Process.free_vars process) then
+    fail "variable %s is not fresh: free in the process" v;
+  if List.mem v (Chan_expr.free_vars chan) then
+    fail "variable %s is not fresh: free in the channel subscript" v;
+  if free_in_uctx v u then
+    fail "variable %s is not fresh: already universally bound" v
+
+let rec go st (ctx : Sequent.context) (u : uctx) (j : Sequent.judgment)
+    (proof : Proof.t) : int =
+  match proof, j with
+  | Proof.Assumption, _ -> check_assumption st ctx u j
+  | Proof.Triviality, Sequent.Holds (_, r) ->
+    oblige st u "triviality: R holds of every history" r;
+    record st j "triviality" []
+  | Proof.Emptiness, Sequent.Holds (p, r) ->
+    (match p with
+    | Process.Stop -> ()
+    | _ -> fail "emptiness rule applies only to STOP, got %a" Process.pp p);
+    oblige st u "emptiness: R_<>" (Assertion.subst_empty r);
+    record st j "emptiness" []
+  | Proof.Consequence (r', sub), Sequent.Holds (p, r) ->
+    let n = go st ctx u (Sequent.Holds (p, r')) sub in
+    oblige st u "consequence: R' => R" (Assertion.Imp (r', r));
+    record st j "consequence" [ n ]
+  | Proof.Conjunction (sub1, sub2), Sequent.Holds (p, r) -> (
+    match r with
+    | Assertion.And (r1, r2) ->
+      let n1 = go st ctx u (Sequent.Holds (p, r1)) sub1 in
+      let n2 = go st ctx u (Sequent.Holds (p, r2)) sub2 in
+      record st j "conjunction" [ n1; n2 ]
+    | _ -> fail "conjunction rule needs a conjunction, got %a" Assertion.pp r)
+  | Proof.Output_rule sub, Sequent.Holds (p, r) -> (
+    match p with
+    | Process.Output (c, e, k) ->
+      oblige st u "output: R_<>" (Assertion.subst_empty r);
+      let r' = cons_channel c (term_of_expr e) r in
+      let n = go st ctx u (Sequent.Holds (k, r')) sub in
+      record st j "output" [ n ]
+    | _ -> fail "output rule applies only to c!e -> P, got %a" Process.pp p)
+  | Proof.Input_rule (v, sub), Sequent.Holds (p, r) -> (
+    match p with
+    | Process.Input (c, x, m, k) ->
+      check_fresh v ~invariant:r ~process:p ~chan:c u;
+      oblige st u "input: R_<>" (Assertion.subst_empty r);
+      let k' = Process.subst_expr x (Expr.Var v) k in
+      let r' = cons_channel c (Term.Var v) r in
+      let n = go st ctx ((v, m) :: u) (Sequent.Holds (k', r')) sub in
+      record st j "input" [ n ]
+    | _ -> fail "input rule applies only to c?x:M -> P, got %a" Process.pp p)
+  | Proof.Alternative (sub1, sub2), Sequent.Holds (p, r) -> (
+    match p with
+    | Process.Choice (p1, p2) ->
+      let n1 = go st ctx u (Sequent.Holds (p1, r)) sub1 in
+      let n2 = go st ctx u (Sequent.Holds (p2, r)) sub2 in
+      record st j "alternative" [ n1; n2 ]
+    | _ -> fail "alternative rule applies only to P|Q, got %a" Process.pp p)
+  | Proof.Parallelism (r1, r2, sub1, sub2), Sequent.Holds (p, r) -> (
+    match p with
+    | Process.Par (xa, ya, p1, p2) ->
+      if not (Assertion.equal r (Assertion.And (r1, r2))) then
+        fail "parallelism: goal %a is not the conjunction of %a and %a"
+          Assertion.pp r Assertion.pp r1 Assertion.pp r2;
+      if not (chans_within xa r1) then
+        fail "parallelism: %a mentions channels outside the left alphabet %a"
+          Assertion.pp r1 Chan_set.pp xa;
+      if not (chans_within ya r2) then
+        fail "parallelism: %a mentions channels outside the right alphabet %a"
+          Assertion.pp r2 Chan_set.pp ya;
+      let n1 = go st ctx u (Sequent.Holds (p1, r1)) sub1 in
+      let n2 = go st ctx u (Sequent.Holds (p2, r2)) sub2 in
+      record st j "parallelism" [ n1; n2 ]
+    | _ -> fail "parallelism rule applies only to P||Q, got %a" Process.pp p)
+  | Proof.Chan_rule sub, Sequent.Holds (p, r) -> (
+    match p with
+    | Process.Hide (l, p1) ->
+      if not (chans_avoid l r) then
+        fail "chan rule: %a mentions a concealed channel of %a" Assertion.pp r
+          Chan_set.pp l;
+      let n = go st ctx u (Sequent.Holds (p1, r)) sub in
+      record st j "chan" [ n ]
+    | _ -> fail "chan rule applies only to (chan L; P), got %a" Process.pp p)
+  | Proof.Unfold sub, Sequent.Holds (p, r) -> (
+    match p with
+    | Process.Ref (name, arg) ->
+      let body =
+        match Defs.unfold_ref ctx.Sequent.defs Csp_lang.Valuation.empty name arg with
+        | body -> body
+        | exception Defs.Undefined n -> fail "unfold: %s is undefined" n
+        | exception Defs.Bad_argument m -> fail "unfold: %s" m
+        | exception Expr.Eval_error m ->
+          fail "unfold: cannot evaluate the subscript of %s (%s)" name m
+      in
+      let n = go st ctx u (Sequent.Holds (body, r)) sub in
+      record st j "unfold" [ n ]
+    | _ -> fail "unfold applies only to a process name, got %a" Process.pp p)
+  | Proof.Forall_elim (x, m, s, sub), Sequent.Holds (p, r) -> (
+    match p with
+    | Process.Ref (q, Some e) ->
+      let te = term_of_expr e in
+      let expected = Assertion.subst_var x te s in
+      if not (Assertion.equal r expected) then
+        fail "forall-elim: expected invariant %a, got %a" Assertion.pp
+          expected Assertion.pp r;
+      oblige st u "forall-elim: subscript membership" (Assertion.Mem (te, m));
+      let n = go st ctx u (Sequent.Holds_all (q, x, m, s)) sub in
+      record st j "forall-elim" [ n ]
+    | _ ->
+      fail "forall-elim applies only to a subscripted name, got %a" Process.pp
+        p)
+  | Proof.Fix (specs, i), _ -> check_fix st ctx u j specs i
+  | ( ( Proof.Triviality | Proof.Emptiness | Proof.Consequence _
+      | Proof.Conjunction _ | Proof.Output_rule _ | Proof.Input_rule _
+      | Proof.Alternative _ | Proof.Parallelism _ | Proof.Chan_rule _
+      | Proof.Unfold _ | Proof.Forall_elim _ ),
+      Sequent.Holds_all _ ) ->
+    fail "rule %s cannot conclude a process-array judgment"
+      (Proof.rule_name proof)
+
+and check_assumption st ctx u j =
+  let ok () = record st j "assumption" [] in
+  match j with
+  | Sequent.Holds (Process.Ref (p, None), r) ->
+    if
+      List.exists
+        (function
+          | Sequent.Sat (p', r') -> String.equal p p' && Assertion.equal r r'
+          | Sequent.Sat_array _ -> false)
+        ctx.Sequent.hyps
+    then ok ()
+    else fail "no hypothesis %s sat %a" p Assertion.pp r
+  | Sequent.Holds (Process.Ref (q, Some e), r) ->
+    let te = term_of_expr e in
+    let matching =
+      List.find_opt
+        (function
+          | Sequent.Sat_array (q', x, _, s) ->
+            String.equal q q' && Assertion.equal r (Assertion.subst_var x te s)
+          | Sequent.Sat _ -> false)
+        ctx.Sequent.hyps
+    in
+    (match matching with
+    | Some (Sequent.Sat_array (_, _, m, _)) ->
+      oblige st u "assumption: subscript membership" (Assertion.Mem (te, m));
+      ok ()
+    | _ -> fail "no array hypothesis matches %s[%a] sat %a" q Expr.pp e
+             Assertion.pp r)
+  | Sequent.Holds_all (q, x, m, s) ->
+    if
+      List.exists
+        (Sequent.hyp_equal (Sequent.Sat_array (q, x, m, s)))
+        ctx.Sequent.hyps
+    then ok ()
+    else fail "no hypothesis forall %s. %s[%s] sat %a" x q x Assertion.pp s
+  | Sequent.Holds (p, _) ->
+    fail "assumption applies only to process names, got %a" Process.pp p
+
+and check_fix st ctx u j specs i =
+  (match List.nth_opt specs i with
+  | None -> fail "recursion: conclusion index %d out of range" i
+  | Some spec -> (
+    match spec.Proof.spec_hyp, j with
+    | Sequent.Sat (p, r), Sequent.Holds (Process.Ref (p', None), r') ->
+      if not (String.equal p p' && Assertion.equal r r') then
+        fail "recursion: conclusion does not match specification %d" i
+    | Sequent.Sat_array (q, x, m, s), Sequent.Holds_all (q', x', m', s') ->
+      if
+        not
+          (String.equal q q' && String.equal x x' && Vset.equal m m'
+         && Assertion.equal s s')
+      then fail "recursion: conclusion does not match specification %d" i
+    | _ -> fail "recursion: conclusion does not match specification %d" i));
+  let ctx' =
+    List.fold_left
+      (fun acc spec -> Sequent.add_hyp spec.Proof.spec_hyp acc)
+      ctx specs
+  in
+  let premises =
+    List.map
+      (fun spec ->
+        match spec.Proof.spec_hyp with
+        | Sequent.Sat (p, r) -> (
+          match Defs.lookup ctx.Sequent.defs p with
+          | None -> fail "recursion: %s is not defined" p
+          | Some d -> (
+            match d.Defs.param with
+            | Some _ -> fail "recursion: %s is a process array" p
+            | None ->
+              oblige st u
+                (Printf.sprintf "recursion (%s): R_<>" p)
+                (Assertion.subst_empty r);
+              go st ctx' u (Sequent.Holds (d.Defs.body, r)) spec.Proof.body_proof))
+        | Sequent.Sat_array (q, x, m, s) -> (
+          match Defs.lookup ctx.Sequent.defs q with
+          | None -> fail "recursion: %s is not defined" q
+          | Some d -> (
+            match d.Defs.param with
+            | None -> fail "recursion: %s is not a process array" q
+            | Some (y, m') ->
+              if not (Vset.equal m m') then
+                fail "recursion: %s ranges over %a, specification over %a" q
+                  Vset.pp m' Vset.pp m;
+              let w = spec.Proof.fresh in
+              let s_w = Assertion.subst_var x (Term.Var w) s in
+              (* Freshness of w, allowing w to coincide with the bound
+                 variable it replaces on either side. *)
+              if free_in_uctx w u then
+                fail "recursion: %s is already universally bound" w;
+              if
+                (not (String.equal w x))
+                && List.mem w (Assertion.free_vars s)
+              then fail "recursion: %s is free in the invariant of %s" w q;
+              if
+                (not (String.equal w y))
+                && List.mem w (Process.free_vars d.Defs.body)
+              then fail "recursion: %s is free in the body of %s" w q;
+              oblige st ((w, m) :: u)
+                (Printf.sprintf "recursion (%s): S_<>" q)
+                (Assertion.subst_empty s_w);
+              let body_w = Process.subst_expr y (Expr.Var w) d.Defs.body in
+              go st ctx' ((w, m) :: u)
+                (Sequent.Holds (body_w, s_w))
+                spec.Proof.body_proof)))
+      specs
+  in
+  record st j "recursion" premises
+
+let check ?(config = Prover.default_config) ctx j proof =
+  let st = { config; obligations = []; steps = []; next = 1 } in
+  match go st ctx [] j proof with
+  | _ ->
+    Ok
+      {
+        obligations = List.rev st.obligations;
+        steps = List.rev st.steps;
+        rules_applied = st.next - 1;
+      }
+  | exception Check_error m -> Error m
+
+let fully_proved (r : report) =
+  List.for_all
+    (fun o -> match o.verdict with Prover.Proved _ -> true | _ -> false)
+    r.obligations
+
+let tested_obligations (r : report) =
+  List.length
+    (List.filter
+       (fun o -> match o.verdict with Prover.Unknown _ -> true | _ -> false)
+       r.obligations)
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "(%d) %s   [%s%s]@,"
+        s.index s.judgment s.rule
+        (match s.premises with
+        | [] -> ""
+        | ps ->
+          " " ^ String.concat "," (List.map (fun n -> string_of_int n) ps)))
+    r.steps;
+  Format.fprintf ppf "obligations:@,";
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  - %s: %a — %a@," o.description Assertion.pp
+        o.formula Prover.pp_verdict o.verdict)
+    r.obligations;
+  Format.fprintf ppf "@]"

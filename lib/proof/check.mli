@@ -1,0 +1,61 @@
+(** The proof checker.
+
+    [check ctx j proof] validates that [proof] is a correct derivation
+    of the judgment [j] from the context [ctx]: every rule application
+    is structurally well-formed (right process shape, correct
+    substitutions, freshness and channel-scoping side conditions), and
+    every semantic obligation it generates is discharged through
+    {!Csp_assertion.Prover}.  Obligations arising under universally
+    bound variables (input rule, array recursion) are closed by
+    wrapping them in the corresponding bounded quantifiers.
+
+    The result reports every obligation with the evidence level the
+    prover achieved, and a linearised step trace in the style of the
+    paper's Table 1.  Checking fails — [Error] — on any structural
+    defect or refuted obligation. *)
+
+open Csp_assertion
+
+type obligation = {
+  description : string;
+  formula : Assertion.t;  (** already closed under the universal context *)
+  verdict : Prover.verdict;
+}
+
+type step = {
+  index : int;
+  judgment : string;
+  rule : string;
+  premises : int list;
+}
+
+type report = {
+  obligations : obligation list;
+  steps : step list;
+  rules_applied : int;
+}
+
+val chans_within : Csp_lang.Chan_set.t -> Assertion.t -> bool
+(** Rule 8 side condition: every channel mentioned by the assertion lies
+    in the given alphabet (open subscripts decided by base name). *)
+
+val chans_avoid : Csp_lang.Chan_set.t -> Assertion.t -> bool
+(** Rule 9 side condition: no channel mentioned by the assertion lies in
+    the given set. *)
+
+val check :
+  ?config:Prover.config ->
+  Sequent.context ->
+  Sequent.judgment ->
+  Proof.t ->
+  (report, string) result
+
+val fully_proved : report -> bool
+(** Every obligation came back [Proved] (no testing-based evidence). *)
+
+val tested_obligations : report -> int
+(** Number of obligations discharged only by bounded testing. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Table-1 style rendering: numbered steps with rule names and premise
+    references, followed by the obligation summary. *)

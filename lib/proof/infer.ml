@@ -1,0 +1,198 @@
+open Csp_assertion
+module History = Csp_trace.History
+module Channel = Csp_trace.Channel
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Step = Csp_semantics.Step
+module Closure = Csp_semantics.Closure
+
+type conjecture = {
+  assertion : Assertion.t;
+  proved : bool;
+  report : Check.report option;
+}
+
+type config = {
+  runs : int;
+  steps : int;
+  max_len_diff : int;
+  funs : Afun.env;
+}
+
+let default_config =
+  { runs = 5; steps = 200; max_len_diff = 2; funs = Afun.default_env }
+
+(* Random walks over the transition relation, recording the channel
+   history after every communication (hidden ones included — invariants
+   may constrain concealed wires, as the protocol's do). *)
+let random_walk cfg steps seed p =
+  let st = Random.State.make [| seed |] in
+  let rec go k p hist acc =
+    if k = 0 then acc
+    else
+      match Step.transitions cfg p with
+      | [] -> acc
+      | ts ->
+        let e, _, p' = List.nth ts (Random.State.int st (List.length ts)) in
+        let hist = History.extend hist e in
+        go (k - 1) p' hist (hist :: acc)
+  in
+  go steps p History.empty [ History.empty ]
+
+let observe ?(config = default_config) scfg p =
+  let from_enumeration =
+    List.map History.of_trace
+      (Closure.to_traces (Step.traces scfg ~depth:5 p))
+  in
+  let from_walks =
+    List.concat_map
+      (fun seed -> random_walk scfg config.steps seed p)
+      (List.init config.runs (fun i -> i + 1))
+  in
+  from_enumeration @ from_walks
+
+let observed_channels hists =
+  List.fold_left
+    (fun acc h ->
+      List.fold_left
+        (fun acc c -> if List.exists (Channel.equal c) acc then acc else acc @ [ c ])
+        acc (History.channels h))
+    [] hists
+
+let holds_everywhere funs hists a =
+  List.for_all
+    (fun hist ->
+      let ctx = Term.ctx ~hist ~funs () in
+      match Assertion.eval ctx a with
+      | b -> b
+      | exception Term.Eval_error _ -> false)
+    hists
+
+(* A prefix conjecture whose left-hand side is empty in every
+   observation is vacuous noise (e.g. f(input) when input never carries
+   acknowledgement signals). *)
+let nonvacuous funs hists = function
+  | Assertion.Prefix (lhs, _) ->
+    List.exists
+      (fun hist ->
+        let ctx = Term.ctx ~hist ~funs () in
+        match Term.eval_seq ctx lhs with
+        | [] -> false
+        | _ :: _ -> true
+        | exception Term.Eval_error _ -> false)
+      hists
+  | _ -> true
+
+let conjecture ?(config = default_config) scfg p =
+  let hists = observe ~config scfg p in
+  let chans = observed_channels hists in
+  let keep a = holds_everywhere config.funs hists a && nonvacuous config.funs hists a in
+  let tchan c = Term.Chan (Chan_expr.of_channel c) in
+  let prefix_cands =
+    List.concat_map
+      (fun c ->
+        List.filter_map
+          (fun d ->
+            if Channel.equal c d then None
+            else
+              let a = Assertion.Prefix (tchan c, tchan d) in
+              if keep a then Some a else None)
+          chans)
+      chans
+  in
+  let fun_names =
+    (* every registered function except the identity *)
+    List.filter_map
+      (fun n -> if n = "id" then None else Some n)
+      (List.filter_map
+         (fun n -> Option.map (fun f -> f.Afun.name) (Afun.find config.funs n))
+         [ "f"; "odds"; "evens" ])
+  in
+  let fprefix_cands =
+    List.concat_map
+      (fun g ->
+        List.concat_map
+          (fun c ->
+            List.concat_map
+              (fun d ->
+                if Channel.equal c d then []
+                else if keep (Assertion.Prefix (tchan c, tchan d)) then
+                  (* the plain prefix already holds: functional forms
+                     would be weaker noise *)
+                  []
+                else
+                  List.filter keep
+                    [
+                      Assertion.Prefix (Term.App (g, tchan c), tchan d);
+                      Assertion.Prefix (tchan c, Term.App (g, tchan d));
+                    ])
+              chans)
+          chans)
+      fun_names
+  in
+  let length_cands =
+    List.concat_map
+      (fun c ->
+        List.filter_map
+          (fun d ->
+            if Channel.equal c d then None
+            else
+              (* the strongest k that survives observation *)
+              let rec first_k k =
+                if k > config.max_len_diff then None
+                else
+                  let a =
+                    Assertion.Cmp
+                      ( Assertion.Le,
+                        Term.Len (tchan c),
+                        Term.Add (Term.Len (tchan d), Term.int k) )
+                  in
+                  if keep a then Some a else first_k (k + 1)
+              in
+              first_k 0)
+          chans)
+      chans
+  in
+  prefix_cands @ fprefix_cands @ length_cands
+
+let infer ?(config = default_config) ?(tables = Tactic.no_tables) scfg ~name p =
+  let ctx = Sequent.context scfg.Step.defs in
+  let with_invariant inv =
+    {
+      tables with
+      Tactic.invariants =
+        (name, inv) :: List.remove_assoc name tables.Tactic.invariants;
+    }
+  in
+  let attempt inv goal =
+    match
+      Tactic.prove_and_check ~tables:(with_invariant inv) ctx
+        (Sequent.Holds (p, goal))
+    with
+    | Ok (_, report) -> Some report
+    | Error _ -> None
+  in
+  let first_pass =
+    List.map
+      (fun a ->
+        match attempt a a with
+        | Some report -> { assertion = a; proved = true; report = Some report }
+        | None -> { assertion = a; proved = false; report = None })
+      (conjecture ~config scfg p)
+  in
+  (* Strengthening: a conjecture may be non-inductive alone yet follow
+     from the conjunction of everything observed (the classic trick for
+     invariants that support each other).  Retry the failures with the
+     whole surviving conjunction as the loop invariant. *)
+  let all = Assertion.conj (List.map (fun c -> c.assertion) first_pass) in
+  let second_pass =
+    List.map
+      (fun c ->
+        if c.proved || List.length first_pass < 2 then c
+        else
+          match attempt all c.assertion with
+          | Some report -> { c with proved = true; report = Some report }
+          | None -> c)
+      first_pass
+  in
+  List.stable_sort (fun a b -> compare b.proved a.proved) second_pass

@@ -1,0 +1,69 @@
+(** Invariant discovery.
+
+    The only creative step in the paper's proofs is choosing the loop
+    invariant of the recursion rule; everything else is
+    structure-directed (and {!Tactic} automates it).  This module
+    guesses that creative step:
+
+    + {b observe}: simulate the process under several schedulers and
+      record the channel histories after every communication;
+    + {b conjecture}: instantiate a fixed family of assertion templates
+      — [c ≤ d] and [g(c) ≤ d] for every channel pair and registered
+      sequence function, and [#c ≤ #d + k] for small [k] — and keep
+      those that hold of every observed history;
+    + {b verify}: attempt a full proof of each surviving conjecture with
+      {!Tactic.prove_and_check}, using the conjecture itself as the
+      loop invariant.
+
+    The result separates {e proved} invariants from conjectures that
+    merely survived observation; the former are theorems about all
+    traces, the latter are fodder for a human (or for a better
+    template). *)
+
+open Csp_assertion
+
+type conjecture = {
+  assertion : Assertion.t;
+  proved : bool;
+      (** true: verified by the proof checker; false: consistent with
+          every observation but not proved *)
+  report : Check.report option;  (** present when [proved] *)
+}
+
+type config = {
+  runs : int;            (** simulations to observe (default 5) *)
+  steps : int;           (** steps per simulation (default 200) *)
+  max_len_diff : int;    (** largest [k] tried in [#c ≤ #d + k] (default 2) *)
+  funs : Afun.env;       (** sequence functions tried in [g(c) ≤ d] *)
+}
+
+val default_config : config
+
+val observe :
+  ?config:config ->
+  Csp_semantics.Step.config ->
+  Csp_lang.Process.t ->
+  Csp_trace.History.t list
+(** The sampled histories (every prefix of every run, deduplicated
+    channels aside — one history per communication step). *)
+
+val conjecture :
+  ?config:config ->
+  Csp_semantics.Step.config ->
+  Csp_lang.Process.t ->
+  Assertion.t list
+(** Template instances consistent with every observed history,
+    strongest-first within each template family; trivial instances
+    ([c ≤ c]) are omitted. *)
+
+val infer :
+  ?config:config ->
+  ?tables:Tactic.tables ->
+  Csp_semantics.Step.config ->
+  name:string ->
+  Csp_lang.Process.t ->
+  conjecture list
+(** Conjecture and verify for the named process (the name is needed to
+    register the candidate as its own loop invariant).  Conjectures
+    subsumed by an already-proved one are still reported, proved or
+    not. *)

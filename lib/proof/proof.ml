@@ -1,0 +1,77 @@
+open Csp_assertion
+
+type t =
+  | Assumption
+  | Triviality
+  | Emptiness
+  | Consequence of Assertion.t * t
+  | Conjunction of t * t
+  | Output_rule of t
+  | Input_rule of string * t
+  | Alternative of t * t
+  | Parallelism of Assertion.t * Assertion.t * t * t
+  | Chan_rule of t
+  | Fix of spec list * int
+  | Unfold of t
+  | Forall_elim of string * Csp_lang.Vset.t * Assertion.t * t
+
+and spec = { spec_hyp : Sequent.hyp; fresh : string; body_proof : t }
+
+let rec size = function
+  | Assumption | Triviality | Emptiness -> 1
+  | Consequence (_, p)
+  | Output_rule p
+  | Input_rule (_, p)
+  | Chan_rule p
+  | Unfold p
+  | Forall_elim (_, _, _, p) ->
+    1 + size p
+  | Conjunction (p, q) | Alternative (p, q) | Parallelism (_, _, p, q) ->
+    1 + size p + size q
+  | Fix (specs, _) ->
+    1 + List.fold_left (fun acc s -> acc + size s.body_proof) 0 specs
+
+let rule_name = function
+  | Assumption -> "assumption"
+  | Triviality -> "triviality"
+  | Emptiness -> "emptiness"
+  | Consequence _ -> "consequence"
+  | Conjunction _ -> "conjunction"
+  | Output_rule _ -> "output"
+  | Input_rule _ -> "input"
+  | Alternative _ -> "alternative"
+  | Parallelism _ -> "parallelism"
+  | Chan_rule _ -> "chan"
+  | Fix _ -> "recursion"
+  | Unfold _ -> "unfold"
+  | Forall_elim _ -> "forall-elim"
+
+let rec pp ppf p =
+  match p with
+  | Assumption | Triviality | Emptiness ->
+    Format.pp_print_string ppf (rule_name p)
+  | Consequence (r, sub) ->
+    Format.fprintf ppf "@[<v 2>consequence via %a@,%a@]" Assertion.pp r pp sub
+  | Conjunction (a, b) ->
+    Format.fprintf ppf "@[<v 2>conjunction@,%a@,%a@]" pp a pp b
+  | Output_rule sub -> Format.fprintf ppf "@[<v 2>output@,%a@]" pp sub
+  | Input_rule (v, sub) ->
+    Format.fprintf ppf "@[<v 2>input (fresh %s)@,%a@]" v pp sub
+  | Alternative (a, b) ->
+    Format.fprintf ppf "@[<v 2>alternative@,%a@,%a@]" pp a pp b
+  | Parallelism (r, s, a, b) ->
+    Format.fprintf ppf "@[<v 2>parallelism %a / %a@,%a@,%a@]" Assertion.pp r
+      Assertion.pp s pp a pp b
+  | Chan_rule sub -> Format.fprintf ppf "@[<v 2>chan@,%a@]" pp sub
+  | Fix (specs, i) ->
+    Format.fprintf ppf "@[<v 2>recursion (conclude #%d)@,%a@]" i
+      (Format.pp_print_list
+         ~pp_sep:Format.pp_print_cut
+         (fun ppf s ->
+           Format.fprintf ppf "@[<v 2>%a:@,%a@]" Sequent.pp_hyp s.spec_hyp pp
+             s.body_proof))
+      specs
+  | Unfold sub -> Format.fprintf ppf "@[<v 2>unfold@,%a@]" pp sub
+  | Forall_elim (x, m, s, sub) ->
+    Format.fprintf ppf "@[<v 2>forall-elim %s:%a from %a@,%a@]" x
+      Csp_lang.Vset.pp m Assertion.pp s pp sub

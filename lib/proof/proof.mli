@@ -1,0 +1,69 @@
+(** Proof trees for the inference system of §2.1.
+
+    Each constructor is one of the paper's rules (plus three glue rules:
+    [Assumption] for using a hypothesis of Γ, [Unfold] for definitional
+    expansion of a name, and [Forall_elim] for specialising a
+    process-array judgment).  A proof tree carries only the information
+    that cannot be recomputed: intermediate invariants (consequence,
+    parallelism), fresh variable names (input, recursion), and the
+    mutually recursive specification list of the [Fix] rule, which
+    implements the paper's recursion rule in its general form (single
+    equations, process arrays, and lists of equations alike).
+
+    Trees are {e checked}, not trusted: {!Check.check} validates every
+    rule application and discharges its semantic obligations. *)
+
+open Csp_assertion
+
+type t =
+  | Assumption
+      (** the goal matches a hypothesis of Γ (for arrays, modulo
+          instantiation of the bound variable, with a membership
+          obligation) *)
+  | Triviality
+      (** rule 1: [R] holds of every history whatsoever *)
+  | Emptiness
+      (** rule 4: [STOP sat R] from [R_<>] *)
+  | Consequence of Assertion.t * t
+      (** rule 2: from [P sat R'] and [R' ⇒ S]; the stored assertion is
+          [R'] *)
+  | Conjunction of t * t
+      (** rule 3: [P sat R & S] from [P sat R] and [P sat S] *)
+  | Output_rule of t
+      (** rule 5: [(c!e → P) sat R] from [R_<>] and [P sat R^c_{e^c}] *)
+  | Input_rule of string * t
+      (** rule 6: [(c?x:M → P) sat R] from [R_<>] and
+          [∀v∈M. P^x_v sat R^c_{v^c}]; the string is the fresh [v] *)
+  | Alternative of t * t
+      (** rule 7: [(P|Q) sat R] from both branches *)
+  | Parallelism of Assertion.t * Assertion.t * t * t
+      (** rule 8: [(P‖Q) sat R & S] with channels of [R] within [P]'s
+          alphabet and channels of [S] within [Q]'s *)
+  | Chan_rule of t
+      (** rule 9: [(chan L; P) sat R] when [R] mentions no channel of
+          [L] *)
+  | Fix of spec list * int
+      (** rule 10 (recursion), in the general mutually-recursive form:
+          assume every specification, prove every body, conclude the
+          [i]-th specification *)
+  | Unfold of t
+      (** definitional expansion: [p sat R] from [body(p) sat R] *)
+  | Forall_elim of string * Csp_lang.Vset.t * Assertion.t * t
+      (** from [∀x∈M. q[x] sat S] conclude [q[e] sat S^x_e], with the
+          obligation [e ∈ M] *)
+
+and spec = {
+  spec_hyp : Sequent.hyp;
+      (** what is being assumed and concluded for this equation *)
+  fresh : string;
+      (** fresh variable standing for the array parameter (ignored for
+          plain equations) *)
+  body_proof : t;
+}
+
+val size : t -> int
+(** Number of rule applications in the tree. *)
+
+val rule_name : t -> string
+val pp : Format.formatter -> t -> unit
+(** Structural rendering of the tree (rule names and nesting). *)

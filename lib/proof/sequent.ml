@@ -1,0 +1,40 @@
+open Csp_assertion
+module Vset = Csp_lang.Vset
+module Process = Csp_lang.Process
+module Defs = Csp_lang.Defs
+
+type hyp =
+  | Sat of string * Assertion.t
+  | Sat_array of string * string * Vset.t * Assertion.t
+
+type judgment =
+  | Holds of Process.t * Assertion.t
+  | Holds_all of string * string * Vset.t * Assertion.t
+
+type context = { defs : Defs.t; hyps : hyp list }
+
+let context ?(hyps = []) defs = { defs; hyps }
+let add_hyp h ctx = { ctx with hyps = h :: ctx.hyps }
+
+let hyp_equal a b =
+  match a, b with
+  | Sat (p1, r1), Sat (p2, r2) -> String.equal p1 p2 && Assertion.equal r1 r2
+  | Sat_array (q1, x1, m1, s1), Sat_array (q2, x2, m2, s2) ->
+    String.equal q1 q2 && String.equal x1 x2 && Vset.equal m1 m2
+    && Assertion.equal s1 s2
+  | (Sat _ | Sat_array _), _ -> false
+
+let pp_hyp ppf = function
+  | Sat (p, r) -> Format.fprintf ppf "%s sat %a" p Assertion.pp r
+  | Sat_array (q, x, m, s) ->
+    Format.fprintf ppf "forall %s:%a. %s[%s] sat %a" x Vset.pp m q x
+      Assertion.pp s
+
+let pp_judgment ppf = function
+  | Holds (p, r) ->
+    Format.fprintf ppf "%a sat %a" Process.pp p Assertion.pp r
+  | Holds_all (q, x, m, s) ->
+    Format.fprintf ppf "forall %s:%a. %s[%s] sat %a" x Vset.pp m q x
+      Assertion.pp s
+
+let judgment_to_string j = Format.asprintf "%a" pp_judgment j

@@ -1,0 +1,30 @@
+(** Sequents of the proof system (§2.1).
+
+    A context holds the definition environment (the paper allows
+    definitions in the assumption list Γ) and satisfaction hypotheses:
+    [p sat R] for a process name, or [∀x∈M. q[x] sat S] for a process
+    array.  A judgment is the conclusion being proved. *)
+
+open Csp_assertion
+
+type hyp =
+  | Sat of string * Assertion.t
+      (** [Sat (p, R)]: the process named [p] satisfies [R]. *)
+  | Sat_array of string * string * Csp_lang.Vset.t * Assertion.t
+      (** [Sat_array (q, x, M, S)]: ∀x∈M. q[x] sat S. *)
+
+type judgment =
+  | Holds of Csp_lang.Process.t * Assertion.t
+      (** [P sat R] *)
+  | Holds_all of string * string * Csp_lang.Vset.t * Assertion.t
+      (** [∀x∈M. q[x] sat S] *)
+
+type context = { defs : Csp_lang.Defs.t; hyps : hyp list }
+
+val context : ?hyps:hyp list -> Csp_lang.Defs.t -> context
+val add_hyp : hyp -> context -> context
+
+val hyp_equal : hyp -> hyp -> bool
+val pp_hyp : Format.formatter -> hyp -> unit
+val pp_judgment : Format.formatter -> judgment -> unit
+val judgment_to_string : judgment -> string

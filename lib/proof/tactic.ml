@@ -1,0 +1,328 @@
+open Csp_assertion
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Expr = Csp_lang.Expr
+module Vset = Csp_lang.Vset
+module Defs = Csp_lang.Defs
+
+type tables = {
+  invariants : (string * Assertion.t) list;
+  array_invariants : (string * (string * Vset.t * Assertion.t)) list;
+}
+
+let no_tables = { invariants = []; array_invariants = [] }
+
+let tables ?(invariants = []) ?(array_invariants = []) () =
+  { invariants; array_invariants }
+
+exception Tactic_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Tactic_error s)) fmt
+
+let term_of_expr e =
+  match Term.of_expr e with
+  | Some t -> t
+  | None -> fail "expression %a not expressible in assertions" Expr.pp e
+
+let cons_channel c x r =
+  match Assertion.cons_channel c x r with
+  | Ok r' -> r'
+  | Error m -> fail "%s" m
+
+type state = { mutable counter : int; tbl : tables; ctx0 : Sequent.context }
+
+let fresh_var st ~avoid =
+  let rec go () =
+    st.counter <- st.counter + 1;
+    let v = Printf.sprintf "v%d" st.counter in
+    if List.mem v avoid then go () else v
+  in
+  go ()
+
+let find_sat (ctx : Sequent.context) p =
+  List.find_map
+    (function
+      | Sequent.Sat (p', r) when String.equal p p' -> Some r
+      | Sequent.Sat _ | Sequent.Sat_array _ -> None)
+    ctx.Sequent.hyps
+
+let find_sat_array (ctx : Sequent.context) q =
+  List.find_map
+    (function
+      | Sequent.Sat_array (q', x, m, s) when String.equal q q' ->
+        Some (x, m, s)
+      | Sequent.Sat_array _ | Sequent.Sat _ -> None)
+    ctx.Sequent.hyps
+
+let table_inv st p = List.assoc_opt p st.tbl.invariants
+let table_array st q = List.assoc_opt q st.tbl.array_invariants
+
+(* The invariant a component of a parallel composition contributes, read
+   off the hypotheses and tables. *)
+let rec infer_invariant st (ctx : Sequent.context) p =
+  match p with
+  | Process.Ref (n, None) -> (
+    match find_sat ctx n with
+    | Some r -> Some r
+    | None -> table_inv st n)
+  | Process.Ref (q, Some e) -> (
+    let apply (x, _, s) = Assertion.subst_var x (term_of_expr e) s in
+    match find_sat_array ctx q with
+    | Some entry -> Some (apply entry)
+    | None -> Option.map apply (table_array st q))
+  | Process.Par (_, _, a, b) -> (
+    match infer_invariant st ctx a, infer_invariant st ctx b with
+    | Some r1, Some r2 -> Some (Assertion.And (r1, r2))
+    | _ -> None)
+  | Process.Hide (l, a) -> (
+    match infer_invariant st ctx a with
+    | Some r when Check.chans_avoid l r -> Some r
+    | _ -> None)
+  | Process.Stop | Process.Output _ | Process.Input _ | Process.Choice _ ->
+    None
+
+(* Names reachable from a definition's body through the definition
+   environment, including the starting names, in encounter order. *)
+let reachable_names defs start =
+  let visited = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      order := n :: !order;
+      match Defs.lookup defs n with
+      | None -> ()
+      | Some d -> List.iter visit (Process.refs d.Defs.body)
+    end
+  in
+  List.iter visit start;
+  List.rev !order
+
+let rec derive st (ctx : Sequent.context) ~bound ~budget (j : Sequent.judgment)
+    : Proof.t =
+  match j with
+  | Sequent.Holds_all (q, x, m, s) -> (
+    match find_sat_array ctx q with
+    | Some (x', m', s')
+      when String.equal x x' && Vset.equal m m' && Assertion.equal s s' ->
+      Proof.Assumption
+    | _ -> (
+      match table_array st q with
+      | Some (x', m', s')
+        when String.equal x x' && Vset.equal m m' && Assertion.equal s s' ->
+        make_fix st ctx ~bound ~budget (`Array q)
+      | Some _ ->
+        fail "registered invariant of array %s does not match the goal" q
+      | None -> fail "no invariant registered for process array %s" q))
+  | Sequent.Holds (p, r) -> (
+    match p with
+    | Process.Stop -> Proof.Emptiness
+    | Process.Output (c, e, k) ->
+      let r' = cons_channel c (term_of_expr e) r in
+      Proof.Output_rule (derive st ctx ~bound ~budget (Sequent.Holds (k, r')))
+    | Process.Input (c, x, _m, k) ->
+      let avoid =
+        bound @ Assertion.free_vars r @ Process.free_vars p
+        @ Chan_expr.free_vars c
+      in
+      let v = fresh_var st ~avoid in
+      let k' = Process.subst_expr x (Expr.Var v) k in
+      let r' = cons_channel c (Term.Var v) r in
+      Proof.Input_rule
+        (v, derive st ctx ~bound:(v :: bound) ~budget (Sequent.Holds (k', r')))
+    | Process.Choice (p1, p2) ->
+      Proof.Alternative
+        ( derive st ctx ~bound ~budget (Sequent.Holds (p1, r)),
+          derive st ctx ~bound ~budget (Sequent.Holds (p2, r)) )
+    | Process.Hide (l, p1) ->
+      if not (Check.chans_avoid l r) then
+        fail "goal %a mentions a channel concealed by %a" Assertion.pp r
+          Csp_lang.Chan_set.pp l;
+      Proof.Chan_rule (derive st ctx ~bound ~budget (Sequent.Holds (p1, r)))
+    | Process.Par (xa, ya, p1, p2) -> (
+      let direct r1 r2 =
+        if Check.chans_within xa r1 && Check.chans_within ya r2 then
+          Some
+            (Proof.Parallelism
+               ( r1,
+                 r2,
+                 derive st ctx ~bound ~budget (Sequent.Holds (p1, r1)),
+                 derive st ctx ~bound ~budget (Sequent.Holds (p2, r2)) ))
+        else None
+      in
+      let attempt =
+        match r with
+        | Assertion.And (r1, r2) -> direct r1 r2
+        | _ -> None
+      in
+      match attempt with
+      | Some proof -> proof
+      | None -> (
+        match infer_invariant st ctx p1, infer_invariant st ctx p2 with
+        | Some r1, Some r2 -> (
+          match direct r1 r2 with
+          | Some par -> Proof.Consequence (Assertion.And (r1, r2), par)
+          | None ->
+            fail
+              "inferred invariants do not respect the alphabets of %a"
+              Process.pp p)
+        | _ ->
+          fail "cannot infer invariants for the operands of %a" Process.pp p))
+    | Process.Ref (n, None) -> (
+      match find_sat ctx n with
+      | Some r' when Assertion.equal r r' -> Proof.Assumption
+      | Some r' -> Proof.Consequence (r', Proof.Assumption)
+      | None -> (
+        match table_inv st n with
+        | Some rn when Assertion.equal r rn ->
+          make_fix st ctx ~bound ~budget (`Plain n)
+        | Some rn ->
+          Proof.Consequence
+            (rn, derive st ctx ~bound ~budget (Sequent.Holds (p, rn)))
+        | None -> unfold_fallback st ctx ~bound ~budget p r))
+    | Process.Ref (q, Some e) -> (
+      let te = term_of_expr e in
+      match find_sat_array ctx q with
+      | Some (x, _, s) ->
+        let expected = Assertion.subst_var x te s in
+        if Assertion.equal r expected then Proof.Assumption
+        else Proof.Consequence (expected, Proof.Assumption)
+      | None -> (
+        match table_array st q with
+        | Some (x, m, s) ->
+          let expected = Assertion.subst_var x te s in
+          let all = Sequent.Holds_all (q, x, m, s) in
+          let elim =
+            Proof.Forall_elim (x, m, s, derive st ctx ~bound ~budget all)
+          in
+          if Assertion.equal r expected then elim
+          else Proof.Consequence (expected, elim)
+        | None -> unfold_fallback st ctx ~bound ~budget p r)))
+
+and unfold_fallback st ctx ~bound ~budget p r =
+  if budget <= 0 then
+    fail "no invariant known for %a and unfold budget exhausted" Process.pp p
+  else
+    match p with
+    | Process.Ref (n, arg) -> (
+      match Defs.unfold_ref ctx.Sequent.defs Csp_lang.Valuation.empty n arg with
+      | body ->
+        Proof.Unfold
+          (derive st ctx ~bound ~budget:(budget - 1) (Sequent.Holds (body, r)))
+      | exception Defs.Undefined m -> fail "%s is undefined" m
+      | exception Defs.Bad_argument m -> fail "%s" m
+      | exception Expr.Eval_error m -> fail "cannot evaluate subscript: %s" m)
+    | _ -> fail "unfold fallback on a non-reference"
+
+and make_fix st ctx ~bound ~budget start =
+  let start_name = match start with `Plain n | `Array n -> n in
+  let names =
+    List.filter
+      (fun n -> table_inv st n <> None || table_array st n <> None)
+      (reachable_names ctx.Sequent.defs [ start_name ])
+  in
+  let spec_skeletons =
+    List.map
+      (fun n ->
+        match table_inv st n with
+        | Some r -> (n, Sequent.Sat (n, r))
+        | None -> (
+          match table_array st n with
+          | Some (x, m, s) -> (n, Sequent.Sat_array (n, x, m, s))
+          | None -> assert false))
+      names
+  in
+  let index =
+    match
+      List.find_index (fun (n, _) -> String.equal n start_name) spec_skeletons
+    with
+    | Some i -> i
+    | None -> fail "internal: %s lost from its own specification list" start_name
+  in
+  let ctx' =
+    List.fold_left (fun acc (_, h) -> Sequent.add_hyp h acc) ctx spec_skeletons
+  in
+  let specs =
+    List.map
+      (fun (n, hyp) ->
+        match hyp with
+        | Sequent.Sat (_, r) -> (
+          match Defs.lookup ctx.Sequent.defs n with
+          | Some { Defs.param = None; body; _ } ->
+            let body_proof =
+              derive st ctx' ~bound ~budget (Sequent.Holds (body, r))
+            in
+            { Proof.spec_hyp = hyp; fresh = "_"; body_proof }
+          | Some { Defs.param = Some _; _ } ->
+            fail "%s has an array definition but a plain invariant" n
+          | None -> fail "%s is not defined" n)
+        | Sequent.Sat_array (_, x, _m, s) -> (
+          match Defs.lookup ctx.Sequent.defs n with
+          | Some { Defs.param = Some (y, _); body; _ } ->
+            (* Reuse the specification's bound variable when safe,
+               otherwise invent a fresh one; the checker re-validates. *)
+            let w =
+              if
+                (not (List.mem x bound))
+                && (String.equal x y
+                   || not (List.mem x (Process.free_vars body)))
+              then x
+              else
+                fresh_var st
+                  ~avoid:(bound @ Assertion.free_vars s @ Process.free_vars body)
+            in
+            let body_w = Process.subst_expr y (Expr.Var w) body in
+            let s_w = Assertion.subst_var x (Term.Var w) s in
+            let body_proof =
+              derive st ctx' ~bound:(w :: bound) ~budget
+                (Sequent.Holds (body_w, s_w))
+            in
+            { Proof.spec_hyp = hyp; fresh = w; body_proof }
+          | Some { Defs.param = None; _ } ->
+            fail "%s has a plain definition but an array invariant" n
+          | None -> fail "%s is not defined" n))
+      spec_skeletons
+  in
+  Proof.Fix (specs, index)
+
+let auto ?(tables = no_tables) ?(unfold_budget = 8) ctx j =
+  let st = { counter = 0; tbl = tables; ctx0 = ctx } in
+  ignore st.ctx0;
+  match derive st ctx ~bound:[] ~budget:unfold_budget j with
+  | proof -> Ok proof
+  | exception Tactic_error m -> Error m
+
+let attempt ?tables ?unfold_budget ?config ctx j =
+  match auto ?tables ?unfold_budget ctx j with
+  | Error m -> Error ("tactic: " ^ m)
+  | Ok proof -> (
+    match Check.check ?config ctx j proof with
+    | Ok report -> Ok (proof, report)
+    | Error m -> Error ("check: " ^ m))
+
+let prove_and_check ?(tables = no_tables) ?unfold_budget ?config ctx j =
+  match attempt ~tables ?unfold_budget ?config ctx j with
+  | Ok result -> Ok result
+  | Error first -> (
+    (* Goal-directed retry: when the goal names a process whose
+       registered invariant differs from the goal, the first attempt
+       derived the goal by consequence from that invariant — which fails
+       when the goal does not follow from it pointwise even though it is
+       inductive on its own.  Retry with the goal itself as the
+       invariant. *)
+    match j with
+    | Sequent.Holds (Process.Ref (n, None), r)
+      when not
+             (match List.assoc_opt n tables.invariants with
+             | Some r0 -> Assertion.equal r0 r
+             | None -> false) -> (
+      let tables' =
+        {
+          tables with
+          invariants = (n, r) :: List.remove_assoc n tables.invariants;
+        }
+      in
+      match attempt ~tables:tables' ?unfold_budget ?config ctx j with
+      | Ok result -> Ok result
+      | Error _ -> Error first)
+    | _ -> Error first)

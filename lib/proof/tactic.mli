@@ -1,0 +1,54 @@
+(** Automatic proof construction.
+
+    The paper suggests reading its proofs "backwards": the shape of the
+    process dictates the rule, and the only creative step is choosing
+    loop invariants.  [auto] implements exactly that backward chaining,
+    taking the invariants from tables keyed by process name:
+
+    - structural processes select their own rule (STOP → emptiness,
+      prefix → output/input with a generated fresh variable, alternative,
+      hiding);
+    - parallel compositions split the goal through the registered
+      invariants of the operands and a consequence step;
+    - a process name proves its registered invariant by the recursion
+      rule — the specification list covers every table entry reachable
+      from its definition, so mutual recursion works — and any other
+      goal by a consequence step from the registered invariant;
+    - remaining names fall back to definitional unfolding, bounded by
+      [unfold_budget].
+
+    The resulting tree is meant to be passed to {!Check.check}; [auto]
+    itself performs no semantic checking. *)
+
+open Csp_assertion
+
+type tables = {
+  invariants : (string * Assertion.t) list;
+      (** registered invariant of each plain process name *)
+  array_invariants : (string * (string * Csp_lang.Vset.t * Assertion.t)) list;
+      (** [q ↦ (x, M, S)]: registered ∀x∈M. q[x] sat S *)
+}
+
+val no_tables : tables
+
+val tables :
+  ?invariants:(string * Assertion.t) list ->
+  ?array_invariants:(string * (string * Csp_lang.Vset.t * Assertion.t)) list ->
+  unit ->
+  tables
+
+val auto :
+  ?tables:tables ->
+  ?unfold_budget:int ->
+  Sequent.context ->
+  Sequent.judgment ->
+  (Proof.t, string) result
+
+val prove_and_check :
+  ?tables:tables ->
+  ?unfold_budget:int ->
+  ?config:Prover.config ->
+  Sequent.context ->
+  Sequent.judgment ->
+  (Proof.t * Check.report, string) result
+(** [auto] followed by {!Check.check}. *)

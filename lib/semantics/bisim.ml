@@ -1,0 +1,202 @@
+module Event = Csp_trace.Event
+
+type partition = int array
+(* class number per state *)
+
+(* A transition label: the event plus its visibility. *)
+let label (tr : Lts.transition) =
+  (Event.to_string tr.Lts.event, tr.Lts.visible)
+
+let signatures (t : Lts.t) (classes : int array) =
+  let n = Array.length t.Lts.states in
+  let sigs = Array.make n [] in
+  List.iter
+    (fun tr ->
+      sigs.(tr.Lts.source) <-
+        (label tr, classes.(tr.Lts.target)) :: sigs.(tr.Lts.source))
+    t.Lts.transitions;
+  Array.map (List.sort_uniq compare) sigs
+
+(* Kanellakis–Smolka style refinement: regroup states by
+   (current class, outgoing signature) until the number of classes is
+   stable. *)
+let classes_of (t : Lts.t) : partition =
+  let n = Array.length t.Lts.states in
+  let classes = Array.make n 0 in
+  let num = ref (if n = 0 then 0 else 1) in
+  let changed = ref true in
+  while !changed do
+    let sigs = signatures t classes in
+    let table = Hashtbl.create 16 in
+    let next = ref 0 in
+    let classes' =
+      Array.init n (fun i ->
+          let key = (classes.(i), sigs.(i)) in
+          match Hashtbl.find_opt table key with
+          | Some c -> c
+          | None ->
+            let c = !next in
+            incr next;
+            Hashtbl.add table key c;
+            c)
+    in
+    changed := !next <> !num;
+    num := !next;
+    Array.blit classes' 0 classes 0 n
+  done;
+  classes
+
+let num_classes (p : partition) =
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 p
+
+let class_of (p : partition) s = p.(s)
+
+let quotient (t : Lts.t) (p : partition) : Lts.t =
+  let k = num_classes p in
+  (* representative = lowest-numbered state of each class *)
+  let repr = Array.make k (-1) in
+  Array.iteri
+    (fun s c -> if repr.(c) = -1 then repr.(c) <- s)
+    p;
+  let states = Array.map (fun s -> t.Lts.states.(s)) repr in
+  let seen = Hashtbl.create 64 in
+  let transitions =
+    List.filter
+      (fun (tr : Lts.transition) ->
+        let key = (p.(tr.Lts.source), label tr, p.(tr.Lts.target)) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      t.Lts.transitions
+    |> List.map (fun (tr : Lts.transition) ->
+           {
+             Lts.source = p.(tr.Lts.source);
+             event = tr.Lts.event;
+             visible = tr.Lts.visible;
+             target = p.(tr.Lts.target);
+           })
+  in
+  {
+    Lts.initial = p.(t.Lts.initial);
+    states;
+    transitions;
+    complete = t.Lts.complete;
+  }
+
+let minimise t = quotient t (classes_of t)
+
+(* τ-closure per state: everything reachable by concealed moves,
+   including the state itself. *)
+let tau_closure (t : Lts.t) =
+  let n = Array.length t.Lts.states in
+  let succ = Array.make n [] in
+  List.iter
+    (fun (tr : Lts.transition) ->
+      if not tr.Lts.visible then
+        succ.(tr.Lts.source) <- tr.Lts.target :: succ.(tr.Lts.source))
+    t.Lts.transitions;
+  let closure = Array.make n [] in
+  for s = 0 to n - 1 do
+    let visited = Array.make n false in
+    let rec dfs v =
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        List.iter dfs succ.(v)
+      end
+    in
+    dfs s;
+    closure.(s) <-
+      List.filter (fun v -> visited.(v)) (List.init n Fun.id)
+  done;
+  closure
+
+let saturate (t : Lts.t) : Lts.t =
+  let closure = tau_closure t in
+  let seen = Hashtbl.create 64 in
+  let add acc (tr : Lts.transition) =
+    let key = (tr.Lts.source, label tr, tr.Lts.target) in
+    if Hashtbl.mem seen key then acc
+    else begin
+      Hashtbl.add seen key ();
+      tr :: acc
+    end
+  in
+  (* weak visible steps: τ* e τ* *)
+  let weak_visible =
+    List.concat_map
+      (fun (tr : Lts.transition) ->
+        if not tr.Lts.visible then []
+        else
+          List.concat_map
+            (fun src ->
+              if List.mem tr.Lts.source closure.(src) then
+                List.map
+                  (fun tgt ->
+                    {
+                      Lts.source = src;
+                      event = tr.Lts.event;
+                      visible = true;
+                      target = tgt;
+                    })
+                  closure.(tr.Lts.target)
+              else [])
+            (List.init (Array.length t.Lts.states) Fun.id))
+      t.Lts.transitions
+  in
+  (* weak silent steps: τ* (reflexive, so every state can "answer" a τ
+     by staying put — the standard encoding of weak bisimulation as
+     strong bisimulation on the saturated graph) *)
+  let tau_event = Csp_trace.Event.v "__tau__" (Csp_trace.Value.Sym "TAU") in
+  let weak_tau =
+    List.concat_map
+      (fun src ->
+        List.map
+          (fun tgt ->
+            { Lts.source = src; event = tau_event; visible = false; target = tgt })
+          closure.(src))
+      (List.init (Array.length t.Lts.states) Fun.id)
+  in
+  {
+    t with
+    Lts.transitions =
+      List.rev (List.fold_left add [] (weak_visible @ weak_tau));
+  }
+
+let weak_classes t = classes_of (saturate t)
+
+let combine tp tq =
+  let np = Array.length tp.Lts.states in
+  let shift (tr : Lts.transition) =
+    {
+      Lts.source = tr.Lts.source + np;
+      event = tr.Lts.event;
+      visible = tr.Lts.visible;
+      target = tr.Lts.target + np;
+    }
+  in
+  {
+    Lts.initial = tp.Lts.initial;
+    states = Array.append tp.Lts.states tq.Lts.states;
+    transitions = tp.Lts.transitions @ List.map shift tq.Lts.transitions;
+    complete = true;
+  }
+
+let weak_equivalent ?(max_states = 2000) cfg p q =
+  let tp = Lts.explore ~max_states cfg p and tq = Lts.explore ~max_states cfg q in
+  if not (tp.Lts.complete && tq.Lts.complete) then false
+  else begin
+    let np = Array.length tp.Lts.states in
+    let classes = weak_classes (combine tp tq) in
+    classes.(tp.Lts.initial) = classes.(tq.Lts.initial + np)
+  end
+
+let equivalent ?(max_states = 2000) cfg p q =
+  let tp = Lts.explore ~max_states cfg p and tq = Lts.explore ~max_states cfg q in
+  if not (tp.Lts.complete && tq.Lts.complete) then false
+  else begin
+    let np = Array.length tp.Lts.states in
+    let classes = classes_of (combine tp tq) in
+    classes.(tp.Lts.initial) = classes.(tq.Lts.initial + np)
+  end

@@ -1,0 +1,177 @@
+module Event = Csp_trace.Event
+module Trace = Csp_trace.Trace
+module Channel = Csp_trace.Channel
+
+(* Children are sorted by [Event.compare] and duplicate-free, so that
+   structural recursion implements set operations and equality. *)
+type t = Node of (Event.t * t) list
+
+let empty = Node []
+let prefix a p = Node [ (a, p) ]
+
+let rec union (Node xs) (Node ys) = Node (merge xs ys)
+
+and merge xs ys =
+  match xs, ys with
+  | [], rest | rest, [] -> rest
+  | (e1, t1) :: xs', (e2, t2) :: ys' ->
+    let c = Event.compare e1 e2 in
+    if c < 0 then (e1, t1) :: merge xs' ys
+    else if c > 0 then (e2, t2) :: merge xs ys'
+    else (e1, union t1 t2) :: merge xs' ys'
+
+let union_all ts = List.fold_left union empty ts
+
+let rec inter (Node xs) (Node ys) = Node (inter_children xs ys)
+
+and inter_children xs ys =
+  match xs, ys with
+  | [], _ | _, [] -> []
+  | (e1, t1) :: xs', (e2, t2) :: ys' ->
+    let c = Event.compare e1 e2 in
+    if c < 0 then inter_children xs' ys
+    else if c > 0 then inter_children xs ys'
+    else (e1, inter t1 t2) :: inter_children xs' ys'
+
+let lookup e children =
+  let rec go = function
+    | [] -> None
+    | (e', t) :: rest ->
+      let c = Event.compare e e' in
+      if c = 0 then Some t else if c < 0 then None else go rest
+  in
+  go children
+
+let rec mem s (Node children) =
+  match s with
+  | [] -> true
+  | e :: rest -> (
+    match lookup e children with Some child -> mem rest child | None -> false)
+
+let rec add s t =
+  match s with
+  | [] -> t
+  | e :: rest ->
+    let (Node children) = t in
+    let rec go = function
+      | [] -> [ (e, add rest empty) ]
+      | ((e', t') :: tail) as all ->
+        let c = Event.compare e e' in
+        if c < 0 then (e, add rest empty) :: all
+        else if c = 0 then (e', add rest t') :: tail
+        else (e', t') :: go tail
+    in
+    Node (go children)
+
+let of_traces ss = List.fold_left (fun acc s -> add s acc) empty ss
+
+let rec to_traces (Node children) =
+  [] :: List.concat_map (fun (e, t) -> List.map (fun s -> e :: s) (to_traces t)) children
+
+let rec maximal_traces (Node children) =
+  match children with
+  | [] -> [ [] ]
+  | _ ->
+    List.concat_map
+      (fun (e, t) -> List.map (fun s -> e :: s) (maximal_traces t))
+      children
+
+let rec cardinal (Node children) =
+  1 + List.fold_left (fun acc (_, t) -> acc + cardinal t) 0 children
+
+let rec depth (Node children) =
+  List.fold_left (fun acc (_, t) -> max acc (1 + depth t)) 0 children
+
+let rec truncate n (Node children) =
+  if n <= 0 then empty
+  else Node (List.map (fun (e, t) -> (e, truncate (n - 1) t)) children)
+
+let rec hide in_c (Node children) =
+  let visible, hidden =
+    List.partition (fun ((e : Event.t), _) -> not (in_c e.chan)) children
+  in
+  let base = Node (List.map (fun (e, t) -> (e, hide in_c t)) visible) in
+  List.fold_left (fun acc (_, t) -> union acc (hide in_c t)) base hidden
+
+let restrict in_c t = hide (fun c -> not (in_c c)) t
+
+let rec interleave ~events ~extra t =
+  let (Node children) = t in
+  let own = List.map (fun (e, t') -> (e, interleave ~events ~extra t')) children in
+  let padded =
+    if extra <= 0 then []
+    else
+      List.map (fun e -> (e, interleave ~events ~extra:(extra - 1) t)) events
+  in
+  List.fold_left union (Node own) (List.map (fun c -> Node [ c ]) padded)
+
+let rec par ~in_x ~in_y (Node ps as p) (Node qs as q) =
+  let from_p =
+    List.concat_map
+      (fun ((e : Event.t), p') ->
+        if in_y e.chan then
+          match lookup e qs with
+          | Some q' -> [ (e, par ~in_x ~in_y p' q') ]
+          | None -> []
+        else [ (e, par ~in_x ~in_y p' q) ])
+      ps
+  in
+  let from_q =
+    List.concat_map
+      (fun ((e : Event.t), q') ->
+        if in_x e.chan then [] (* shared events were handled from the P side *)
+        else [ (e, par ~in_x ~in_y p q') ])
+      qs
+  in
+  List.fold_left
+    (fun acc c -> union acc (Node [ c ]))
+    empty (from_p @ from_q)
+
+let rec equal (Node xs) (Node ys) =
+  match xs, ys with
+  | [], [] -> true
+  | (e1, t1) :: xs', (e2, t2) :: ys' ->
+    Event.compare e1 e2 = 0 && equal t1 t2 && equal (Node xs') (Node ys')
+  | _ -> false
+
+let rec subset (Node xs) (Node ys) =
+  List.for_all
+    (fun (e, t) ->
+      match lookup e ys with Some t' -> subset t t' | None -> false)
+    xs
+
+let first_difference a b =
+  let traces_sorted t =
+    List.sort
+      (fun s1 s2 ->
+        let c = Stdlib.compare (List.length s1) (List.length s2) in
+        if c <> 0 then c else Trace.compare s1 s2)
+      (to_traces t)
+  in
+  let rec find = function
+    | [] -> None
+    | s :: rest -> if mem s b then find rest else Some s
+  in
+  match find (traces_sorted a) with
+  | Some s -> Some s
+  | None ->
+    let rec find' = function
+      | [] -> None
+      | s :: rest -> if mem s a then find' rest else Some s
+    in
+    find' (traces_sorted b)
+
+let events t =
+  let rec go acc (Node children) =
+    List.fold_left
+      (fun acc (e, t') ->
+        let acc = if List.exists (Event.equal e) acc then acc else e :: acc in
+        go acc t')
+      acc children
+  in
+  List.rev (go [] t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Trace.pp)
+    (maximal_traces t)

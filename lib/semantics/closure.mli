@@ -1,0 +1,78 @@
+(** Prefix closures, represented as tries.
+
+    A prefix closure (§3.1) is a set of traces containing the empty
+    trace and closed under prefixes.  A trie whose every node counts as
+    a member is exactly such a set, so prefix-closedness holds by
+    construction.  All values of this type are finite approximations:
+    the closure of a non-trivial process is truncated at some depth by
+    the functions that build it.
+
+    Children lists are kept sorted by event and duplicate-free, so
+    structural equality coincides with set equality. *)
+
+type t
+
+val empty : t
+(** [{⟨⟩}] — the denotation of STOP, and the paper's approximation a₀. *)
+
+val prefix : Csp_trace.Event.t -> t -> t
+(** [(a → P)] = [{⟨⟩} ∪ {a^s | s ∈ P}]. *)
+
+val union : t -> t -> t
+val union_all : t list -> t
+val inter : t -> t -> t
+
+val mem : Csp_trace.Trace.t -> t -> bool
+val add : Csp_trace.Trace.t -> t -> t
+(** Adds the trace and, implicitly, all its prefixes. *)
+
+val of_traces : Csp_trace.Trace.t list -> t
+val to_traces : t -> Csp_trace.Trace.t list
+(** All member traces, shortest first within each branch. *)
+
+val maximal_traces : t -> Csp_trace.Trace.t list
+(** Only the traces that are not proper prefixes of another member. *)
+
+val cardinal : t -> int
+(** Number of member traces (= number of trie nodes). *)
+
+val depth : t -> int
+(** Length of the longest member trace. *)
+
+val truncate : int -> t -> t
+(** Keep only traces of length ≤ n. *)
+
+val hide : (Csp_trace.Channel.t -> bool) -> t -> t
+(** [P\C]: the image of the closure under [s ↦ s\C]; prefix-closed. *)
+
+val restrict : (Csp_trace.Channel.t -> bool) -> t -> t
+(** Image under keeping only matching channels (used to state the
+    paper's projection property of parallel composition). *)
+
+val interleave : events:Csp_trace.Event.t list -> extra:int -> t -> t
+(** Bounded version of the paper's [P ⇑ C]: every member trace
+    interleaved with arbitrary sequences (of length ≤ [extra]) over the
+    finite alphabet sample [events]. *)
+
+val par :
+  in_x:(Csp_trace.Channel.t -> bool) ->
+  in_y:(Csp_trace.Channel.t -> bool) ->
+  t ->
+  t ->
+  t
+(** Alphabetised parallel composition by synchronised merge: events on
+    channels in both alphabets require both operands to advance; events
+    in only one alphabet advance that operand alone.  Agrees with the
+    paper's [(P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y))] on the common alphabet (tested
+    property). *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val first_difference : t -> t -> Csp_trace.Trace.t option
+(** A shortest trace in exactly one of the two closures, if any. *)
+
+val events : t -> Csp_trace.Event.t list
+(** All events occurring anywhere in the closure, deduplicated. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the maximal traces. *)

@@ -1,0 +1,100 @@
+module Value = Csp_trace.Value
+module Event = Csp_trace.Event
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Chan_set = Csp_lang.Chan_set
+module Expr = Csp_lang.Expr
+module Defs = Csp_lang.Defs
+module Valuation = Csp_lang.Valuation
+
+type config = {
+  defs : Csp_lang.Defs.t;
+  sampler : Sampler.t;
+  hide_extra : int;
+}
+
+let config ?(sampler = Sampler.default) ?(hide_extra = 8) defs =
+  { defs; sampler; hide_extra }
+
+(* A semantic environment maps a (possibly subscripted) process name to
+   its current approximation, already truncated at the environment
+   depth. *)
+type senv = string -> Value.t option -> Closure.t
+
+let eval_chan c = Chan_expr.eval Valuation.empty c
+let eval_expr e = Expr.eval Valuation.empty e
+
+let rec eval cfg (senv : senv) depth p =
+  if depth <= 0 then Closure.empty
+  else
+    match p with
+    | Process.Stop -> Closure.empty
+    | Process.Output (c, e, k) ->
+      Closure.prefix
+        (Event.make (eval_chan c) (eval_expr e))
+        (eval cfg senv (depth - 1) k)
+    | Process.Input (c, x, m, k) ->
+      let chan = eval_chan c in
+      Closure.union_all
+        (List.map
+           (fun v ->
+             Closure.prefix (Event.make chan v)
+               (eval cfg senv (depth - 1) (Process.subst_value x v k)))
+           (Sampler.sample cfg.sampler m))
+    | Process.Choice (p1, p2) ->
+      Closure.union (eval cfg senv depth p1) (eval cfg senv depth p2)
+    | Process.Par (xa, ya, p1, p2) ->
+      Closure.truncate depth
+        (Closure.par
+           ~in_x:(fun c -> Chan_set.mem xa c)
+           ~in_y:(fun c -> Chan_set.mem ya c)
+           (eval cfg senv depth p1) (eval cfg senv depth p2))
+    | Process.Hide (l, p1) ->
+      Closure.truncate depth
+        (Closure.hide
+           (fun c -> Chan_set.mem l c)
+           (eval cfg senv (depth + cfg.hide_extra) p1))
+    | Process.Ref (n, arg) ->
+      Closure.truncate depth (senv n (Option.map eval_expr arg))
+
+(* One step of the approximation chain, with memoisation per level so
+   that the chain is computed in time linear in its length. *)
+let next cfg env_depth (prev : senv) : senv =
+  let table : (string * string option, Closure.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  fun name arg ->
+    let key = (name, Option.map Value.to_string arg) in
+    match Hashtbl.find_opt table key with
+    | Some c -> c
+    | None ->
+      let body = Defs.unfold cfg.defs name arg in
+      let c = eval cfg prev env_depth body in
+      Hashtbl.add table key c;
+      c
+
+let bottom : senv = fun _ _ -> Closure.empty
+
+let env_chain cfg env_depth n =
+  let rec go acc env i =
+    if i >= n then List.rev acc
+    else
+      let env' = next cfg env_depth env in
+      go (env' :: acc) env' (i + 1)
+  in
+  go [ bottom ] bottom 0
+
+let denote ?iterations cfg ~depth p =
+  let env_depth = depth + cfg.hide_extra in
+  let iterations =
+    match iterations with Some n -> n | None -> env_depth + 1
+  in
+  let rec iterate env i =
+    if i <= 0 then env else iterate (next cfg env_depth env) (i - 1)
+  in
+  let env = iterate bottom iterations in
+  eval cfg env depth p
+
+let approximations cfg ~depth ~n p =
+  let env_depth = depth + cfg.hide_extra in
+  List.map (fun env -> eval cfg env depth p) (env_chain cfg env_depth n)

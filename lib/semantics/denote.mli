@@ -1,0 +1,36 @@
+(** Denotational semantics (§3.2): a process denotes a prefix closure.
+
+    Recursive definitions are interpreted as least fixpoints computed
+    through the paper's chain of approximations
+
+    {v a₀ = ⟦STOP⟧,   aᵢ₊₁ = ⟦P⟧[aᵢ/p],   ⟦p ≜ P⟧ = ⋃ᵢ aᵢ v}
+
+    Every result is truncated at a requested trace depth, which makes
+    the union finite: for well-guarded definitions, [iterations ≥ depth]
+    approximations determine all traces of length ≤ [depth] exactly.
+
+    Hiding needs look-ahead: to know the visible traces of [chan L; P]
+    up to depth [d] one must explore [P] beyond depth [d].  The
+    [hide_extra] budget says how much deeper; it is the one genuine
+    approximation in this model (a retransmission protocol can perform
+    arbitrarily many hidden events per visible one). *)
+
+type config = {
+  defs : Csp_lang.Defs.t;
+  sampler : Sampler.t;
+  hide_extra : int;
+}
+
+val config :
+  ?sampler:Sampler.t -> ?hide_extra:int -> Csp_lang.Defs.t -> config
+(** Defaults: {!Sampler.default}, [hide_extra = 8]. *)
+
+val denote : ?iterations:int -> config -> depth:int -> Csp_lang.Process.t -> Closure.t
+(** Traces of length ≤ [depth].  [iterations] defaults to
+    [depth + hide_extra + 1], exact for well-guarded definitions whose
+    hiding does not occur inside recursive bodies. *)
+
+val approximations :
+  config -> depth:int -> n:int -> Csp_lang.Process.t -> Closure.t list
+(** The chain [⟦P⟧ under a₀, …, ⟦P⟧ under aₙ] — an ascending chain of
+    closures whose union {!denote} computes. *)

@@ -1,0 +1,31 @@
+module Process = Csp_lang.Process
+
+let operational_vs_denotational ?(depth = 5) scfg dcfg p =
+  let op = Step.traces scfg ~depth p in
+  let dn = Denote.denote dcfg ~depth p in
+  if Closure.equal op dn then Ok ()
+  else
+    match Closure.first_difference op dn with
+    | Some s -> Error s
+    | None -> Ok () (* unreachable: unequal closures differ somewhere *)
+
+let trace_refines ?(depth = 5) cfg ~impl ~spec =
+  let traces =
+    List.sort
+      (fun a b -> compare (List.length a) (List.length b))
+      (Closure.to_traces (Step.traces cfg ~depth impl))
+  in
+  match List.find_opt (fun s -> not (Step.accepts_trace cfg spec s)) traces with
+  | None -> Ok ()
+  | Some s -> Error s
+
+let stop_choice_identity ?(depth = 5) dcfg p =
+  Closure.equal
+    (Denote.denote dcfg ~depth (Process.Choice (Process.Stop, p)))
+    (Denote.denote dcfg ~depth p)
+
+let choice_absorption ?(depth = 5) dcfg q p =
+  let dq = Denote.denote dcfg ~depth q and dp = Denote.denote dcfg ~depth p in
+  if Closure.subset dq dp then
+    Closure.equal (Denote.denote dcfg ~depth (Process.Choice (q, p))) dp
+  else true

@@ -1,0 +1,39 @@
+(** Cross-checks between the two semantics, and the model identities of
+    the paper's conclusion (§4). *)
+
+val operational_vs_denotational :
+  ?depth:int ->
+  Step.config ->
+  Denote.config ->
+  Csp_lang.Process.t ->
+  (unit, Csp_trace.Trace.t) result
+(** Compare the visible trace sets produced by {!Step.traces} and
+    {!Denote.denote} up to [depth] (default 5); [Error s] returns a
+    shortest disagreeing trace.  Exact for hiding-free processes; with
+    hiding, agreement additionally depends on compatible fuel budgets. *)
+
+val trace_refines :
+  ?depth:int ->
+  Step.config ->
+  impl:Csp_lang.Process.t ->
+  spec:Csp_lang.Process.t ->
+  (unit, Csp_trace.Trace.t) result
+(** Trace refinement up to the depth (default 5): every visible trace of
+    [impl] is a trace of [spec]; [Error s] is a shortest trace of the
+    implementation the specification does not allow.  Note that the
+    specification side uses {!Step.accepts_trace}, so its inputs are not
+    limited to sampled values. *)
+
+val stop_choice_identity :
+  ?depth:int -> Denote.config -> Csp_lang.Process.t -> bool
+(** §4, second defect: in the prefix-closure model
+    [STOP | P] is identically equal to [P].  Returns whether the two
+    denotations are equal at the given depth (they always are — that is
+    the point). *)
+
+val choice_absorption :
+  ?depth:int -> Denote.config -> Csp_lang.Process.t -> Csp_lang.Process.t
+  -> bool
+(** The generalisation: [Q | P = P] whenever ⟦Q⟧ ⊆ ⟦P⟧, so a branch
+    that may deadlock after any number of steps of behaviour common
+    with [P] is invisible in the model. *)

@@ -1,0 +1,185 @@
+module Event = Csp_trace.Event
+module Trace = Csp_trace.Trace
+module Process = Csp_lang.Process
+
+type acceptance = Event.t list
+
+let sort_events es = List.sort_uniq Event.compare es
+
+let acceptance_equal a b =
+  List.length a = List.length b && List.for_all2 Event.equal a b
+
+let acceptance_subset a b = List.for_all (fun e -> List.exists (Event.equal e) b) a
+
+let dedup_acceptances accs =
+  List.fold_left
+    (fun acc a -> if List.exists (acceptance_equal a) acc then acc else acc @ [ a ])
+    [] accs
+
+type choice_reading = [ `External | `Internal ]
+
+(* Stable states reachable by resolving choices (under the [`Internal]
+   reading), unfolding names, and letting bounded runs of concealed
+   communications happen. *)
+let commitments ?(choice = `External) cfg p =
+  let rec go unfold_budget tau_budget p =
+    match p with
+    | Process.Stop | Process.Output _ | Process.Input _ -> [ p ]
+    | Process.Choice (a, b) -> (
+      match choice with
+      | `Internal -> go unfold_budget tau_budget a @ go unfold_budget tau_budget b
+      | `External -> settle tau_budget p)
+    | Process.Ref (n, arg) ->
+      if unfold_budget <= 0 then raise (Step.Unproductive n)
+      else
+        go (unfold_budget - 1) tau_budget
+          (Csp_lang.Defs.unfold_ref cfg.Step.defs Csp_lang.Valuation.empty n arg)
+    | Process.Par (xa, ya, a, b) ->
+      let cas = go unfold_budget tau_budget a
+      and cbs = go unfold_budget tau_budget b in
+      List.concat_map
+        (fun ca ->
+          List.map (fun cb -> Process.Par (xa, ya, ca, cb)) cbs)
+        cas
+      |> List.concat_map (settle tau_budget)
+    | Process.Hide (l, q) ->
+      (* resolve internal choices below the concealment first, then let
+         the concealed communications run *)
+      go unfold_budget tau_budget q
+      |> List.map (fun c -> Process.Hide (l, c))
+      |> List.concat_map (settle tau_budget)
+  (* [settle] lets concealed communications of an otherwise-committed
+     state run until stability.  A state still unstable when the budget
+     is spent is dropped: it may diverge (unboundedly many concealed
+     events), and divergence is outside the stable-failures model —
+     keeping it would misreport a deadlock, since an unstable state
+     offers no visible event. *)
+  and settle tau_budget p =
+    let hidden =
+      List.filter_map
+        (fun (_, vis, p') ->
+          match vis with Step.Hidden -> Some p' | Step.Visible -> None)
+        (Step.transitions cfg p)
+    in
+    match hidden with
+    | [] -> [ p ]
+    | _ when tau_budget <= 0 -> []
+    | _ ->
+      List.concat_map
+        (fun p' -> go cfg.Step.unfold_fuel (tau_budget - 1) p')
+        hidden
+  in
+  go cfg.Step.unfold_fuel cfg.Step.hide_fuel p
+
+let visible_initials cfg p =
+  sort_events
+    (List.filter_map
+       (fun (e, vis, _) ->
+         match vis with Step.Visible -> Some e | Step.Hidden -> None)
+       (Step.transitions cfg p))
+
+let acceptances_now ?choice cfg p =
+  dedup_acceptances (List.map (visible_initials cfg) (commitments ?choice cfg p))
+
+type t = (Trace.t * acceptance list) list
+
+let failures ?choice cfg ~depth p =
+  (* Trace exploration follows every state — visible transitions of
+     unstable states contribute traces — while acceptances are recorded
+     from stable commitments only, as stable-failures semantics
+     demands. *)
+  let out = ref [] in
+  let rec go d rev_trace states =
+    let stable = List.concat_map (commitments ?choice cfg) states in
+    let accs = dedup_acceptances (List.map (visible_initials cfg) stable) in
+    out := (List.rev rev_trace, accs) :: !out;
+    if d > 0 then begin
+      let events =
+        sort_events
+          (List.concat_map (visible_initials cfg)
+             (List.concat_map (Step.tau_reachable cfg) states))
+      in
+      List.iter
+        (fun e ->
+          let next = List.concat_map (fun s -> Step.after cfg s e) states in
+          if next <> [] then go (d - 1) (e :: rev_trace) next)
+        events
+    end
+  in
+  go depth [] [ p ];
+  List.rev !out
+
+let lookup_trace fs s =
+  List.find_map
+    (fun (s', accs) -> if Trace.equal s s' then Some accs else None)
+    fs
+
+let can_refuse ?choice cfg ~depth p s es =
+  match lookup_trace (failures ?choice cfg ~depth p) s with
+  | None -> false
+  | Some accs ->
+    List.exists
+      (fun a -> List.for_all (fun e -> not (List.exists (Event.equal e) a)) es)
+      accs
+
+let can_deadlock ?choice cfg ~depth p =
+  let deadlocked =
+    List.filter_map
+      (fun (s, accs) ->
+        if List.exists (fun a -> a = []) accs then Some s else None)
+      (failures ?choice cfg ~depth p)
+  in
+  match
+    List.sort (fun a b -> compare (List.length a) (List.length b)) deadlocked
+  with
+  | [] -> None
+  | s :: _ -> Some s
+
+let equal (a : t) (b : t) =
+  let norm fs =
+    List.sort (fun (s1, _) (s2, _) -> Trace.compare s1 s2) fs
+  in
+  let same_accs x y =
+    List.length x = List.length y
+    && List.for_all (fun a -> List.exists (acceptance_equal a) y) x
+    && List.for_all (fun a -> List.exists (acceptance_equal a) x) y
+  in
+  let a = norm a and b = norm b in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (s1, x) (s2, y) -> Trace.equal s1 s2 && same_accs x y)
+       a b
+
+let refines (impl : t) (spec : t) =
+  List.for_all
+    (fun (s, accs_impl) ->
+      match lookup_trace spec s with
+      | None -> false
+      | Some accs_spec ->
+        List.for_all
+          (fun a -> List.exists (fun b -> acceptance_subset b a) accs_spec)
+          accs_impl)
+    impl
+
+let distinguishes_stop_choice cfg ~depth p =
+  not
+    (equal
+       (failures ~choice:`Internal cfg ~depth (Process.Choice (Process.Stop, p)))
+       (failures ~choice:`Internal cfg ~depth p))
+
+let pp ppf (fs : t) =
+  let pp_acc ppf a =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Event.pp)
+      a
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (s, accs) ->
+         Format.fprintf ppf "%a : %a" Trace.pp s
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+              pp_acc)
+           accs))
+    fs

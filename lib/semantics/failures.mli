@@ -1,0 +1,90 @@
+(** A refusals model — the paper's future work (§4).
+
+    The conclusion identifies the prefix-closure model's "worst defect":
+    it equates [STOP | P] with [P], because a branch that deadlocks is
+    invisible in the set of traces.  "It is hoped that the adoption of a
+    more realistic model of non-determinism will permit the formulation
+    of proof rules for the total correctness of processes."  This module
+    implements that more realistic model: stable-failures semantics,
+    four years before Brookes–Hoare–Roscoe made it standard.
+
+    The alternative [P | Q] admits two readings, and §4 discusses both:
+    {ul
+    {- [`External] (the default): the choice is resolved "at the moment
+       the first communication takes place" — the §4 description of how
+       [P | Q] is actually implemented.  The process offers the initial
+       events of both branches.}
+    {- [`Internal]: "the choice between them may be regarded as
+       non-deterministic" — the process may {e commit} to either branch
+       before interacting.  This is the reading under which the trace
+       model's identification of [STOP | P] with [P] is a defect, and
+       the one {!distinguishes_stop_choice} uses.}}
+
+    A commitment is stable when no concealed communication is pending.
+    Each stable commitment offers exactly its set of initial visible
+    events (its {e acceptance}) and refuses everything else.
+
+    All computations are depth-bounded and use the configuration's
+    sampler, like the rest of the semantics. *)
+
+type choice_reading = [ `External | `Internal ]
+
+type acceptance = Csp_trace.Event.t list
+(** The visible events a stable state offers, sorted and deduplicated.
+    The state refuses every other event; an empty acceptance is a
+    deadlocked commitment. *)
+
+val commitments :
+  ?choice:choice_reading ->
+  Step.config -> Csp_lang.Process.t -> Csp_lang.Process.t list
+(** Resolve internal choices and bounded runs of concealed
+    communications: the stable states the process may silently reach
+    before interacting.  States whose concealed chatter exceeds the
+    hide budget are dropped — they may diverge, and divergence lies
+    outside the stable-failures model (keeping them would misreport
+    deadlocks). *)
+
+val acceptances_now :
+  ?choice:choice_reading ->
+  Step.config -> Csp_lang.Process.t -> acceptance list
+(** The acceptance sets of the current commitments, deduplicated. *)
+
+type t = (Csp_trace.Trace.t * acceptance list) list
+(** A bounded failure set: every visible trace up to the depth, paired
+    with the acceptances of the stable states reachable on it. *)
+
+val failures :
+  ?choice:choice_reading ->
+  Step.config -> depth:int -> Csp_lang.Process.t -> t
+
+val can_refuse :
+  ?choice:choice_reading ->
+  Step.config -> depth:int -> Csp_lang.Process.t -> Csp_trace.Trace.t ->
+  Csp_trace.Event.t list -> bool
+(** [can_refuse cfg ~depth p s es]: after trace [s], may the process
+    reach a stable state that refuses every event of [es]? *)
+
+val can_deadlock :
+  ?choice:choice_reading ->
+  Step.config -> depth:int -> Csp_lang.Process.t -> Csp_trace.Trace.t option
+(** The shortest visible trace after which some commitment offers
+    nothing at all, if any ([Some []] means the process may deadlock
+    immediately). *)
+
+val equal : t -> t -> bool
+(** Equality of bounded failure sets (traces and acceptance families). *)
+
+val refines : t -> t -> bool
+(** [refines impl spec]: failures refinement — every trace of [impl] is
+    a trace of [spec], and every acceptance of [impl] is an acceptance
+    some commitment of [spec] also has (so [impl] refuses no more than
+    [spec] allows). *)
+
+val distinguishes_stop_choice :
+  Step.config -> depth:int -> Csp_lang.Process.t -> bool
+(** The §4 experiment, under the [`Internal] reading: is [STOP | P]
+    different from [P] in this model?  True whenever [P] cannot itself
+    deadlock immediately — exactly the distinction the trace model
+    cannot make. *)
+
+val pp : Format.formatter -> t -> unit

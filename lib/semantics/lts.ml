@@ -1,0 +1,126 @@
+module Event = Csp_trace.Event
+module Channel = Csp_trace.Channel
+module Process = Csp_lang.Process
+
+type state = int
+
+type transition = {
+  source : state;
+  event : Event.t;
+  visible : bool;
+  target : state;
+}
+
+type t = {
+  initial : state;
+  states : Process.t array;
+  transitions : transition list;
+  complete : bool;
+}
+
+let explore ?(max_states = 2000) cfg p =
+  (* canonicalise states by their printed form: cheap, and exact for the
+     structural equality we need *)
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let states = ref [] and n_states = ref 0 in
+  let intern q =
+    let key = Process.to_string q in
+    match Hashtbl.find_opt ids key with
+    | Some i -> (i, false)
+    | None ->
+      let i = !n_states in
+      Hashtbl.add ids key i;
+      states := q :: !states;
+      incr n_states;
+      (i, true)
+  in
+  let transitions = ref [] in
+  let queue = Queue.create () in
+  let complete = ref true in
+  let initial, _ = intern p in
+  Queue.add (initial, p) queue;
+  while not (Queue.is_empty queue) do
+    let i, q = Queue.pop queue in
+    List.iter
+      (fun (e, vis, q') ->
+        if !n_states >= max_states then begin
+          (* record the transition only if the target is already known *)
+          match Hashtbl.find_opt ids (Process.to_string q') with
+          | Some j ->
+            transitions :=
+              { source = i; event = e; visible = vis = Step.Visible; target = j }
+              :: !transitions
+          | None -> complete := false
+        end
+        else begin
+          let j, fresh = intern q' in
+          transitions :=
+            { source = i; event = e; visible = vis = Step.Visible; target = j }
+            :: !transitions;
+          if fresh then Queue.add (j, q') queue
+        end)
+      (Step.transitions cfg q)
+  done;
+  {
+    initial;
+    states = Array.of_list (List.rev !states);
+    transitions = List.rev !transitions;
+    complete = !complete;
+  }
+
+let num_states t = Array.length t.states
+let num_transitions t = List.length t.transitions
+
+let deadlock_states t =
+  let has_out = Array.make (num_states t) false in
+  List.iter (fun tr -> has_out.(tr.source) <- true) t.transitions;
+  List.filter
+    (fun i -> not has_out.(i))
+    (List.init (num_states t) Fun.id)
+
+let is_deterministic t =
+  let seen = Hashtbl.create 64 in
+  List.for_all
+    (fun tr ->
+      (not tr.visible)
+      ||
+      let key = (tr.source, Event.to_string tr.event) in
+      match Hashtbl.find_opt seen key with
+      | Some target -> target = tr.target
+      | None ->
+        Hashtbl.add seen key tr.target;
+        true)
+    t.transitions
+
+let reachable_channels t =
+  List.fold_left
+    (fun acc tr ->
+      if List.exists (Channel.equal tr.event.Event.chan) acc then acc
+      else acc @ [ tr.event.Event.chan ])
+    [] t.transitions
+
+let dot_escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ?(name = "lts") t =
+  let buf = Buffer.create 1024 in
+  let dead = deadlock_states t in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  Buffer.add_string buf
+    (Printf.sprintf "  n%d [style=bold];\n" t.initial);
+  List.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "  n%d [shape=doublecircle];\n" i))
+    dead;
+  Array.iteri
+    (fun i _ ->
+      if (not (List.mem i dead)) && i <> t.initial then
+        Buffer.add_string buf (Printf.sprintf "  n%d [shape=circle];\n" i))
+    t.states;
+  List.iter
+    (fun tr ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"%s];\n" tr.source tr.target
+           (dot_escape (Event.to_string tr.event))
+           (if tr.visible then "" else ", style=dashed")))
+    t.transitions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

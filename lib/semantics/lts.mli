@@ -1,0 +1,46 @@
+(** Explicit labelled transition systems.
+
+    Bounded exploration of a process's state space, with states
+    canonicalised by their printed form.  Useful for state-space
+    statistics, reachability questions, and for drawing the paper's
+    network diagrams as graphs (Graphviz DOT output, used by
+    [cspc graph]). *)
+
+type state = int
+
+type transition = {
+  source : state;
+  event : Csp_trace.Event.t;
+  visible : bool;
+  target : state;
+}
+
+type t = {
+  initial : state;
+  states : Csp_lang.Process.t array;  (** indexed by state number *)
+  transitions : transition list;
+  complete : bool;
+      (** false when exploration stopped at the state bound with
+          unexplored frontier states remaining *)
+}
+
+val explore : ?max_states:int -> Step.config -> Csp_lang.Process.t -> t
+(** Breadth-first exploration (default bound: 2000 states).  States are
+    identified up to syntactic equality of the process term, so a
+    recursive definition that returns to its defining equation yields a
+    finite cyclic graph. *)
+
+val num_states : t -> int
+val num_transitions : t -> int
+
+val deadlock_states : t -> state list
+(** States with no outgoing transitions at all. *)
+
+val is_deterministic : t -> bool
+(** No state has two distinct successors on the same visible event. *)
+
+val reachable_channels : t -> Csp_trace.Channel.t list
+
+val to_dot : ?name:string -> t -> string
+(** Graphviz source; hidden events are drawn dashed, deadlock states
+    doubly circled. *)

@@ -1,0 +1,8 @@
+module Vset = Csp_lang.Vset
+
+type t = { sample : Vset.t -> Csp_trace.Value.t list }
+
+let nat_bound n = { sample = (fun m -> Vset.enumerate_bounded ~bound:n m) }
+let default = nat_bound 4
+let of_fun f = { sample = f }
+let sample t m = List.filter (Vset.mem m) (t.sample m)

@@ -1,0 +1,20 @@
+(** Samplers: finite representatives of possibly-infinite message sets.
+
+    Input prefixes [c?x:M → P] with [M = NAT] have infinitely many
+    initial events.  Bounded enumeration of traces therefore draws the
+    candidate values from a sampler; claims verified under a sampler
+    are exact for the sampled sub-language and are reported as such. *)
+
+type t
+
+val default : t
+(** [NAT ↦ {0,…,3}]; finite sets enumerated exactly. *)
+
+val nat_bound : int -> t
+(** [NAT ↦ {0,…,n−1}]. *)
+
+val of_fun : (Csp_lang.Vset.t -> Csp_trace.Value.t list) -> t
+
+val sample : t -> Csp_lang.Vset.t -> Csp_trace.Value.t list
+(** Always a subset of the set it samples; finite sets are returned in
+    full. *)

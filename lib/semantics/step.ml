@@ -1,0 +1,191 @@
+module Event = Csp_trace.Event
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Chan_set = Csp_lang.Chan_set
+module Expr = Csp_lang.Expr
+module Defs = Csp_lang.Defs
+module Valuation = Csp_lang.Valuation
+
+type config = {
+  defs : Defs.t;
+  sampler : Sampler.t;
+  unfold_fuel : int;
+  hide_fuel : int;
+}
+
+let config ?(sampler = Sampler.default) ?(unfold_fuel = 64) ?(hide_fuel = 16)
+    defs =
+  { defs; sampler; unfold_fuel; hide_fuel }
+
+exception Unproductive of string
+
+type visibility = Visible | Hidden
+
+let eval_chan c = Chan_expr.eval Valuation.empty c
+let eval_expr e = Expr.eval Valuation.empty e
+
+(* Continuations of [p] after engaging in exactly the visible event [e].
+   Unlike the transition enumeration below, inputs accept any value of
+   their declared set — the passive side of a synchronisation must not
+   be restricted to sampled values. *)
+let rec sync_on cfg fuel (e : Event.t) p : Process.t list =
+  match p with
+  | Process.Stop -> []
+  | Process.Output (c, ex, k) ->
+    if
+      Csp_trace.Channel.equal (eval_chan c) e.chan
+      && Csp_trace.Value.equal (eval_expr ex) e.value
+    then [ k ]
+    else []
+  | Process.Input (c, x, m, k) ->
+    if Csp_trace.Channel.equal (eval_chan c) e.chan && Csp_lang.Vset.mem m e.value
+    then [ Process.subst_value x e.value k ]
+    else []
+  | Process.Choice (p1, p2) -> sync_on cfg fuel e p1 @ sync_on cfg fuel e p2
+  | Process.Par (xa, ya, p1, p2) ->
+    let in_x = Chan_set.mem xa e.chan and in_y = Chan_set.mem ya e.chan in
+    if in_x && in_y then
+      List.concat_map
+        (fun p1' ->
+          List.map
+            (fun p2' -> Process.Par (xa, ya, p1', p2'))
+            (sync_on cfg fuel e p2))
+        (sync_on cfg fuel e p1)
+    else if in_x then
+      List.map (fun p1' -> Process.Par (xa, ya, p1', p2)) (sync_on cfg fuel e p1)
+    else if in_y then
+      List.map (fun p2' -> Process.Par (xa, ya, p1, p2')) (sync_on cfg fuel e p2)
+    else []
+  | Process.Hide (l, p1) ->
+    (* events on concealed channels are not visible to the environment *)
+    if Chan_set.mem l e.chan then []
+    else List.map (fun p1' -> Process.Hide (l, p1')) (sync_on cfg fuel e p1)
+  | Process.Ref (n, arg) ->
+    if fuel <= 0 then raise (Unproductive n)
+    else
+      sync_on cfg (fuel - 1) e
+        (Defs.unfold_ref cfg.defs Valuation.empty n arg)
+
+(* Merge transition lists, unioning nothing: duplicates are removed per
+   parallel node; the closure union deduplicates the rest. *)
+let rec transitions_fuel cfg fuel p :
+    (Event.t * visibility * Process.t) list =
+  match p with
+  | Process.Stop -> []
+  | Process.Output (c, e, k) ->
+    [ (Event.make (eval_chan c) (eval_expr e), Visible, k) ]
+  | Process.Input (c, x, m, k) ->
+    let chan = eval_chan c in
+    List.map
+      (fun v ->
+        (Event.make chan v, Visible, Process.subst_value x v k))
+      (Sampler.sample cfg.sampler m)
+  | Process.Choice (p1, p2) ->
+    transitions_fuel cfg fuel p1 @ transitions_fuel cfg fuel p2
+  | Process.Par (xa, ya, p1, p2) ->
+    let t1 = transitions_fuel cfg fuel p1
+    and t2 = transitions_fuel cfg fuel p2 in
+    let left =
+      List.concat_map
+        (fun ((e : Event.t), vis, p1') ->
+          match vis with
+          | Hidden -> [ (e, Hidden, Process.Par (xa, ya, p1', p2)) ]
+          | Visible ->
+            if Chan_set.mem ya e.chan then
+              (* shared channel: both operands must engage in the event;
+                 the partner accepts any value of its declared input set *)
+              List.map
+                (fun p2' -> (e, Visible, Process.Par (xa, ya, p1', p2')))
+                (sync_on cfg fuel e p2)
+            else [ (e, Visible, Process.Par (xa, ya, p1', p2)) ])
+        t1
+    in
+    let right =
+      List.concat_map
+        (fun ((e : Event.t), vis, p2') ->
+          match vis with
+          | Hidden -> [ (e, Hidden, Process.Par (xa, ya, p1, p2')) ]
+          | Visible ->
+            if Chan_set.mem xa e.chan then
+              List.map
+                (fun p1' -> (e, Visible, Process.Par (xa, ya, p1', p2')))
+                (sync_on cfg fuel e p1)
+            else [ (e, Visible, Process.Par (xa, ya, p1, p2')) ])
+        t2
+    in
+    (* Synchronisations reachable from both sides appear twice; remove
+       exact duplicates. *)
+    let triple_equal (e1, v1, q1) (e2, v2, q2) =
+      Event.equal e1 e2 && v1 = v2 && Process.equal q1 q2
+    in
+    List.rev
+      (List.fold_left
+         (fun acc t ->
+           if List.exists (triple_equal t) acc then acc else t :: acc)
+         [] (left @ right))
+  | Process.Hide (l, p1) ->
+    List.map
+      (fun ((e : Event.t), vis, p1') ->
+        let vis = if Chan_set.mem l e.chan then Hidden else vis in
+        (e, vis, Process.Hide (l, p1')))
+      (transitions_fuel cfg fuel p1)
+  | Process.Ref (n, arg) ->
+    if fuel <= 0 then raise (Unproductive n)
+    else
+      transitions_fuel cfg (fuel - 1)
+        (Defs.unfold_ref cfg.defs Valuation.empty n arg)
+
+let transitions cfg p = transitions_fuel cfg cfg.unfold_fuel p
+
+let tau_reachable cfg p =
+  let rec go budget acc p =
+    let acc = p :: acc in
+    if budget <= 0 then acc
+    else
+      List.fold_left
+        (fun acc (_, vis, p') ->
+          match vis with Hidden -> go (budget - 1) acc p' | Visible -> acc)
+        acc (transitions cfg p)
+  in
+  go cfg.hide_fuel [] p
+
+let after cfg p e =
+  (* [sync_on] rather than a filter over [transitions]: the derivative
+     must accept any declared input value, not only sampled ones. *)
+  List.concat_map (fun q -> sync_on cfg cfg.unfold_fuel e q) (tau_reachable cfg p)
+
+let rec accepts_trace cfg p = function
+  | [] -> true
+  | e :: rest ->
+    List.exists (fun q -> accepts_trace cfg q rest) (after cfg p e)
+
+let is_deadlocked cfg p = transitions cfg p = []
+
+let traces cfg ~depth p =
+  (* Memoised on (state, depth, hidden budget): recursive networks
+     revisit the same state at many points of the exploration tree, and
+     the closure of a state is independent of how it was reached. *)
+  let memo : (string * int * int, Closure.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go d hidden_budget p =
+    if d <= 0 then Closure.empty
+    else
+      let key = (Process.to_string p, d, hidden_budget) in
+      match Hashtbl.find_opt memo key with
+      | Some c -> c
+      | None ->
+        let c =
+          List.fold_left
+            (fun acc (e, vis, p') ->
+              match vis with
+              | Visible ->
+                Closure.union acc
+                  (Closure.prefix e (go (d - 1) cfg.hide_fuel p'))
+              | Hidden ->
+                if hidden_budget <= 0 then acc
+                else Closure.union acc (go d (hidden_budget - 1) p'))
+            Closure.empty (transitions cfg p)
+        in
+        Hashtbl.add memo key c;
+        c
+  in
+  go depth cfg.hide_fuel p

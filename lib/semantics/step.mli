@@ -1,0 +1,56 @@
+(** Operational semantics: small-step transitions by communication.
+
+    A configuration supplies the definition environment, a sampler for
+    infinite input sets, and fuel bounds.  [unfold_fuel] bounds chains
+    of name unfoldings between communications (it only runs out on
+    unguarded recursion); [hide_fuel] bounds runs of consecutive hidden
+    events considered during trace enumeration and visible derivatives. *)
+
+type config = {
+  defs : Csp_lang.Defs.t;
+  sampler : Sampler.t;
+  unfold_fuel : int;
+  hide_fuel : int;
+}
+
+val config :
+  ?sampler:Sampler.t ->
+  ?unfold_fuel:int ->
+  ?hide_fuel:int ->
+  Csp_lang.Defs.t ->
+  config
+(** Defaults: {!Sampler.default}, [unfold_fuel = 64], [hide_fuel = 16]. *)
+
+exception Unproductive of string
+(** Raised when [unfold_fuel] runs out: the definitions contain an
+    unguarded recursion (cf. {!Csp_lang.Defs.well_guarded}). *)
+
+type visibility = Visible | Hidden
+
+val transitions :
+  config -> Csp_lang.Process.t ->
+  (Csp_trace.Event.t * visibility * Csp_lang.Process.t) list
+(** All single-communication transitions.  Events on channels declared
+    local by an enclosing [chan L] are [Hidden]; input events enumerate
+    sampler-chosen values. *)
+
+val tau_reachable : config -> Csp_lang.Process.t -> Csp_lang.Process.t list
+(** The states reachable by at most [hide_fuel] hidden events (including
+    the state itself). *)
+
+val after : config -> Csp_lang.Process.t -> Csp_trace.Event.t ->
+  Csp_lang.Process.t list
+(** Visible-event derivative: the states reachable by (≤ [hide_fuel]
+    hidden events followed by) the given visible event. *)
+
+val accepts_trace : config -> Csp_lang.Process.t -> Csp_trace.Trace.t -> bool
+(** Is the trace a possible (visible) behaviour of the process? *)
+
+val is_deadlocked : config -> Csp_lang.Process.t -> bool
+(** No transitions at all, visible or hidden.  [STOP] is deadlocked; so
+    are blocked parallel compositions. *)
+
+val traces : config -> depth:int -> Csp_lang.Process.t -> Closure.t
+(** All visible traces of length ≤ [depth], enumerated from
+    transitions (each visible event resets the hidden-run budget to
+    [hide_fuel]). *)

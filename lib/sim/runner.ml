@@ -1,0 +1,87 @@
+module Event = Csp_trace.Event
+module History = Csp_trace.History
+module Trace = Csp_trace.Trace
+module Step = Csp_semantics.Step
+module Assertion = Csp_assertion.Assertion
+module Term = Csp_assertion.Term
+
+type monitor = { name : string; assertion : Assertion.t }
+
+let monitor name assertion = { name; assertion }
+
+type violation = {
+  monitor_name : string;
+  at_step : int;
+  history : History.t;
+}
+
+type stop_reason = Deadlock | Max_steps | Scheduler_stopped
+
+type result = {
+  trace : Trace.t;
+  events : (Event.t * Step.visibility) list;
+  stop : stop_reason;
+  stats : Stats.t;
+  violations : violation list;
+  final : Csp_lang.Process.t;
+}
+
+let check_monitors funs monitors hist step acc =
+  List.fold_left
+    (fun acc m ->
+      let ctx = Term.ctx ~hist ~funs () in
+      match Assertion.eval ctx m.assertion with
+      | true -> acc
+      | false -> { monitor_name = m.name; at_step = step; history = hist } :: acc
+      | exception Term.Eval_error _ ->
+        { monitor_name = m.name; at_step = step; history = hist } :: acc)
+    acc monitors
+
+let run ?(scheduler = Scheduler.uniform ~seed:1) ?(monitors = [])
+    ?(max_steps = 1000) ?(funs = Csp_assertion.Afun.default_env) cfg p =
+  let rec go step p hist rev_events rev_trace stats violations =
+    let violations = check_monitors funs monitors hist step violations in
+    if step >= max_steps then
+      finish p rev_events rev_trace stats violations Max_steps
+    else
+      let transitions = Step.transitions cfg p in
+      match transitions with
+      | [] -> finish p rev_events rev_trace stats violations Deadlock
+      | _ -> (
+        let cands =
+          Array.of_list (List.map (fun (e, vis, _) -> (e, vis)) transitions)
+        in
+        match scheduler.Scheduler.pick ~step cands with
+        | None ->
+          finish p rev_events rev_trace stats violations Scheduler_stopped
+        | Some i ->
+          let e, vis, p' = List.nth transitions i in
+          let hist = History.extend hist e in
+          let rev_trace =
+            match vis with
+            | Step.Visible -> e :: rev_trace
+            | Step.Hidden -> rev_trace
+          in
+          go (step + 1) p' hist ((e, vis) :: rev_events) rev_trace
+            (Stats.observe stats e vis)
+            violations)
+  and finish p rev_events rev_trace stats violations stop =
+    {
+      trace = List.rev rev_trace;
+      events = List.rev rev_events;
+      stop;
+      stats;
+      violations = List.rev violations;
+      final = p;
+    }
+  in
+  go 0 p History.empty [] [] Stats.empty []
+
+let pp_stop ppf = function
+  | Deadlock -> Format.pp_print_string ppf "deadlock"
+  | Max_steps -> Format.pp_print_string ppf "step limit reached"
+  | Scheduler_stopped -> Format.pp_print_string ppf "scheduler stopped"
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>stopped: %a@,%a@,violations: %d@]" pp_stop r.stop
+    Stats.pp r.stats (List.length r.violations)

@@ -1,0 +1,47 @@
+(** Network execution.
+
+    The runner drives a process by repeatedly listing its enabled
+    communications and letting a scheduler resolve the non-determinism.
+    Attached monitors implement the meaning of [P sat R] dynamically:
+    each assertion is evaluated on the accumulated channel history
+    before the run and after every communication, exactly "before and
+    after each communication by that process".
+
+    Monitors observe the histories of {e all} channels, including ones
+    concealed by [chan L]; assertions about a network's internal wires
+    (e.g. the protocol's [f(wire) ≤ input]) therefore remain checkable
+    even when the wire is hidden from the environment. *)
+
+type monitor = { name : string; assertion : Csp_assertion.Assertion.t }
+
+val monitor : string -> Csp_assertion.Assertion.t -> monitor
+
+type violation = {
+  monitor_name : string;
+  at_step : int;
+  history : Csp_trace.History.t;
+}
+
+type stop_reason = Deadlock | Max_steps | Scheduler_stopped
+
+type result = {
+  trace : Csp_trace.Trace.t;      (** visible events, in order *)
+  events : (Csp_trace.Event.t * Csp_semantics.Step.visibility) list;
+      (** all events, in order *)
+  stop : stop_reason;
+  stats : Stats.t;
+  violations : violation list;
+  final : Csp_lang.Process.t;     (** the state the run stopped in *)
+}
+
+val run :
+  ?scheduler:Scheduler.t ->
+  ?monitors:monitor list ->
+  ?max_steps:int ->
+  ?funs:Csp_assertion.Afun.env ->
+  Csp_semantics.Step.config ->
+  Csp_lang.Process.t ->
+  result
+(** Defaults: [Scheduler.uniform ~seed:1], no monitors, 1000 steps. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,53 @@
+type candidate = Csp_trace.Event.t * Csp_semantics.Step.visibility
+
+type t = { name : string; pick : step:int -> candidate array -> int option }
+
+let uniform ~seed =
+  let st = Random.State.make [| seed |] in
+  {
+    name = Printf.sprintf "uniform(seed=%d)" seed;
+    pick =
+      (fun ~step:_ cands ->
+        if Array.length cands = 0 then None
+        else Some (Random.State.int st (Array.length cands)));
+  }
+
+let first =
+  {
+    name = "first";
+    pick = (fun ~step:_ cands -> if Array.length cands = 0 then None else Some 0);
+  }
+
+let rotating =
+  {
+    name = "rotating";
+    pick =
+      (fun ~step cands ->
+        let n = Array.length cands in
+        if n = 0 then None else Some (step mod n));
+  }
+
+let weighted ~seed ~weight =
+  let st = Random.State.make [| seed |] in
+  {
+    name = Printf.sprintf "weighted(seed=%d)" seed;
+    pick =
+      (fun ~step:_ cands ->
+        let n = Array.length cands in
+        if n = 0 then None
+        else begin
+          let ws = Array.map (fun (e, _) -> max 0.0 (weight e)) cands in
+          let total = Array.fold_left ( +. ) 0.0 ws in
+          if total <= 0.0 then Some (Random.State.int st n)
+          else begin
+            let r = Random.State.float st total in
+            let rec go i acc =
+              if i >= n - 1 then i
+              else
+                let acc = acc +. ws.(i) in
+                if r < acc then i else go (i + 1) acc
+            in
+            Some (go 0 0.0)
+          end
+        end);
+  }

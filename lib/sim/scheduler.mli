@@ -1,0 +1,28 @@
+(** Schedulers: resolution of non-determinism during execution.
+
+    At every step the runner computes the set of enabled communications
+    (visible and hidden) and asks the scheduler to pick one.  The choice
+    models both the non-determinate alternative [P | Q] and the timing
+    non-determinism of a network — §4 points out that such choices "may
+    be time-dependent", which is exactly what a seeded random scheduler
+    simulates. *)
+
+type candidate = Csp_trace.Event.t * Csp_semantics.Step.visibility
+
+type t = { name : string; pick : step:int -> candidate array -> int option }
+
+val uniform : seed:int -> t
+(** Uniformly random among enabled communications. *)
+
+val first : t
+(** Always the first enabled communication (deterministic; biased
+    towards the left of alternatives). *)
+
+val rotating : t
+(** Deterministic round-robin: at step [k] pick candidate
+    [k mod n] — fair across branches without randomness. *)
+
+val weighted : seed:int -> weight:(Csp_trace.Event.t -> float) -> t
+(** Random choice proportional to a non-negative weight per event;
+    events of weight 0 are picked only when nothing else is enabled.
+    Used to inject faults, e.g. biasing a receiver towards NACK. *)

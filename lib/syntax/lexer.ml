@@ -1,0 +1,130 @@
+type located = { token : Token.t; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [
+    ("STOP", Token.KW_STOP);
+    ("chan", Token.KW_CHAN);
+    ("NAT", Token.KW_NAT);
+    ("BOOL", Token.KW_BOOL);
+    ("forall", Token.KW_FORALL);
+    ("exists", Token.KW_EXISTS);
+    ("sat", Token.KW_SAT);
+    ("assert", Token.KW_ASSERT);
+    ("in", Token.KW_IN);
+    ("sum", Token.KW_SUM);
+    ("true", Token.KW_TRUE);
+    ("false", Token.KW_FALSE);
+    ("mod", Token.KW_MOD);
+  ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 and col = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { token = tok; line = !line; col = !col } :: !out in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some input.[!i + k] else None in
+  let advance k =
+    for j = !i to !i + k - 1 do
+      if j < n && input.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* comment to end of line *)
+      while !i < n && input.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit input.[!j] do
+        incr j
+      done;
+      emit (Token.INT (int_of_string (String.sub input !i (!j - !i))));
+      advance (!j - !i)
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char input.[!j] do
+        incr j
+      done;
+      let word = String.sub input !i (!j - !i) in
+      (match List.assoc_opt word keywords with
+      | Some kw -> emit kw
+      | None -> emit (Token.IDENT word));
+      advance (!j - !i)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      let tok2 =
+        match two with
+        | "->" -> Some Token.ARROW
+        | "||" -> Some Token.PARALLEL
+        | "++" -> Some Token.PLUSPLUS
+        | "<=" -> Some Token.LE
+        | ">=" -> Some Token.GE
+        | "=>" -> Some Token.IMPLIES
+        | "\\/" -> Some Token.OR
+        | ".." -> Some Token.DOTDOT
+        | ".(" -> Some Token.DOTLPAR
+        | _ -> None
+      in
+      match tok2 with
+      | Some t ->
+        emit t;
+        advance 2
+      | None ->
+        let tok1 =
+          match c with
+          | '=' -> Token.EQUAL
+          | '?' -> Token.QUERY
+          | '!' -> Token.BANG
+          | ':' -> Token.COLON
+          | ';' -> Token.SEMI
+          | ',' -> Token.COMMA
+          | '.' -> Token.DOT
+          | '(' -> Token.LPAR
+          | ')' -> Token.RPAR
+          | '{' -> Token.LBRACE
+          | '}' -> Token.RBRACE
+          | '[' -> Token.LBRACKET
+          | ']' -> Token.RBRACKET
+          | '|' -> Token.BAR
+          | '^' -> Token.HAT
+          | '#' -> Token.HASH
+          | '+' -> Token.PLUS
+          | '-' -> Token.MINUS
+          | '*' -> Token.STAR
+          | '/' -> Token.SLASH
+          | '<' -> Token.LT
+          | '>' -> Token.GT
+          | '&' -> Token.AMP
+          | '~' -> Token.TILDE
+          | _ ->
+            raise
+              (Lex_error (Printf.sprintf "unexpected character %C" c, !line, !col))
+        in
+        emit tok1;
+        advance 1
+    end
+  done;
+  emit Token.EOF;
+  List.rev !out

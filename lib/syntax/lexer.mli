@@ -1,0 +1,14 @@
+(** Hand-written lexer for the concrete syntax.
+
+    Comments run from [--] to end of line.  Identifiers are
+    [[A-Za-z][A-Za-z0-9_']*]; keywords are reserved.  Positions are
+    tracked as (line, column) for error reporting. *)
+
+type located = { token : Token.t; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** message, line, column *)
+
+val tokenize : string -> located list
+(** The whole input as a token list, ending with [EOF].
+    @raise Lex_error on unrecognised characters. *)

@@ -1,0 +1,639 @@
+module Value = Csp_trace.Value
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Chan_set = Csp_lang.Chan_set
+module Expr = Csp_lang.Expr
+module Vset = Csp_lang.Vset
+module Defs = Csp_lang.Defs
+module Term = Csp_assertion.Term
+module Assertion = Csp_assertion.Assertion
+
+type decl =
+  | Assert_plain of string * Assertion.t
+  | Assert_array of string * string * Vset.t * Assertion.t
+
+type file = { defs : Defs.t; decls : decl list }
+
+exception Parse_error of string * int * int
+
+(* The parser works on an immutable token array with an explicit cursor,
+   so alternatives can backtrack by re-using an earlier index. *)
+type stream = { toks : Lexer.located array }
+
+let tok st i = st.toks.(i).Lexer.token
+
+(* The paper writes symbolic signals in capitals (ACK, NACK); an
+   all-uppercase identifier denotes such a constant rather than a
+   variable or channel. *)
+let is_symbol_name s =
+  s <> ""
+  && String.for_all (fun c -> (c >= 'A' && c <= 'Z') || c = '_') s
+
+let err st i fmt =
+  let { Lexer.line; col; token; _ } = st.toks.(i) in
+  Format.kasprintf
+    (fun m ->
+      raise
+        (Parse_error
+           (Printf.sprintf "%s (at '%s')" m (Token.to_string token), line, col)))
+    fmt
+
+let expect st i t =
+  if tok st i = t then i + 1
+  else err st i "expected '%s'" (Token.to_string t)
+
+let ident st i =
+  match tok st i with
+  | Token.IDENT s -> (s, i + 1)
+  | _ -> err st i "expected an identifier"
+
+(* ---- value sets ---------------------------------------------------- *)
+
+let parse_set_value st i =
+  match tok st i with
+  | Token.INT n -> (Value.Int n, i + 1)
+  | Token.MINUS -> (
+    match tok st (i + 1) with
+    | Token.INT n -> (Value.Int (-n), i + 2)
+    | _ -> err st (i + 1) "expected an integer after '-'")
+  | Token.IDENT s -> (Value.Sym s, i + 1)
+  | Token.KW_TRUE -> (Value.Bool true, i + 1)
+  | Token.KW_FALSE -> (Value.Bool false, i + 1)
+  | _ -> err st i "expected a value"
+
+let parse_vset st i =
+  match tok st i with
+  | Token.KW_NAT -> (Vset.Nat, i + 1)
+  | Token.KW_BOOL -> (Vset.Bools, i + 1)
+  | Token.LBRACE -> (
+    if tok st (i + 1) = Token.RBRACE then (Vset.Enum [], i + 2)
+    else
+      (* range {lo..hi} or enumeration {v, …} *)
+      let v0, j = parse_set_value st (i + 1) in
+      match tok st j, v0 with
+      | Token.DOTDOT, Value.Int lo -> (
+        match tok st (j + 1) with
+        | Token.INT hi ->
+          let j = expect st (j + 2) Token.RBRACE in
+          (Vset.Range (lo, hi), j)
+        | _ -> err st (j + 1) "expected the upper bound of the range")
+      | _ ->
+        let rec more acc j =
+          match tok st j with
+          | Token.COMMA ->
+            let v, j = parse_set_value st (j + 1) in
+            more (v :: acc) j
+          | Token.RBRACE -> (Vset.Enum (List.rev acc), j + 1)
+          | _ -> err st j "expected ',' or '}' in a set"
+        in
+        more [ v0 ] j)
+  | _ -> err st i "expected a value set"
+
+(* ---- expressions (process language) -------------------------------- *)
+
+let rec parse_expr st i = parse_add st i
+
+and parse_add st i =
+  let lhs, i = parse_mul st i in
+  let rec loop lhs i =
+    match tok st i with
+    | Token.PLUS ->
+      let rhs, i = parse_mul st (i + 1) in
+      loop (Expr.Add (lhs, rhs)) i
+    | Token.MINUS ->
+      let rhs, i = parse_mul st (i + 1) in
+      loop (Expr.Sub (lhs, rhs)) i
+    | _ -> (lhs, i)
+  in
+  loop lhs i
+
+and parse_mul st i =
+  let lhs, i = parse_unary st i in
+  let rec loop lhs i =
+    match tok st i with
+    | Token.STAR ->
+      let rhs, i = parse_unary st (i + 1) in
+      loop (Expr.Mul (lhs, rhs)) i
+    | Token.SLASH ->
+      let rhs, i = parse_unary st (i + 1) in
+      loop (Expr.Div (lhs, rhs)) i
+    | Token.KW_MOD ->
+      let rhs, i = parse_unary st (i + 1) in
+      loop (Expr.Mod (lhs, rhs)) i
+    | _ -> (lhs, i)
+  in
+  loop lhs i
+
+and parse_unary st i =
+  match tok st i with
+  | Token.MINUS -> (
+    match tok st (i + 1) with
+    | Token.INT n -> (Expr.Const (Value.Int (-n)), i + 2)
+    | _ ->
+      let e, i = parse_unary st (i + 1) in
+      (Expr.Neg e, i))
+  | _ -> parse_expr_atom st i
+
+and parse_expr_atom st i =
+  match tok st i with
+  | Token.INT n -> (Expr.int n, i + 1)
+  | Token.IDENT s ->
+    if tok st (i + 1) = Token.LBRACKET then begin
+      let e, j = parse_expr st (i + 2) in
+      let j = expect st j Token.RBRACKET in
+      (Expr.Idx (Expr.Var s, e), j)
+    end
+    else if is_symbol_name s then (Expr.Const (Value.Sym s), i + 1)
+    else (Expr.Var s, i + 1)
+  | Token.LPAR ->
+    let e, i = parse_expr st (i + 1) in
+    (e, expect st i Token.RPAR)
+  | _ -> err st i "expected an expression"
+
+(* ---- channels ------------------------------------------------------ *)
+
+let parse_chan_expr st i =
+  let name, i = ident st i in
+  (* "[ {" opens an explicit parallel alphabet, never a subscript *)
+  if tok st i = Token.LBRACKET && tok st (i + 1) <> Token.LBRACE then begin
+    let e, j = parse_expr st (i + 1) in
+    let j = expect st j Token.RBRACKET in
+    ({ Chan_expr.name; subs = [ e ] }, j)
+  end
+  else (Chan_expr.simple name, i)
+
+let parse_chan_item st i =
+  let name, i = ident st i in
+  match tok st i with
+  | Token.LBRACKET -> (
+    match tok st (i + 1), tok st (i + 2) with
+    | Token.STAR, Token.RBRACKET -> (Chan_set.Base name, i + 3)
+    | Token.INT lo, Token.DOTDOT -> (
+      match tok st (i + 3), tok st (i + 4) with
+      | Token.INT hi, Token.RBRACKET ->
+        (Chan_set.Family (name, Vset.Range (lo, hi)), i + 5)
+      | _ -> err st (i + 3) "expected 'hi]' to close the channel family")
+    | _ ->
+      let e, j = parse_expr st (i + 1) in
+      let j = expect st j Token.RBRACKET in
+      (Chan_set.Chan { Chan_expr.name; subs = [ e ] }, j))
+  | _ -> (Chan_set.Chan (Chan_expr.simple name), i)
+
+let parse_chan_items st i =
+  let rec more acc i =
+    match tok st i with
+    | Token.COMMA ->
+      let item, i = parse_chan_item st (i + 1) in
+      more (item :: acc) i
+    | _ -> (List.rev acc, i)
+  in
+  let item, i = parse_chan_item st i in
+  more [ item ] i
+
+let parse_chan_set st i =
+  let i = expect st i Token.LBRACE in
+  if tok st i = Token.RBRACE then ([], i + 1)
+  else
+    let items, i = parse_chan_items st i in
+    (items, expect st i Token.RBRACE)
+
+(* ---- processes ------------------------------------------------------ *)
+
+(* An empty alphabet in a Par node marks "to be inferred". *)
+let rec parse_process st i = parse_par st i
+
+and parse_par st i =
+  match tok st i with
+  | Token.KW_CHAN ->
+    let items, i = parse_chan_items st (i + 1) in
+    let i = expect st i Token.SEMI in
+    let p, i = parse_process st i in
+    (Process.Hide (items, p), i)
+  | _ ->
+    let lhs, i = parse_alt st i in
+    let rec loop lhs i =
+      match tok st i with
+      | Token.PARALLEL ->
+        let rhs, i = parse_alt st (i + 1) in
+        loop (Process.Par ([], [], lhs, rhs)) i
+      | Token.LBRACKET when tok st (i + 1) = Token.LBRACE ->
+        let xa, j = parse_chan_set st (i + 1) in
+        let j = expect st j Token.PARALLEL in
+        let ya, j = parse_chan_set st j in
+        let j = expect st j Token.RBRACKET in
+        let rhs, j = parse_alt st j in
+        loop (Process.Par (xa, ya, lhs, rhs)) j
+      | _ -> (lhs, i)
+    in
+    loop lhs i
+
+and parse_alt st i =
+  let lhs, i = parse_prefix st i in
+  let rec loop lhs i =
+    match tok st i with
+    | Token.BAR ->
+      let rhs, i = parse_prefix st (i + 1) in
+      loop (Process.Choice (lhs, rhs)) i
+    | _ -> (lhs, i)
+  in
+  loop lhs i
+
+and parse_prefix st i =
+  match tok st i with
+  | Token.KW_STOP -> (Process.Stop, i + 1)
+  | Token.KW_CHAN ->
+    let items, i = parse_chan_items st (i + 1) in
+    let i = expect st i Token.SEMI in
+    let p, i = parse_process st i in
+    (Process.Hide (items, p), i)
+  | Token.LPAR ->
+    let p, i = parse_process st (i + 1) in
+    (p, expect st i Token.RPAR)
+  | Token.IDENT _ -> (
+    (* channel-prefixed communication, or a (possibly subscripted)
+       process name; decided by the token after the channel expression *)
+    let c, j = parse_chan_expr st i in
+    match tok st j with
+    | Token.BANG ->
+      let e, j = parse_expr st (j + 1) in
+      let j = expect st j Token.ARROW in
+      let p, j = parse_prefix st j in
+      (Process.Output (c, e, p), j)
+    | Token.QUERY ->
+      let x, j = ident st (j + 1) in
+      let j = expect st j Token.COLON in
+      let m, j = parse_vset st j in
+      let j = expect st j Token.ARROW in
+      let p, j = parse_prefix st j in
+      (Process.Input (c, x, m, p), j)
+    | _ -> (
+      match c.Chan_expr.subs with
+      | [] -> (Process.Ref (c.Chan_expr.name, None), j)
+      | [ e ] -> (Process.Ref (c.Chan_expr.name, Some e), j)
+      | _ -> err st i "process names take at most one subscript"))
+  | _ -> err st i "expected a process"
+
+(* ---- assertion terms ------------------------------------------------ *)
+
+let rec parse_term bound st i = parse_cons bound st i
+
+and parse_cons bound st i =
+  let lhs, i = parse_tadd bound st i in
+  match tok st i with
+  | Token.HAT ->
+    let rhs, i = parse_cons bound st (i + 1) in
+    (Term.Cons (lhs, rhs), i)
+  | _ -> (lhs, i)
+
+and parse_tadd bound st i =
+  let lhs, i = parse_tmul bound st i in
+  let rec loop lhs i =
+    match tok st i with
+    | Token.PLUS ->
+      let rhs, i = parse_tmul bound st (i + 1) in
+      loop (Term.Add (lhs, rhs)) i
+    | Token.MINUS ->
+      let rhs, i = parse_tmul bound st (i + 1) in
+      loop (Term.Sub (lhs, rhs)) i
+    | Token.PLUSPLUS ->
+      let rhs, i = parse_tmul bound st (i + 1) in
+      loop (Term.Cat (lhs, rhs)) i
+    | _ -> (lhs, i)
+  in
+  loop lhs i
+
+and parse_tmul bound st i =
+  let lhs, i = parse_tpostfix bound st i in
+  let rec loop lhs i =
+    match tok st i with
+    | Token.STAR ->
+      let rhs, i = parse_tpostfix bound st (i + 1) in
+      loop (Term.Mul (lhs, rhs)) i
+    | Token.SLASH ->
+      let rhs, i = parse_tpostfix bound st (i + 1) in
+      loop (Term.Div (lhs, rhs)) i
+    | Token.KW_MOD ->
+      let rhs, i = parse_tpostfix bound st (i + 1) in
+      loop (Term.Mod (lhs, rhs)) i
+    | _ -> (lhs, i)
+  in
+  loop lhs i
+
+and parse_tpostfix bound st i =
+  let t, i = parse_tatom bound st i in
+  let rec loop t i =
+    match tok st i with
+    | Token.DOTLPAR ->
+      let ix, j = parse_term bound st (i + 1) in
+      let j = expect st j Token.RPAR in
+      loop (Term.Index (t, ix)) j
+    | _ -> (t, i)
+  in
+  loop t i
+
+and parse_tatom bound st i =
+  match tok st i with
+  | Token.INT n -> (Term.int n, i + 1)
+  | Token.MINUS -> (
+    match tok st (i + 1) with
+    | Token.INT n -> (Term.Const (Value.Int (-n)), i + 2)
+    | _ ->
+      let t, i = parse_tatom bound st (i + 1) in
+      (Term.Neg t, i))
+  | Token.HASH ->
+    let t, i = parse_tpostfix bound st (i + 1) in
+    (Term.Len t, i)
+  | Token.KW_SUM ->
+    let i = expect st (i + 1) Token.LPAR in
+    let x, i = ident st i in
+    let i = expect st i Token.COMMA in
+    let lo, i = parse_term bound st i in
+    let i = expect st i Token.COMMA in
+    let hi, i = parse_term bound st i in
+    let i = expect st i Token.COMMA in
+    let body, i = parse_term (x :: bound) st i in
+    let i = expect st i Token.RPAR in
+    (Term.Sum (x, lo, hi, body), i)
+  | Token.LT ->
+    (* sequence literal *)
+    if tok st (i + 1) = Token.GT then (Term.empty_seq, i + 2)
+    else
+      let rec elems acc j =
+        let t, j = parse_term bound st j in
+        match tok st j with
+        | Token.COMMA -> elems (t :: acc) (j + 1)
+        | Token.GT -> (List.rev (t :: acc), j + 1)
+        | _ -> err st j "expected ',' or '>' in a sequence literal"
+      in
+      let ts, j = elems [] (i + 1) in
+      let const_values =
+        List.map (function Term.Const v -> Some v | _ -> None) ts
+      in
+      if List.for_all Option.is_some const_values then
+        (Term.Const (Value.Seq (List.filter_map Fun.id const_values)), j)
+      else
+        (* build by consing onto the empty sequence *)
+        ( List.fold_right (fun t acc -> Term.Cons (t, acc)) ts Term.empty_seq,
+          j )
+  | Token.LPAR ->
+    let t, i = parse_term bound st (i + 1) in
+    (t, expect st i Token.RPAR)
+  | Token.IDENT s -> (
+    match tok st (i + 1) with
+    | Token.LPAR ->
+      (* named sequence function *)
+      let arg, j = parse_term bound st (i + 2) in
+      let j = expect st j Token.RPAR in
+      (Term.App (s, arg), j)
+    | Token.LBRACKET ->
+      let e, j = parse_expr st (i + 2) in
+      let j = expect st j Token.RBRACKET in
+      (Term.Chan { Chan_expr.name = s; subs = [ e ] }, j)
+    | _ ->
+      if List.mem s bound then (Term.Var s, i + 1)
+      else if is_symbol_name s then (Term.Const (Value.Sym s), i + 1)
+      else (Term.chan s, i + 1))
+  | _ -> err st i "expected a term"
+
+(* ---- assertions ------------------------------------------------------ *)
+
+let rec parse_assert bound st i =
+  match tok st i with
+  | Token.KW_FORALL | Token.KW_EXISTS ->
+    let q = tok st i in
+    let x, j = ident st (i + 1) in
+    let j = expect st j Token.COLON in
+    let m, j = parse_vset st j in
+    let j = expect st j Token.DOT in
+    let body, j = parse_assert (x :: bound) st j in
+    ( (match q with
+      | Token.KW_FORALL -> Assertion.Forall (x, m, body)
+      | _ -> Assertion.Exists (x, m, body)),
+      j )
+  | _ -> parse_imp bound st i
+
+and parse_imp bound st i =
+  let lhs, i = parse_or bound st i in
+  match tok st i with
+  | Token.IMPLIES ->
+    let rhs, i = parse_imp bound st (i + 1) in
+    (Assertion.Imp (lhs, rhs), i)
+  | _ -> (lhs, i)
+
+and parse_or bound st i =
+  let lhs, i = parse_and bound st i in
+  let rec loop lhs i =
+    match tok st i with
+    | Token.OR ->
+      let rhs, i = parse_and bound st (i + 1) in
+      loop (Assertion.Or (lhs, rhs)) i
+    | _ -> (lhs, i)
+  in
+  loop lhs i
+
+and parse_and bound st i =
+  let lhs, i = parse_aatom bound st i in
+  let rec loop lhs i =
+    match tok st i with
+    | Token.AMP ->
+      let rhs, i = parse_aatom bound st (i + 1) in
+      loop (Assertion.And (lhs, rhs)) i
+    | _ -> (lhs, i)
+  in
+  loop lhs i
+
+and parse_aatom bound st i =
+  match tok st i with
+  | Token.KW_TRUE -> (Assertion.True, i + 1)
+  | Token.KW_FALSE -> (Assertion.False, i + 1)
+  | Token.TILDE ->
+    let a, i = parse_aatom bound st (i + 1) in
+    (Assertion.Not a, i)
+  | Token.KW_FORALL | Token.KW_EXISTS -> parse_assert bound st i
+  | Token.LPAR -> (
+    (* either a parenthesised assertion or a parenthesised term that
+       begins a comparison; try the assertion reading first *)
+    match parse_assert bound st (i + 1) with
+    | a, j when tok st j = Token.RPAR && not (starts_comparison st (j + 1)) ->
+      (a, j + 1)
+    | _ -> parse_comparison bound st i
+    | exception Parse_error _ -> parse_comparison bound st i)
+  | _ -> parse_comparison bound st i
+
+and starts_comparison st i =
+  match tok st i with
+  | Token.LE | Token.LT | Token.GE | Token.GT | Token.EQUAL | Token.KW_IN
+  | Token.HAT | Token.PLUS | Token.MINUS | Token.STAR | Token.SLASH
+  | Token.PLUSPLUS | Token.DOTLPAR | Token.KW_MOD ->
+    true
+  | _ -> false
+
+and parse_comparison bound st i =
+  let lhs, i = parse_term bound st i in
+  match tok st i with
+  | Token.LE ->
+    let rhs, i = parse_term bound st (i + 1) in
+    (* <= is the prefix order on sequences and ≤ on integers; decide by
+       the shape of the operands *)
+    if seq_like lhs || seq_like rhs then (Assertion.Prefix (lhs, rhs), i)
+    else (Assertion.Cmp (Assertion.Le, lhs, rhs), i)
+  | Token.LT ->
+    let rhs, i = parse_term bound st (i + 1) in
+    (Assertion.Cmp (Assertion.Lt, lhs, rhs), i)
+  | Token.GE ->
+    let rhs, i = parse_term bound st (i + 1) in
+    (Assertion.Cmp (Assertion.Ge, lhs, rhs), i)
+  | Token.GT ->
+    let rhs, i = parse_term bound st (i + 1) in
+    (Assertion.Cmp (Assertion.Gt, lhs, rhs), i)
+  | Token.EQUAL ->
+    let rhs, i = parse_term bound st (i + 1) in
+    (Assertion.Eq (lhs, rhs), i)
+  | Token.KW_IN ->
+    let m, i = parse_vset st (i + 1) in
+    (Assertion.Mem (lhs, m), i)
+  | _ -> err st i "expected a comparison operator"
+
+and seq_like = function
+  | Term.Chan _ | Term.Cons _ | Term.Cat _ | Term.App _ -> true
+  | Term.Const (Value.Seq _) -> true
+  | _ -> false
+
+(* ---- top level ------------------------------------------------------ *)
+
+type raw_item =
+  | Raw_def of Defs.def
+  | Raw_decl of decl
+
+let parse_item st i =
+  match tok st i with
+  | Token.KW_ASSERT -> (
+    match tok st (i + 1) with
+    | Token.KW_FORALL ->
+      let x, j = ident st (i + 2) in
+      let j = expect st j Token.COLON in
+      let m, j = parse_vset st j in
+      let j = expect st j Token.DOT in
+      let q, j = ident st j in
+      let j = expect st j Token.LBRACKET in
+      let x', j = ident st j in
+      if not (String.equal x x') then
+        err st j "the array subscript must be the quantified variable";
+      let j = expect st j Token.RBRACKET in
+      let j = expect st j Token.KW_SAT in
+      let a, j = parse_assert [ x ] st j in
+      (Raw_decl (Assert_array (q, x, m, a)), j)
+    | _ ->
+      let name, j = ident st (i + 1) in
+      let j = expect st j Token.KW_SAT in
+      let a, j = parse_assert [] st j in
+      (Raw_decl (Assert_plain (name, a)), j))
+  | Token.IDENT name -> (
+    match tok st (i + 1) with
+    | Token.EQUAL ->
+      let p, j = parse_process st (i + 2) in
+      (Raw_def { Defs.name; param = None; body = p }, j)
+    | Token.LBRACKET ->
+      let x, j = ident st (i + 2) in
+      let j = expect st j Token.COLON in
+      let m, j = parse_vset st j in
+      let j = expect st j Token.RBRACKET in
+      let j = expect st j Token.EQUAL in
+      let p, j = parse_process st j in
+      (Raw_def { Defs.name; param = Some (x, m); body = p }, j)
+    | _ -> err st (i + 1) "expected '=' or '[param:set] =' after the name")
+  | _ -> err st i "expected a definition or an assertion"
+
+(* Fill the empty alphabets of inferred parallel compositions from the
+   channels each side can use, by base name. *)
+let rec resolve_alphabets defs p =
+  match p with
+  | Process.Stop | Process.Ref _ -> p
+  | Process.Output (c, e, k) -> Process.Output (c, e, resolve_alphabets defs k)
+  | Process.Input (c, x, m, k) ->
+    Process.Input (c, x, m, resolve_alphabets defs k)
+  | Process.Choice (a, b) ->
+    Process.Choice (resolve_alphabets defs a, resolve_alphabets defs b)
+  | Process.Hide (l, a) -> Process.Hide (l, resolve_alphabets defs a)
+  | Process.Par (xa, ya, a, b) ->
+    let a = resolve_alphabets defs a and b = resolve_alphabets defs b in
+    let xa = if xa = [] then Chan_set.bases (Defs.channel_bases defs a) else xa in
+    let ya = if ya = [] then Chan_set.bases (Defs.channel_bases defs b) else ya in
+    Process.Par (xa, ya, a, b)
+
+let parse_items input =
+  let st = { toks = Array.of_list (Lexer.tokenize input) } in
+  let rec go acc i =
+    if tok st i = Token.EOF then List.rev acc
+    else
+      let item, i = parse_item st i in
+      go (item :: acc) i
+  in
+  go [] 0
+
+let parse_file_exn input =
+  let items = parse_items input in
+  let defs =
+    List.fold_left
+      (fun defs -> function
+        | Raw_def d ->
+          if Defs.lookup defs d.Defs.name <> None then
+            raise
+              (Parse_error
+                 (Printf.sprintf "process %s is defined twice" d.Defs.name, 0, 0))
+          else Defs.add d defs
+        | Raw_decl _ -> defs)
+      Defs.empty items
+  in
+  let defs =
+    List.fold_left
+      (fun acc name ->
+        match Defs.lookup defs name with
+        | Some d ->
+          Defs.add { d with Defs.body = resolve_alphabets defs d.Defs.body } acc
+        | None -> acc)
+      Defs.empty (Defs.names defs)
+  in
+  let decls =
+    List.filter_map
+      (function Raw_decl d -> Some d | Raw_def _ -> None)
+      items
+  in
+  { defs; decls }
+
+let wrap f input =
+  match f input with
+  | v -> Ok v
+  | exception Parse_error (m, line, col) ->
+    Error (Printf.sprintf "%d:%d: %s" line col m)
+  | exception Lexer.Lex_error (m, line, col) ->
+    Error (Printf.sprintf "%d:%d: %s" line col m)
+
+let parse_file input = wrap parse_file_exn input
+
+let parse_process ?(defs = Defs.empty) input =
+  wrap
+    (fun input ->
+      let st = { toks = Array.of_list (Lexer.tokenize input) } in
+      let p, i = parse_process st 0 in
+      if tok st i <> Token.EOF then err st i "trailing input after the process";
+      resolve_alphabets defs p)
+    input
+
+let parse_value_set input =
+  wrap
+    (fun input ->
+      let st = { toks = Array.of_list (Lexer.tokenize input) } in
+      let m, i = parse_vset st 0 in
+      if tok st i <> Token.EOF then err st i "trailing input after the set";
+      m)
+    input
+
+let parse_assertion ?(bound = []) input =
+  wrap
+    (fun input ->
+      let st = { toks = Array.of_list (Lexer.tokenize input) } in
+      let a, i = parse_assert bound st 0 in
+      if tok st i <> Token.EOF then err st i "trailing input after the assertion";
+      a)
+    input

@@ -1,0 +1,60 @@
+(** Recursive-descent parser for the paper's notation.
+
+    Processes:
+    {v
+    copier = input?x:NAT -> wire!x -> copier
+    q[x:{0..3}] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])
+    protocol = chan wire; (sender || receiver)
+    network = copier [ {input,wire} || {wire,output} ] recopier
+    v}
+
+    [->] binds tighter than [|], which binds tighter than [||]
+    (all as in the paper).  Parallel alphabets may be given explicitly
+    with [P [ {…} || {…} ] Q]; a bare [P || Q] infers each side's
+    alphabet from the channels its text (and referenced definitions)
+    can use, by base name.
+
+    Assertions ([assert name sat …], or standalone via
+    {!parse_assertion}):
+    {v
+    assert copier sat wire <= input
+    assert forall x:{0..3}. q[x] sat f(wire) <= x^input
+    assert network sat forall i:NAT.
+      1 <= i & i <= #output => output.(i) = sum(j, 1, 3, <1,2,3>.(j) * row[j].(i))
+    v}
+
+    In assertion terms a bare identifier denotes a channel history
+    unless it is bound by a quantifier or [sum]; [s.(i)] is 1-based
+    indexing, [#s] length, [x^s] cons, [s ++ t] catenation, [<…>] a
+    sequence literal, and [f(s)] applies a registered sequence
+    function. *)
+
+type decl =
+  | Assert_plain of string * Csp_assertion.Assertion.t
+      (** [assert p sat R] *)
+  | Assert_array of string * string * Csp_lang.Vset.t * Csp_assertion.Assertion.t
+      (** [assert forall x:M. q[x] sat S] *)
+
+type file = { defs : Csp_lang.Defs.t; decls : decl list }
+
+exception Parse_error of string * int * int
+(** message, line, column *)
+
+val parse_file : string -> (file, string) result
+(** Parse definitions and assertion declarations; parallel alphabets
+    left implicit are resolved against the complete definition list. *)
+
+val parse_file_exn : string -> file
+
+val parse_process :
+  ?defs:Csp_lang.Defs.t -> string -> (Csp_lang.Process.t, string) result
+(** Parse a single process expression; [defs] is used to resolve
+    implicit parallel alphabets. *)
+
+val parse_assertion :
+  ?bound:string list -> string -> (Csp_assertion.Assertion.t, string) result
+(** [bound] lists identifiers to read as variables rather than
+    channels. *)
+
+val parse_value_set : string -> (Csp_lang.Vset.t, string) result
+(** Parse a value set in isolation, e.g. ["NAT"] or ["{0..3}"]. *)

@@ -1,0 +1,174 @@
+module Value = Csp_trace.Value
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Chan_set = Csp_lang.Chan_set
+module Expr = Csp_lang.Expr
+module Vset = Csp_lang.Vset
+module Defs = Csp_lang.Defs
+module Term = Csp_assertion.Term
+module Assertion = Csp_assertion.Assertion
+
+let value = function
+  | Value.Int n -> string_of_int n
+  | Value.Sym s -> s
+  | Value.Bool b -> if b then "true" else "false"
+  | (Value.Str _ | Value.Tuple _ | Value.Seq _) as v -> Value.to_string v
+
+let rec vset = function
+  | Vset.Nat -> "NAT"
+  | Vset.Bools -> "BOOL"
+  | Vset.Range (lo, hi) -> Printf.sprintf "{%d..%d}" lo hi
+  | Vset.Enum vs -> "{" ^ String.concat ", " (List.map value vs) ^ "}"
+  | Vset.Union (_, _) as u -> (
+    (* the grammar has no union syntax; flatten finite unions *)
+    match Vset.enumerate u with
+    | Some vs -> vset (Vset.Enum vs)
+    | None -> "NAT" (* degenerate: an infinite union prints as its carrier *))
+
+let rec expr = function
+  | Expr.Const v -> value v
+  | Expr.Var x -> x
+  | Expr.Neg e -> "-" ^ atom_expr e
+  | Expr.Add (a, b) -> Printf.sprintf "%s + %s" (expr a) (atom_expr b)
+  | Expr.Sub (a, b) -> Printf.sprintf "%s - %s" (expr a) (atom_expr b)
+  | Expr.Mul (a, b) -> Printf.sprintf "%s * %s" (atom_expr a) (atom_expr b)
+  | Expr.Div (a, b) -> Printf.sprintf "%s / %s" (atom_expr a) (atom_expr b)
+  | Expr.Mod (a, b) -> Printf.sprintf "%s mod %s" (atom_expr a) (atom_expr b)
+  | Expr.Idx (Expr.Var s, e) -> Printf.sprintf "%s[%s]" s (expr e)
+  | Expr.Idx (a, e) -> Printf.sprintf "(%s)[%s]" (expr a) (expr e)
+  | Expr.Tuple es -> "(" ^ String.concat ", " (List.map expr es) ^ ")"
+
+and atom_expr e =
+  match e with
+  | Expr.Const _ | Expr.Var _ | Expr.Idx (Expr.Var _, _) -> expr e
+  | _ -> "(" ^ expr e ^ ")"
+
+let chan_expr (c : Chan_expr.t) =
+  match c.Chan_expr.subs with
+  | [] -> c.Chan_expr.name
+  | subs ->
+    Printf.sprintf "%s[%s]" c.Chan_expr.name
+      (String.concat "," (List.map expr subs))
+
+let chan_item = function
+  | Chan_set.Chan ce -> chan_expr ce
+  | Chan_set.Family (n, Vset.Range (lo, hi)) ->
+    Printf.sprintf "%s[%d..%d]" n lo hi
+  | Chan_set.Family (n, _) | Chan_set.Base n -> n ^ "[*]"
+
+let chan_items items = String.concat ", " (List.map chan_item items)
+let chan_set items = "{" ^ chan_items items ^ "}"
+
+let rec process = function
+  | Process.Stop -> "STOP"
+  | Process.Ref (n, None) -> n
+  | Process.Ref (n, Some e) -> Printf.sprintf "%s[%s]" n (expr e)
+  | Process.Output (c, e, k) ->
+    Printf.sprintf "%s!%s -> %s" (chan_expr c) (expr e) (continuation k)
+  | Process.Input (c, x, m, k) ->
+    Printf.sprintf "%s?%s:%s -> %s" (chan_expr c) x (vset m) (continuation k)
+  | Process.Choice (a, b) ->
+    Printf.sprintf "%s | %s" (alt_operand a) (alt_operand b)
+  | Process.Par (xa, ya, a, b) ->
+    Printf.sprintf "%s [ %s || %s ] %s" (par_operand a) (chan_set xa)
+      (chan_set ya) (par_operand b)
+  | Process.Hide (l, p) ->
+    Printf.sprintf "chan %s; %s" (chan_items l) (process p)
+
+and continuation k =
+  match k with
+  | Process.Choice _ | Process.Par _ | Process.Hide _ ->
+    "(" ^ process k ^ ")"
+  | _ -> process k
+
+and alt_operand p =
+  match p with
+  | Process.Choice _ | Process.Par _ | Process.Hide _ ->
+    "(" ^ process p ^ ")"
+  | _ -> process p
+
+and par_operand p =
+  match p with
+  | Process.Par _ | Process.Hide _ | Process.Choice _ ->
+    "(" ^ process p ^ ")"
+  | _ -> process p
+
+let rec term ?(bound = []) t =
+  let go = term ~bound in
+  let at = atom_term ~bound in
+  match t with
+  | Term.Const (Value.Seq vs) ->
+    "<" ^ String.concat ", " (List.map value vs) ^ ">"
+  | Term.Const v -> value v
+  | Term.Var x -> x
+  | Term.Chan ce -> chan_expr ce
+  | Term.Len s -> "#" ^ at s
+  | Term.Index (s, i) -> Printf.sprintf "%s.(%s)" (at s) (go i)
+  | Term.Cons (x, s) -> Printf.sprintf "%s^%s" (at x) (at s)
+  | Term.Cat (s, t') -> Printf.sprintf "%s ++ %s" (at s) (at t')
+  | Term.App (f, s) -> Printf.sprintf "%s(%s)" f (go s)
+  | Term.Neg a -> "-" ^ at a
+  | Term.Add (a, b) -> Printf.sprintf "%s + %s" (go a) (at b)
+  | Term.Sub (a, b) -> Printf.sprintf "%s - %s" (go a) (at b)
+  | Term.Mul (a, b) -> Printf.sprintf "%s * %s" (at a) (at b)
+  | Term.Div (a, b) -> Printf.sprintf "%s / %s" (at a) (at b)
+  | Term.Mod (a, b) -> Printf.sprintf "%s mod %s" (at a) (at b)
+  | Term.Sum (x, lo, hi, body) ->
+    Printf.sprintf "sum(%s, %s, %s, %s)" x (go lo) (go hi)
+      (term ~bound:(x :: bound) body)
+
+and atom_term ~bound t =
+  match t with
+  | Term.Const _ | Term.Var _ | Term.Chan _ | Term.App _ | Term.Sum _
+  | Term.Len _ | Term.Index _ ->
+    term ~bound t
+  | _ -> "(" ^ term ~bound t ^ ")"
+
+let cmp = function
+  | Assertion.Le -> "<="
+  | Assertion.Lt -> "<"
+  | Assertion.Ge -> ">="
+  | Assertion.Gt -> ">"
+
+let rec assertion ?(bound = []) a =
+  let at = atom_assertion ~bound in
+  let tm = term ~bound in
+  match a with
+  | Assertion.True -> "true"
+  | Assertion.False -> "false"
+  | Assertion.Prefix (s, t) -> Printf.sprintf "%s <= %s" (tm s) (tm t)
+  | Assertion.Eq (s, t) -> Printf.sprintf "%s = %s" (tm s) (tm t)
+  | Assertion.Cmp (op, s, t) ->
+    Printf.sprintf "%s %s %s" (tm s) (cmp op) (tm t)
+  | Assertion.Mem (t, m) -> Printf.sprintf "%s in %s" (tm t) (vset m)
+  | Assertion.Not r -> "~" ^ at r
+  | Assertion.And (r, s) -> Printf.sprintf "%s & %s" (at r) (at s)
+  | Assertion.Or (r, s) -> Printf.sprintf "%s \\/ %s" (at r) (at s)
+  | Assertion.Imp (r, s) -> Printf.sprintf "%s => %s" (at r) (at s)
+  | Assertion.Forall (x, m, r) ->
+    Printf.sprintf "forall %s:%s. %s" x (vset m)
+      (assertion ~bound:(x :: bound) r)
+  | Assertion.Exists (x, m, r) ->
+    Printf.sprintf "exists %s:%s. %s" x (vset m)
+      (assertion ~bound:(x :: bound) r)
+
+and atom_assertion ~bound a =
+  match a with
+  | Assertion.True | Assertion.False | Assertion.Prefix _ | Assertion.Eq _
+  | Assertion.Cmp _ | Assertion.Mem _ | Assertion.Not _ ->
+    assertion ~bound a
+  | _ -> "(" ^ assertion ~bound a ^ ")"
+
+let defs ds =
+  let one d =
+    match d.Defs.param with
+    | None -> Printf.sprintf "%s = %s" d.Defs.name (process d.Defs.body)
+    | Some (x, m) ->
+      Printf.sprintf "%s[%s:%s] = %s" d.Defs.name x (vset m)
+        (process d.Defs.body)
+  in
+  String.concat "\n"
+    (List.filter_map (fun n -> Option.map one (Defs.lookup ds n)) (Defs.names ds))
+
+let pp_process ppf p = Format.pp_print_string ppf (process p)
+let pp_assertion ppf a = Format.pp_print_string ppf (assertion a)

@@ -1,0 +1,17 @@
+(** Printers producing the concrete syntax accepted by {!Parser}.
+
+    [Parser.parse_process (process p) = Ok p] and likewise for
+    assertions and definition files (round-tripping is property-tested),
+    with one caveat: channel-set items that match by base name print as
+    [name[*]]. *)
+
+val vset : Csp_lang.Vset.t -> string
+val expr : Csp_lang.Expr.t -> string
+val process : Csp_lang.Process.t -> string
+val term : ?bound:string list -> Csp_assertion.Term.t -> string
+val assertion : ?bound:string list -> Csp_assertion.Assertion.t -> string
+val defs : Csp_lang.Defs.t -> string
+(** One definition per line. *)
+
+val pp_process : Format.formatter -> Csp_lang.Process.t -> unit
+val pp_assertion : Format.formatter -> Csp_assertion.Assertion.t -> unit

@@ -1,0 +1,103 @@
+type t =
+  | IDENT of string
+  | INT of int
+  | EQUAL
+  | QUERY
+  | BANG
+  | COLON
+  | SEMI
+  | COMMA
+  | DOT
+  | DOTDOT
+  | DOTLPAR
+  | LPAR
+  | RPAR
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | ARROW
+  | BAR
+  | PARALLEL
+  | HAT
+  | HASH
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PLUSPLUS
+  | LE
+  | LT
+  | GE
+  | GT
+  | IMPLIES
+  | AMP
+  | OR
+  | TILDE
+  | EOF
+  | KW_STOP
+  | KW_CHAN
+  | KW_NAT
+  | KW_BOOL
+  | KW_FORALL
+  | KW_EXISTS
+  | KW_SAT
+  | KW_ASSERT
+  | KW_IN
+  | KW_SUM
+  | KW_TRUE
+  | KW_FALSE
+  | KW_MOD
+
+let to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | EQUAL -> "="
+  | QUERY -> "?"
+  | BANG -> "!"
+  | COLON -> ":"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | DOTLPAR -> ".("
+  | LPAR -> "("
+  | RPAR -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | ARROW -> "->"
+  | BAR -> "|"
+  | PARALLEL -> "||"
+  | HAT -> "^"
+  | HASH -> "#"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PLUSPLUS -> "++"
+  | LE -> "<="
+  | LT -> "<"
+  | GE -> ">="
+  | GT -> ">"
+  | IMPLIES -> "=>"
+  | AMP -> "&"
+  | OR -> "\\/"
+  | TILDE -> "~"
+  | EOF -> "<eof>"
+  | KW_STOP -> "STOP"
+  | KW_CHAN -> "chan"
+  | KW_NAT -> "NAT"
+  | KW_BOOL -> "BOOL"
+  | KW_FORALL -> "forall"
+  | KW_EXISTS -> "exists"
+  | KW_SAT -> "sat"
+  | KW_ASSERT -> "assert"
+  | KW_IN -> "in"
+  | KW_SUM -> "sum"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_MOD -> "mod"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,56 @@
+(** Tokens of the concrete syntax. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | EQUAL            (** [=] *)
+  | QUERY            (** [?] *)
+  | BANG             (** [!] *)
+  | COLON            (** [:] *)
+  | SEMI             (** [;] *)
+  | COMMA            (** [,] *)
+  | DOT              (** [.] *)
+  | DOTDOT           (** [..] *)
+  | DOTLPAR          (** [.(] — sequence indexing *)
+  | LPAR
+  | RPAR
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | ARROW            (** [->] *)
+  | BAR              (** [|] *)
+  | PARALLEL         (** [||] *)
+  | HAT              (** [^] *)
+  | HASH             (** [#] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PLUSPLUS         (** [++] *)
+  | LE               (** [<=] *)
+  | LT               (** [<]; also opens sequence literals, resolved by the parser *)
+  | GE
+  | GT               (** [>]; also closes sequence literals *)
+  | IMPLIES          (** [=>] *)
+  | AMP              (** [&] *)
+  | OR               (** [\/] *)
+  | TILDE            (** [~] *)
+  | EOF
+  (* keywords *)
+  | KW_STOP
+  | KW_CHAN
+  | KW_NAT
+  | KW_BOOL
+  | KW_FORALL
+  | KW_EXISTS
+  | KW_SAT
+  | KW_ASSERT
+  | KW_IN
+  | KW_SUM
+  | KW_TRUE
+  | KW_FALSE
+  | KW_MOD
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

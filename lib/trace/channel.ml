@@ -1,0 +1,33 @@
+type t = { name : string; indices : Value.t list }
+
+let make ?(indices = []) name = { name; indices }
+let simple name = { name; indices = [] }
+let indexed name i = { name; indices = [ Value.Int i ] }
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else Value.compare_list a.indices b.indices
+
+let equal a b = compare a b = 0
+let base c = c.name
+
+let pp ppf c =
+  match c.indices with
+  | [] -> Format.pp_print_string ppf c.name
+  | ix ->
+    Format.fprintf ppf "%s[%a]" c.name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Value.pp)
+      ix
+
+let to_string c = Format.asprintf "%a" pp c
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,24 @@
+(** Channel identifiers.
+
+    A channel is a base name with an optional list of (already evaluated)
+    subscripts, so that [col[0] .. col[3]] from the paper's multiplier
+    network are four distinct channels sharing the base name ["col"]. *)
+
+type t = { name : string; indices : Value.t list }
+
+val make : ?indices:Value.t list -> string -> t
+
+val simple : string -> t
+(** [simple n] is the unsubscripted channel named [n]. *)
+
+val indexed : string -> int -> t
+(** [indexed n i] is the channel [n[i]]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val base : t -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

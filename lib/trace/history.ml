@@ -1,0 +1,24 @@
+type t = Value.t list Channel.Map.t
+
+let empty = Channel.Map.empty
+let get h c = match Channel.Map.find_opt c h with Some v -> v | None -> []
+
+let set h c vs =
+  match vs with [] -> Channel.Map.remove c h | _ -> Channel.Map.add c vs h
+
+let extend h (e : Event.t) = set h e.chan (get h e.chan @ [ e.value ])
+let of_trace s = List.fold_left extend empty s
+let channels h = List.map fst (Channel.Map.bindings h)
+
+let equal a b =
+  Channel.Map.equal (fun x y -> Value.compare_list x y = 0) a b
+
+let pp ppf h =
+  let bind ppf (c, vs) =
+    Format.fprintf ppf "%a=%a" Channel.pp c Value.pp (Value.Seq vs)
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       bind)
+    (Channel.Map.bindings h)

@@ -1,0 +1,31 @@
+(** Channel histories: the paper's [ch(s)].
+
+    [ch(s)] maps every channel name onto the sequence of messages whose
+    communication along that channel is recorded in the trace [s], in
+    chronological order; channels not occurring in [s] map to the empty
+    sequence.  Assertions are evaluated in an environment extended with a
+    channel history. *)
+
+type t
+
+val empty : t
+
+val of_trace : Trace.t -> t
+(** [of_trace s] is [ch(s)]. *)
+
+val get : t -> Channel.t -> Value.t list
+(** [get h c] is [ch(s)(c)]; the empty sequence for unrecorded channels. *)
+
+val set : t -> Channel.t -> Value.t list -> t
+(** Functional override, used by tests and by the obligation prover when
+    enumerating candidate histories. *)
+
+val extend : t -> Event.t -> t
+(** [extend h e] appends [e.value] to the history of [e.chan]; satisfies
+    [of_trace (s @ [e]) = extend (of_trace s) e]. *)
+
+val channels : t -> Channel.t list
+(** Channels with a non-empty recorded history. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

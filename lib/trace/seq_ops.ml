@@ -1,0 +1,25 @@
+let rec is_prefix s t =
+  match s, t with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: s', y :: t' -> Value.equal x y && is_prefix s' t'
+
+let index s i = if i < 1 then None else List.nth_opt s (i - 1)
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let rec drop n = function
+  | [] -> []
+  | _ :: rest as s -> if n <= 0 then s else drop (n - 1) rest
+
+let rec common_prefix a b =
+  match a, b with
+  | x :: a', y :: b' when Value.equal x y -> x :: common_prefix a' b'
+  | _ -> []
+
+let rec alternate xs ys =
+  match xs, ys with
+  | [], rest | rest, [] -> rest
+  | x :: xs', y :: ys' -> x :: y :: alternate xs' ys'

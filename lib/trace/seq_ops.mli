@@ -1,0 +1,22 @@
+(** Pure operations on message sequences ([Value.t list]).
+
+    These implement the sequence operators of the paper's assertion
+    language: cons [x^s], length [#s], 1-based indexing [s_i], catenation
+    and the prefix order [s ≤ t]. *)
+
+val is_prefix : Value.t list -> Value.t list -> bool
+(** [is_prefix s t] is [s ≤ t]. *)
+
+val index : Value.t list -> int -> Value.t option
+(** [index s i] is the value of the [i]th message of [s], 1-based, as in
+    the paper's [sᵢ]; [None] when [i] is out of range. *)
+
+val take : int -> Value.t list -> Value.t list
+val drop : int -> Value.t list -> Value.t list
+
+val common_prefix : Value.t list -> Value.t list -> Value.t list
+(** The longest common prefix of two sequences. *)
+
+val alternate : Value.t list -> Value.t list -> Value.t list
+(** [alternate xs ys] interleaves strictly: x1,y1,x2,y2,…  Used to build
+    wire histories (message then acknowledgement) in tests. *)

@@ -1,0 +1,54 @@
+type t = Event.t list
+
+let empty = []
+let length = List.length
+
+let rec compare a b =
+  match a, b with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' ->
+    let c = Event.compare x y in
+    if c <> 0 then c else compare a' b'
+
+let equal a b = compare a b = 0
+
+let rec is_prefix s t =
+  match s, t with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: s', y :: t' -> Event.equal x y && is_prefix s' t'
+
+let hide in_c s = List.filter (fun (e : Event.t) -> not (in_c e.chan)) s
+let restrict in_c s = List.filter (fun (e : Event.t) -> in_c e.chan) s
+
+let channels s =
+  List.fold_left
+    (fun acc (e : Event.t) -> Channel.Set.add e.chan acc)
+    Channel.Set.empty s
+
+let prefixes s =
+  let rec go acc rev_pref = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      let rev_pref = e :: rev_pref in
+      go (List.rev rev_pref :: acc) rev_pref rest
+  in
+  go [ [] ] [] s
+
+let rec interleavings a b =
+  match a, b with
+  | [], s | s, [] -> [ s ]
+  | x :: a', y :: b' ->
+    List.map (fun s -> x :: s) (interleavings a' b)
+    @ List.map (fun s -> y :: s) (interleavings a b')
+
+let pp ppf s =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Event.pp)
+    s
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,38 @@
+(** Traces: finite sequences of communication events.
+
+    A trace records the communications a process has engaged in up to
+    some moment in time, in chronological order.  The two operations the
+    paper's model relies on are the prefix order (used everywhere) and
+    the restriction [s\C] that omits all communications along a given
+    set of channels (used for hiding and for the parallel operator). *)
+
+type t = Event.t list
+
+val empty : t
+val length : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_prefix : t -> t -> bool
+(** [is_prefix s t] is the paper's [s ≤ t]: ∃u. s ^ u = t. *)
+
+val hide : (Channel.t -> bool) -> t -> t
+(** [hide in_c s] is the paper's [s\C]: the subsequence of [s] with all
+    events on channels satisfying [in_c] removed. *)
+
+val restrict : (Channel.t -> bool) -> t -> t
+(** [restrict in_c s] keeps only the events on channels satisfying
+    [in_c]; equal to [hide (fun c -> not (in_c c)) s]. *)
+
+val channels : t -> Channel.Set.t
+(** The set of channels on which [s] communicates. *)
+
+val prefixes : t -> t list
+(** All prefixes of [s], shortest first (including [empty] and [s]). *)
+
+val interleavings : t -> t -> t list
+(** All interleavings of two traces.  Used by tests of the paper's
+    [P ⇑ C] operator; exponential, intended for short traces only. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,61 @@
+type t =
+  | Int of int
+  | Bool of bool
+  | Sym of string
+  | Str of string
+  | Tuple of t list
+  | Seq of t list
+
+let rec compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, _ -> -1
+  | _, Sym _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Tuple xs, Tuple ys -> compare_list xs ys
+  | Tuple _, _ -> -1
+  | _, Tuple _ -> 1
+  | Seq xs, Seq ys -> compare_list xs ys
+
+and compare_list xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs' ys'
+
+let equal a b = compare a b = 0
+
+let ack = Sym "ACK"
+let nack = Sym "NACK"
+let int n = Int n
+let sym s = Sym s
+let seq xs = Seq xs
+
+let to_int = function Int n -> Some n | _ -> None
+let to_seq = function Seq xs -> Some xs | _ -> None
+let is_int = function Int _ -> true | _ -> false
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Bool b -> Format.pp_print_bool ppf b
+  | Sym s -> Format.pp_print_string ppf s
+  | Str s -> Format.fprintf ppf "%S" s
+  | Tuple xs ->
+    Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:comma pp) xs
+  | Seq xs ->
+    Format.fprintf ppf "<%a>" (Format.pp_print_list ~pp_sep:comma pp) xs
+
+and comma ppf () = Format.fprintf ppf ", "
+
+let to_string v = Format.asprintf "%a" pp v

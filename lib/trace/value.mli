@@ -1,0 +1,40 @@
+(** Message values.
+
+    The paper deliberately leaves the space of message values open: the
+    examples use natural numbers, acknowledgement signals ([ACK], [NACK])
+    and — in assertions — finite sequences of such values.  We therefore
+    provide a small universal datatype with a total order, so values can
+    be used both as messages on channels and as channel subscripts. *)
+
+type t =
+  | Int of int          (** integers, including the naturals of [NAT] *)
+  | Bool of bool
+  | Sym of string       (** atomic signals such as [ACK], [NACK] *)
+  | Str of string
+  | Tuple of t list
+  | Seq of t list       (** finite sequences, used by the assertion language *)
+
+val compare : t -> t -> int
+val compare_list : t list -> t list -> int
+val equal : t -> t -> bool
+
+val ack : t
+(** The acknowledgement signal [Sym "ACK"] of the paper's protocol. *)
+
+val nack : t
+(** The negative acknowledgement signal [Sym "NACK"]. *)
+
+val int : int -> t
+val sym : string -> t
+val seq : t list -> t
+
+val to_int : t -> int option
+(** [to_int v] is [Some n] when [v] is [Int n]. *)
+
+val to_seq : t -> t list option
+(** [to_seq v] is [Some xs] when [v] is [Seq xs]. *)
+
+val is_int : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,213 @@
+(* Strong bisimulation minimisation over explored transition systems. *)
+
+open Csp
+open Test_support
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let cfg ?(defs = Defs.empty) () = Step.config ~sampler:(Sampler.nat_bound 2) defs
+let out c v k = Process.send c (Expr.int v) k
+
+let test_minimise_unrolled_copier () =
+  (* an unrolled copier (two half-steps chained) is bisimilar to the
+     one-equation copier and minimises to the same number of classes *)
+  let defs =
+    defs_copier
+    |> Defs.define "copier2"
+         (Process.recv "input" "x" Vset.Nat
+            (Process.send "wire" (Expr.Var "x") (Process.ref_ "copier3")))
+    |> Defs.define "copier3"
+         (Process.recv "input" "y" Vset.Nat
+            (Process.send "wire" (Expr.Var "y") (Process.ref_ "copier2")))
+  in
+  let c = cfg ~defs () in
+  check_bool "copier ~ copier2" true
+    (Bisim.equivalent c (Process.ref_ "copier") (Process.ref_ "copier2"));
+  let lts2 = Lts.explore c (Process.ref_ "copier2") in
+  let min2 = Bisim.minimise lts2 in
+  let lts1 = Lts.explore c (Process.ref_ "copier") in
+  check_int "unrolled graph is bigger" 6 (Lts.num_states lts2);
+  check_int "minimises to the one-equation graph" (Lts.num_states lts1)
+    (Lts.num_states min2)
+
+let test_not_equivalent () =
+  let c = cfg () in
+  let p = out "a" 1 Process.Stop in
+  let q = out "a" 2 Process.Stop in
+  check_bool "different values" false (Bisim.equivalent c p q);
+  check_bool "different lengths" false
+    (Bisim.equivalent c p (out "a" 1 (out "a" 1 Process.Stop)));
+  check_bool "stop vs step" false (Bisim.equivalent c Process.Stop p)
+
+let test_branching_vs_linear () =
+  (* a.(b + c) vs a.b + a.c: trace-equivalent but NOT bisimilar *)
+  let c = cfg () in
+  let branching =
+    out "a" 0 (Process.Choice (out "b" 0 Process.Stop, out "c" 0 Process.Stop))
+  in
+  let linear =
+    Process.Choice
+      (out "a" 0 (out "b" 0 Process.Stop), out "a" 0 (out "c" 0 Process.Stop))
+  in
+  check_bool "same traces" true
+    (Closure.equal
+       (Step.traces c ~depth:3 branching)
+       (Step.traces c ~depth:3 linear));
+  check_bool "not bisimilar" false (Bisim.equivalent c branching linear)
+
+let test_quotient_preserves_traces () =
+  let defs = Paper.Protocol.defs in
+  let c = Step.config ~sampler:(Sampler.nat_bound 2) defs in
+  let lts = Lts.explore c Paper.Protocol.network in
+  let min = Bisim.minimise lts in
+  check_bool "no bigger" true (Lts.num_states min <= Lts.num_states lts);
+  check_int "same deadlock count class-wise" 0
+    (List.length (Lts.deadlock_states min));
+  check_bool "initial preserved" true
+    (min.Lts.initial < Lts.num_states min)
+
+let test_hidden_labels_distinguish () =
+  (* a visible a.0 and a hidden a.0 are different labels *)
+  let c = cfg () in
+  let visible = out "a" 0 Process.Stop in
+  let hidden = Process.Hide (Chan_set.of_names [ "a" ], visible) in
+  check_bool "visibility matters" false (Bisim.equivalent c visible hidden)
+
+let test_weak_equivalence () =
+  let c = cfg () in
+  (* hidden prefix becomes invisible *)
+  let hidden =
+    Process.Hide (Chan_set.of_names [ "a" ], out "a" 0 (out "b" 1 Process.Stop))
+  in
+  let spec = out "b" 1 Process.Stop in
+  check_bool "not strongly equivalent" false (Bisim.equivalent c hidden spec);
+  check_bool "weakly equivalent" true (Bisim.weak_equivalent c hidden spec);
+  (* hidden chatter in the middle *)
+  let chatty =
+    Process.Hide
+      ( Chan_set.of_names [ "t" ],
+        out "b" 1 (out "t" 0 (out "t" 0 (out "c" 2 Process.Stop))) )
+  in
+  check_bool "chatter collapses" true
+    (Bisim.weak_equivalent c chatty (out "b" 1 (out "c" 2 Process.Stop)));
+  (* weak equivalence still distinguishes real visible differences *)
+  check_bool "values still matter" false
+    (Bisim.weak_equivalent c hidden (out "b" 2 Process.Stop))
+
+let test_weak_protocol_not_one_place_buffer () =
+  (* the protocol pipelines one message in flight on each side, so it is
+     NOT a one-place buffer: input.1 can precede output.0 *)
+  let defs =
+    Defs.add
+      {
+        Defs.name = "buffer";
+        param = None;
+        body =
+          Process.recv "input" "x" Paper.Protocol.message_set
+            (Process.send "output" (Expr.Var "x") (Process.ref_ "buffer"));
+      }
+      Paper.Protocol.defs
+  in
+  let c = Step.config ~sampler:(Sampler.nat_bound 2) defs in
+  check_bool "protocol is not a one-place buffer" false
+    (Bisim.weak_equivalent c Paper.Protocol.protocol (Process.ref_ "buffer"))
+
+let test_copier_pipe_is_two_place_buffer () =
+  (* a small theorem: the copier pipeline with its wire concealed is
+     observation-equivalent to a two-place buffer — the copier and the
+     recopier each hold at most one message.  The buffer's two slots are
+     encoded in process names (empty / one / two), with the pair of held
+     values packed as 2x+y over the sampled message set {0,1}. *)
+  let v = Vset.Range (0, 1) in
+  let defs =
+    Paper.Copier.defs
+    |> Defs.define "buf0"
+         (Process.recv "input" "x" v (Process.call "buf1" (Expr.Var "x")))
+    |> Defs.define_array "buf1" "x" v
+         (Process.Choice
+            ( Process.send "output" (Expr.Var "x") (Process.ref_ "buf0"),
+              Process.recv "input" "y" v
+                (Process.call "buf2"
+                   (Expr.Add (Expr.Mul (Expr.int 2, Expr.Var "x"), Expr.Var "y")))
+            ))
+    |> Defs.define_array "buf2" "p" (Vset.Range (0, 3))
+         (Process.Output
+            ( Chan_expr.simple "output",
+              Expr.Div (Expr.Var "p", Expr.int 2),
+              Process.call "buf1" (Expr.Mod (Expr.Var "p", Expr.int 2)) ))
+  in
+  (* the copier pipe writes on "wire" concealed, "output" renamed: reuse
+     Paper.Copier.pipe whose channels are input/output already *)
+  let defs =
+    defs
+    |> Defs.define "onebuf"
+         (Process.recv "input" "x" v
+            (Process.send "output" (Expr.Var "x") (Process.ref_ "onebuf")))
+  in
+  let c = Step.config ~sampler:(Sampler.nat_bound 2) defs in
+  check_bool "pipe ~ two-place buffer (weak)" true
+    (Bisim.weak_equivalent c Paper.Copier.pipe (Process.ref_ "buf0"));
+  check_bool "pipe is not a one-place buffer" false
+    (Bisim.weak_equivalent c Paper.Copier.pipe (Process.ref_ "onebuf"))
+
+let prop_weak_coarser_than_strong =
+  qcheck_case ~count:40 "strong equivalence implies weak"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (p, q) ->
+      if Bisim.equivalent (cfg ()) p q then Bisim.weak_equivalent (cfg ()) p q
+      else true)
+
+let prop_reflexive =
+  qcheck_case ~count:60 "bisimilarity is reflexive" process_gen (fun p ->
+      Bisim.equivalent (cfg ()) p p)
+
+let prop_bisim_implies_trace_equiv =
+  qcheck_case ~count:60 "bisimilar processes have equal traces"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (p, q) ->
+      if Bisim.equivalent (cfg ()) p q then
+        Closure.equal
+          (Step.traces (cfg ()) ~depth:4 p)
+          (Step.traces (cfg ()) ~depth:4 q)
+      else true)
+
+let prop_minimise_idempotent =
+  qcheck_case ~count:60 "minimisation is idempotent" process_gen (fun p ->
+      let lts = Lts.explore (cfg ()) p in
+      let m1 = Bisim.minimise lts in
+      let m2 = Bisim.minimise m1 in
+      Lts.num_states m1 = Lts.num_states m2
+      && Lts.num_transitions m1 = Lts.num_transitions m2)
+
+let () =
+  Alcotest.run "bisim"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "unrolled copier" `Quick
+            test_minimise_unrolled_copier;
+          Alcotest.test_case "inequivalences" `Quick test_not_equivalent;
+          Alcotest.test_case "branching vs linear" `Quick
+            test_branching_vs_linear;
+          Alcotest.test_case "visibility distinguishes" `Quick
+            test_hidden_labels_distinguish;
+          prop_reflexive;
+          prop_bisim_implies_trace_equiv;
+        ] );
+      ( "weak",
+        [
+          Alcotest.test_case "hidden prefixes collapse" `Quick
+            test_weak_equivalence;
+          Alcotest.test_case "protocol vs one-place buffer" `Quick
+            test_weak_protocol_not_one_place_buffer;
+          Alcotest.test_case "copier pipe = two-place buffer" `Quick
+            test_copier_pipe_is_two_place_buffer;
+          prop_weak_coarser_than_strong;
+        ] );
+      ( "minimisation",
+        [
+          Alcotest.test_case "protocol quotient" `Quick
+            test_quotient_preserves_traces;
+          prop_minimise_idempotent;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Proof certificates: write/read round trips, independence from the
+   tactic, and rejection of tampered certificates. *)
+
+open Csp
+open Test_support
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prove ctx tables j =
+  match Tactic.prove_and_check ~tables ctx j with
+  | Ok (proof, _) -> proof
+  | Error m -> Alcotest.failf "setup proof failed: %s" m
+
+let corpus () =
+  (* the full protocol corpus, as `cspc prove --emit` would produce it *)
+  let ctx = Sequent.context Paper.Protocol.defs in
+  let tables = Paper.Protocol.tables in
+  let x, m, s = Paper.Protocol.q_spec in
+  List.map
+    (fun j -> (j, prove ctx tables j))
+    [
+      Sequent.Holds (Paper.Protocol.sender, Paper.Protocol.sender_spec);
+      Sequent.Holds_all ("q", x, m, s);
+      Sequent.Holds (Paper.Protocol.receiver, Paper.Protocol.receiver_spec);
+      Sequent.Holds (Paper.Protocol.protocol, Paper.Protocol.protocol_spec);
+    ]
+
+let rec proof_equal (a : Proof.t) (b : Proof.t) =
+  match a, b with
+  | Proof.Assumption, Proof.Assumption
+  | Proof.Triviality, Proof.Triviality
+  | Proof.Emptiness, Proof.Emptiness ->
+    true
+  | Proof.Consequence (r1, p1), Proof.Consequence (r2, p2) ->
+    Assertion.equal r1 r2 && proof_equal p1 p2
+  | Proof.Conjunction (p1, q1), Proof.Conjunction (p2, q2)
+  | Proof.Alternative (p1, q1), Proof.Alternative (p2, q2) ->
+    proof_equal p1 p2 && proof_equal q1 q2
+  | Proof.Output_rule p1, Proof.Output_rule p2
+  | Proof.Chan_rule p1, Proof.Chan_rule p2
+  | Proof.Unfold p1, Proof.Unfold p2 ->
+    proof_equal p1 p2
+  | Proof.Input_rule (v1, p1), Proof.Input_rule (v2, p2) ->
+    String.equal v1 v2 && proof_equal p1 p2
+  | Proof.Parallelism (r1, s1, p1, q1), Proof.Parallelism (r2, s2, p2, q2) ->
+    Assertion.equal r1 r2 && Assertion.equal s1 s2 && proof_equal p1 p2
+    && proof_equal q1 q2
+  | Proof.Forall_elim (x1, m1, s1, p1), Proof.Forall_elim (x2, m2, s2, p2) ->
+    String.equal x1 x2 && Vset.equal m1 m2 && Assertion.equal s1 s2
+    && proof_equal p1 p2
+  | Proof.Fix (s1, i1), Proof.Fix (s2, i2) ->
+    i1 = i2
+    && List.length s1 = List.length s2
+    && List.for_all2
+         (fun a b ->
+           Sequent.hyp_equal a.Proof.spec_hyp b.Proof.spec_hyp
+           && String.equal a.Proof.fresh b.Proof.fresh
+           && proof_equal a.Proof.body_proof b.Proof.body_proof)
+         s1 s2
+  | _ -> false
+
+let judgment_equal a b =
+  match a, b with
+  | Sequent.Holds (p1, r1), Sequent.Holds (p2, r2) ->
+    Process.equal p1 p2 && Assertion.equal r1 r2
+  | Sequent.Holds_all (q1, x1, m1, s1), Sequent.Holds_all (q2, x2, m2, s2) ->
+    String.equal q1 q2 && String.equal x1 x2 && Vset.equal m1 m2
+    && Assertion.equal s1 s2
+  | _ -> false
+
+let test_roundtrip_each () =
+  List.iter
+    (fun (j, proof) ->
+      match Cert.read (Cert.write j proof) with
+      | Ok (j', proof') ->
+        check_bool "judgment preserved" true (judgment_equal j j');
+        check_bool "proof preserved" true (proof_equal proof proof')
+      | Error m -> Alcotest.fail m)
+    (corpus ())
+
+let test_roundtrip_many () =
+  let items = corpus () in
+  match Cert.read_many (Cert.write_many items) with
+  | Ok items' -> check_int "all four" (List.length items) (List.length items')
+  | Error m -> Alcotest.fail m
+
+let test_recheck_without_tactic () =
+  (* certificates verify with Check alone — no invariant tables *)
+  let ctx = Sequent.context Paper.Protocol.defs in
+  List.iter
+    (fun (j, proof) ->
+      match Cert.read (Cert.write j proof) with
+      | Error m -> Alcotest.fail m
+      | Ok (j', proof') ->
+        check_bool "re-checks" true (Result.is_ok (Check.check ctx j' proof')))
+    (corpus ())
+
+let test_tampered_judgment_rejected () =
+  (* claim a stronger judgment over the same proof: must be rejected *)
+  let ctx = Sequent.context Paper.Protocol.defs in
+  let j, proof =
+    List.hd (corpus ())
+    (* sender sat f(wire) <= input *)
+  in
+  let stronger =
+    Sequent.Holds
+      (Paper.Protocol.sender,
+       Assertion.Prefix (Term.chan "wire", Term.chan "input"))
+  in
+  let text = Cert.write stronger proof in
+  (match Cert.read text with
+  | Ok (j', proof') ->
+    check_bool "tampered certificate rejected" true
+      (Result.is_error (Check.check ctx j' proof'))
+  | Error m -> Alcotest.fail m);
+  ignore j
+
+let test_garbage_rejected () =
+  check_bool "not sexp" true (Result.is_error (Cert.read "(((("));
+  check_bool "wrong shape" true (Result.is_error (Cert.read "(foo bar)"));
+  check_bool "bad assertion" true
+    (Result.is_error (Cert.read
+       "(cert (judgment (sat copier \"wire <= <=\")) (proof emptiness))"));
+  check_bool "empty input" true (Result.is_error (Cert.read ""))
+
+let test_bound_variables_roundtrip () =
+  (* assertions under input binders contain variables that must not be
+     reparsed as channels *)
+  let ctx = Sequent.context defs_copier in
+  let spec = Assertion.Prefix (Term.chan "wire", Term.chan "input") in
+  let tables = Tactic.tables ~invariants:[ ("copier", spec) ] () in
+  let j = Sequent.Holds (Process.ref_ "copier", spec) in
+  let proof = prove ctx tables j in
+  match Cert.read (Cert.write j proof) with
+  | Ok (j', proof') ->
+    check_bool "proof preserved" true (proof_equal proof proof');
+    check_bool "still checks" true (Result.is_ok (Check.check ctx j' proof'))
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "cert"
+    [
+      ( "round-trips",
+        [
+          Alcotest.test_case "each certificate" `Slow test_roundtrip_each;
+          Alcotest.test_case "concatenated" `Slow test_roundtrip_many;
+          Alcotest.test_case "bound variables" `Quick
+            test_bound_variables_roundtrip;
+        ] );
+      ( "checking",
+        [
+          Alcotest.test_case "verifies without the tactic" `Slow
+            test_recheck_without_tactic;
+          Alcotest.test_case "tampering rejected" `Slow
+            test_tampered_judgment_rejected;
+          Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+        ] );
+    ]

@@ -1,0 +1,263 @@
+(* Denotational semantics: fixpoint approximations and consistency with
+   the operational enumeration (E4/E5 of the experiment index), plus the
+   §4 model identities (E8). *)
+
+open Csp
+open Test_support
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check = Alcotest.check
+
+let sampler = Sampler.nat_bound 2
+let dcfg ?(defs = Defs.empty) () = Denote.config ~sampler defs
+let scfg ?(defs = Defs.empty) () = Step.config ~sampler defs
+
+let out c v k = Process.send c (Expr.int v) k
+
+let test_stop_denotes_empty () =
+  check closure_testable "⟦STOP⟧ = {<>}" Closure.empty
+    (Denote.denote (dcfg ()) ~depth:5 Process.Stop)
+
+let test_prefix_denotation () =
+  let p = out "a" 1 (out "b" 2 Process.Stop) in
+  let d = Denote.denote (dcfg ()) ~depth:5 p in
+  check_int "three traces" 3 (Closure.cardinal d);
+  check_bool "full trace" true (Closure.mem [ ev "a" 1; ev "b" 2 ] d)
+
+let test_depth_zero () =
+  let p = out "a" 1 Process.Stop in
+  check closure_testable "depth 0 is a₀" Closure.empty
+    (Denote.denote (dcfg ()) ~depth:0 p)
+
+let test_approximations_ascend () =
+  let defs = defs_copier in
+  let chain =
+    Denote.approximations (dcfg ~defs ()) ~depth:4 ~n:6 (Process.ref_ "copier")
+  in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> Closure.subset a b && ascending rest
+    | _ -> true
+  in
+  check_bool "a₀ ⊆ a₁ ⊆ …" true (ascending chain);
+  check closure_testable "a₀ is ⟦STOP⟧" Closure.empty (List.hd chain)
+
+let test_fixpoint_stabilises () =
+  let defs = defs_copier in
+  let chain =
+    Denote.approximations (dcfg ~defs ()) ~depth:3 ~n:14 (Process.ref_ "copier")
+  in
+  (* once the recursion depth passes the trace depth, nothing changes *)
+  let last = List.nth chain 13 and prev = List.nth chain 12 in
+  check closure_testable "stable" prev last;
+  check closure_testable "denote computes the limit" last
+    (Denote.denote (dcfg ~defs ()) ~depth:3 (Process.ref_ "copier"))
+
+let test_denote_copier_spec () =
+  (* every denotational trace satisfies wire ≤ input *)
+  let defs = defs_copier in
+  let d = Denote.denote (dcfg ~defs ()) ~depth:5 (Process.ref_ "copier") in
+  let spec = Assertion.Prefix (Term.chan "wire", Term.chan "input") in
+  match Sat.check_closure d spec with
+  | Sat.Holds _ -> ()
+  | Sat.Fails { trace } -> Alcotest.failf "fails on %a" Trace.pp trace
+
+let test_mutual_recursion () =
+  (* ping = a!0 -> pong ; pong = b!1 -> ping *)
+  let defs =
+    Defs.empty
+    |> Defs.define "ping" (out "a" 0 (Process.ref_ "pong"))
+    |> Defs.define "pong" (out "b" 1 (Process.ref_ "ping"))
+  in
+  let d = Denote.denote (dcfg ~defs ()) ~depth:4 (Process.ref_ "ping") in
+  check_bool "alternates" true
+    (Closure.mem [ ev "a" 0; ev "b" 1; ev "a" 0; ev "b" 1 ] d);
+  check_int "single maximal trace" 1 (List.length (Closure.maximal_traces d))
+
+let test_process_array_denotation () =
+  let defs =
+    Defs.empty
+    |> Defs.define_array "echo" "x" (Vset.Range (0, 2))
+         (Process.Output
+            (Chan_expr.simple "a", Expr.Var "x", Process.call "echo" (Expr.Var "x")))
+  in
+  let d =
+    Denote.denote (dcfg ~defs ()) ~depth:3 (Process.call "echo" (Expr.int 2))
+  in
+  check_bool "echoes its subscript" true
+    (Closure.mem [ ev "a" 2; ev "a" 2; ev "a" 2 ] d);
+  check_int "deterministic" 1 (List.length (Closure.maximal_traces d))
+
+let test_hide_lookahead () =
+  (* (chan a; a!0 -> a!0 -> b!1 -> STOP): two hidden events precede the
+     visible one, so depth 1 needs look-ahead — hide_extra supplies it. *)
+  let p =
+    Process.Hide
+      (Chan_set.of_names [ "a" ], out "a" 0 (out "a" 0 (out "b" 1 Process.Stop)))
+  in
+  let d = Denote.denote (dcfg ()) ~depth:1 p in
+  check_bool "b visible through hidden prefix" true (Closure.mem [ ev "b" 1 ] d)
+
+(* E5: operational vs denotational agreement on random processes. *)
+let prop_op_vs_deno =
+  qcheck_case ~count:120 "operational = denotational (random processes)"
+    process_gen (fun p ->
+      match
+        Equiv.operational_vs_denotational ~depth:4 (scfg ()) (dcfg ()) p
+      with
+      | Ok () -> true
+      | Error s ->
+        QCheck2.Test.fail_reportf "disagree on %s" (Trace.to_string s))
+
+let test_op_vs_deno_copier () =
+  let defs = defs_copier in
+  match
+    Equiv.operational_vs_denotational ~depth:5 (scfg ~defs ()) (dcfg ~defs ())
+      (Process.ref_ "copier")
+  with
+  | Ok () -> ()
+  | Error s -> Alcotest.failf "disagree on %a" Trace.pp s
+
+let test_op_vs_deno_copier_network () =
+  match
+    Equiv.operational_vs_denotational ~depth:4
+      (Step.config ~sampler Paper.Copier.defs)
+      (Denote.config ~sampler Paper.Copier.defs)
+      Paper.Copier.network
+  with
+  | Ok () -> ()
+  | Error s -> Alcotest.failf "disagree on %a" Trace.pp s
+
+(* Trace refinement. *)
+let test_trace_refinement () =
+  let defs =
+    Defs.add
+      {
+        Defs.name = "buffer";
+        param = None;
+        body =
+          Process.recv "input" "x" Paper.Protocol.message_set
+            (Process.send "output" (Expr.Var "x") (Process.ref_ "buffer"));
+      }
+      Paper.Protocol.defs
+  in
+  let cfg = Step.config ~sampler defs in
+  (* a one-place buffer refines the protocol: it allows strictly fewer
+     behaviours *)
+  (match
+     Equiv.trace_refines ~depth:4 cfg ~impl:(Process.ref_ "buffer")
+       ~spec:Paper.Protocol.protocol
+   with
+  | Ok () -> ()
+  | Error s -> Alcotest.failf "buffer should refine protocol: %a" Trace.pp s);
+  (* the converse fails: the protocol accepts a second input before the
+     first output *)
+  match
+    Equiv.trace_refines ~depth:4 cfg ~impl:Paper.Protocol.protocol
+      ~spec:(Process.ref_ "buffer")
+  with
+  | Error s -> check_int "shortest counterexample" 2 (List.length s)
+  | Ok () -> Alcotest.fail "protocol is not a one-place buffer"
+
+let prop_refinement_reflexive =
+  qcheck_case ~count:60 "trace refinement is reflexive" process_gen (fun p ->
+      Result.is_ok
+        (Equiv.trace_refines ~depth:3 (scfg ()) ~impl:p ~spec:p))
+
+let prop_refinement_preserves_sat =
+  (* the semantic heart of `sat`: assertions are properties of trace
+     sets, so refinement preserves them — if impl ⊑ spec and spec sat R,
+     then impl sat R *)
+  qcheck_case ~count:60 "refinement preserves sat"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (impl, spec) ->
+      if Result.is_ok (Equiv.trace_refines ~depth:3 (scfg ()) ~impl ~spec) then
+        let r =
+          Assertion.Cmp
+            (Assertion.Le, Term.Len (Term.chan "a"),
+             Term.Add (Term.Len (Term.chan "b"), Term.int 2))
+        in
+        match Sat.check ~depth:3 (scfg ()) spec r with
+        | Sat.Holds _ -> (
+          match Sat.check ~depth:3 (scfg ()) impl r with
+          | Sat.Holds _ -> true
+          | Sat.Fails _ -> false)
+        | Sat.Fails _ -> true
+      else true)
+
+let prop_choice_refines =
+  qcheck_case ~count:60 "each branch refines the alternative"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (p, q) ->
+      Result.is_ok
+        (Equiv.trace_refines ~depth:3 (scfg ())
+           ~impl:p ~spec:(Process.Choice (p, q))))
+
+(* E8: the §4 identities. *)
+let test_stop_choice_identity () =
+  let defs = defs_copier in
+  check_bool "STOP | copier = copier" true
+    (Equiv.stop_choice_identity ~depth:4 (dcfg ~defs ()) (Process.ref_ "copier"))
+
+let prop_stop_choice_identity =
+  qcheck_case ~count:100 "STOP | P = P in the model (always)" process_gen
+    (fun p -> Equiv.stop_choice_identity ~depth:4 (dcfg ()) p)
+
+let test_deadlock_after_k_invisible () =
+  (* Q may deadlock after one communication of behaviour common with P;
+     the model cannot see it: (a!0 -> STOP | P) = P whenever a!0-then-
+     deadlock's traces are included in P's. *)
+  let p = out "a" 0 (out "b" 1 Process.Stop) in
+  let q = out "a" 0 Process.Stop in
+  check_bool "choice absorption" true
+    (Equiv.choice_absorption ~depth:4 (dcfg ()) q p)
+
+let prop_choice_absorption =
+  qcheck_case ~count:80 "Q | P = P whenever ⟦Q⟧ ⊆ ⟦P⟧"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (q, p) -> Equiv.choice_absorption ~depth:4 (dcfg ()) q p)
+
+let () =
+  Alcotest.run "denote"
+    [
+      ( "denotations",
+        [
+          Alcotest.test_case "STOP" `Quick test_stop_denotes_empty;
+          Alcotest.test_case "prefixes" `Quick test_prefix_denotation;
+          Alcotest.test_case "depth zero" `Quick test_depth_zero;
+          Alcotest.test_case "hide look-ahead" `Quick test_hide_lookahead;
+        ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "approximations ascend" `Quick
+            test_approximations_ascend;
+          Alcotest.test_case "stabilisation" `Quick test_fixpoint_stabilises;
+          Alcotest.test_case "copier invariant" `Quick test_denote_copier_spec;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "process arrays" `Quick
+            test_process_array_denotation;
+        ] );
+      ( "consistency(E5)",
+        [
+          prop_op_vs_deno;
+          Alcotest.test_case "copier" `Quick test_op_vs_deno_copier;
+          Alcotest.test_case "copier network" `Quick
+            test_op_vs_deno_copier_network;
+        ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "protocol vs buffer" `Quick test_trace_refinement;
+          prop_refinement_reflexive;
+          prop_refinement_preserves_sat;
+          prop_choice_refines;
+        ] );
+      ( "model-defects(E8)",
+        [
+          Alcotest.test_case "STOP|copier = copier" `Quick
+            test_stop_choice_identity;
+          prop_stop_choice_identity;
+          Alcotest.test_case "invisible deadlock" `Quick
+            test_deadlock_after_k_invisible;
+          prop_choice_absorption;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Edge cases and failure injection across the stack: degenerate
+   budgets, empty structures, unusual-but-legal inputs, and the exact
+   behaviour at configuration boundaries. *)
+
+open Csp
+open Test_support
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let out c v k = Process.send c (Expr.int v) k
+
+(* ---- closures at the boundaries -------------------------------------- *)
+
+let test_closure_boundaries () =
+  let t = Closure.of_traces [ [ ev "a" 1; ev "b" 2 ] ] in
+  check closure_testable "truncate 0 = {<>}" Closure.empty (Closure.truncate 0 t);
+  check closure_testable "truncate negative = {<>}" Closure.empty
+    (Closure.truncate (-3) t);
+  check closure_testable "interleave with no budget is the identity" t
+    (Closure.interleave ~events:[ ev "z" 0 ] ~extra:0 t);
+  check closure_testable "interleave with no events is the identity" t
+    (Closure.interleave ~events:[] ~extra:5 t);
+  check closure_testable "union with empty" t (Closure.union t Closure.empty);
+  check closure_testable "inter with empty" Closure.empty
+    (Closure.inter t Closure.empty);
+  check closure_testable "hide everything = {<>}" Closure.empty
+    (Closure.hide (fun _ -> true) t);
+  check_int "maximal of empty closure" 1
+    (List.length (Closure.maximal_traces Closure.empty));
+  (* par with an empty-trace closure and full synchronisation blocks *)
+  check closure_testable "par against {<>} under full sync" Closure.empty
+    (Closure.par ~in_x:(fun _ -> true) ~in_y:(fun _ -> true) t Closure.empty)
+
+(* ---- degenerate step budgets ------------------------------------------ *)
+
+let test_zero_hide_fuel () =
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) ~hide_fuel:0 Defs.empty in
+  let p =
+    Process.Hide (Chan_set.of_names [ "a" ], out "a" 0 (out "b" 1 Process.Stop))
+  in
+  (* with no hidden budget, the visible event behind the concealed one
+     is unreachable in enumeration *)
+  check closure_testable "no traces beyond <>" Closure.empty
+    (Step.traces cfg ~depth:3 p);
+  (* but transitions themselves still expose the hidden step *)
+  check_int "transition exists" 1 (List.length (Step.transitions cfg p))
+
+let test_sampler_bounds () =
+  check_int "nat_bound 0 yields nothing" 0
+    (List.length (Sampler.sample (Sampler.nat_bound 0) Vset.Nat));
+  check_int "finite sets unaffected by the bound" 4
+    (List.length (Sampler.sample (Sampler.nat_bound 0) (Vset.Range (0, 3))));
+  (* a custom sampler is filtered by set membership *)
+  let lying =
+    Sampler.of_fun (fun _ -> [ Value.Int 7; Value.ack; Value.Int (-1) ])
+  in
+  check Alcotest.(list value_testable) "out-of-set samples dropped"
+    [ Value.Int 7 ]
+    (Sampler.sample lying Vset.Nat)
+
+let test_unfold_alias_chain () =
+  (* long but acyclic alias chains stay within the unfold budget *)
+  let defs =
+    List.fold_left
+      (fun defs i ->
+        Defs.define
+          (Printf.sprintf "a%d" i)
+          (Process.ref_ (Printf.sprintf "a%d" (i + 1)))
+          defs)
+      (Defs.empty |> Defs.define "a20" (out "done" 1 Process.Stop))
+      (List.init 20 Fun.id)
+  in
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) ~unfold_fuel:25 defs in
+  check_int "chain resolves" 1
+    (List.length (Step.transitions cfg (Process.ref_ "a0")));
+  let tight = Step.config ~sampler:(Sampler.nat_bound 2) ~unfold_fuel:5 defs in
+  match Step.transitions tight (Process.ref_ "a0") with
+  | exception Step.Unproductive _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+(* ---- assertion language corners ---------------------------------------- *)
+
+let test_quantifier_over_empty_set () =
+  let c = Term.ctx () in
+  check_bool "forall over {} is true" true
+    (Assertion.eval c (Assertion.Forall ("x", Vset.Enum [], Assertion.False)));
+  check_bool "exists over {} is false" false
+    (Assertion.eval c (Assertion.Exists ("x", Vset.Enum [], Assertion.True)))
+
+let test_cons_channel_closed_subscripts_equal () =
+  (* col[1+1] and col[2] evaluate equal: the substitution must rewrite *)
+  let spec =
+    Assertion.Prefix
+      ( Term.Chan (Chan_expr.indexed "col" (Expr.Add (Expr.int 1, Expr.int 1))),
+        Term.chan "out" )
+  in
+  match
+    Assertion.cons_channel (Chan_expr.indexed "col" (Expr.int 2)) (Term.int 9)
+      spec
+  with
+  | Ok (Assertion.Prefix (Term.Cons _, _)) -> ()
+  | Ok a -> Alcotest.failf "not rewritten: %a" Assertion.pp a
+  | Error m -> Alcotest.fail m
+
+let test_subst_empty_under_quantifier () =
+  let spec =
+    Assertion.Forall
+      ("i", Vset.Nat,
+       Assertion.Cmp (Assertion.Le, Term.Var "i", Term.Len (Term.chan "c")))
+  in
+  match Assertion.subst_empty spec with
+  | Assertion.Forall (_, _, Assertion.Cmp (_, _, Term.Len (Term.Const (Value.Seq [])))) -> ()
+  | a -> Alcotest.failf "wrong substitution: %a" Assertion.pp a
+
+(* ---- printer corners ---------------------------------------------------- *)
+
+let test_printer_vset_union () =
+  (* finite unions flatten to enumerations the parser accepts *)
+  let u = Vset.Union (Vset.Range (0, 1), Vset.Enum [ Value.ack ]) in
+  let printed = Csp_syntax.Printer.vset u in
+  check Alcotest.string "flattened" "{0, 1, ACK}" printed
+
+let test_printer_negative_ints () =
+  let p = out "a" (-3) Process.Stop in
+  match Csp_syntax.Parser.parse_process (Csp_syntax.Printer.process p) with
+  | Ok p' -> check process_testable "negative literal round-trips" p p'
+  | Error m -> Alcotest.fail m
+
+(* ---- runner corners ------------------------------------------------------ *)
+
+let test_runner_zero_steps () =
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) Defs.empty in
+  let r = Csp_sim.Runner.run ~max_steps:0 cfg (out "a" 1 Process.Stop) in
+  check_bool "stops immediately" true
+    (r.Csp_sim.Runner.stop = Csp_sim.Runner.Max_steps);
+  check_int "nothing happened" 0 r.Csp_sim.Runner.stats.Stats.steps;
+  (* monitors still evaluate the empty history once *)
+  let bad = Assertion.Cmp (Assertion.Gt, Term.Len (Term.chan "a"), Term.int 0) in
+  let r =
+    Csp_sim.Runner.run ~max_steps:0
+      ~monitors:[ Csp_sim.Runner.monitor "m" bad ]
+      cfg (out "a" 1 Process.Stop)
+  in
+  check_int "initial check runs" 1 (List.length r.Csp_sim.Runner.violations)
+
+let test_scheduler_stop () =
+  let stopper = { Scheduler.name = "stop"; pick = (fun ~step:_ _ -> None) } in
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) Defs.empty in
+  let r = Csp_sim.Runner.run ~scheduler:stopper cfg (out "a" 1 Process.Stop) in
+  check_bool "scheduler stop reported" true
+    (r.Csp_sim.Runner.stop = Csp_sim.Runner.Scheduler_stopped)
+
+(* ---- proof checker corners ----------------------------------------------- *)
+
+let test_fix_duplicate_spec_names_ok () =
+  (* the same specification may appear twice; the checker just proves it
+     twice (harmless) — exercise index addressing of later entries *)
+  let spec = Assertion.Prefix (Term.chan "wire", Term.chan "input") in
+  let body_proof =
+    Csp_proof.Proof.Input_rule
+      ( "v",
+        Csp_proof.Proof.Output_rule
+          (Csp_proof.Proof.Consequence (spec, Csp_proof.Proof.Assumption)) )
+  in
+  let spec_entry = { Csp_proof.Proof.spec_hyp = Sequent.Sat ("copier", spec); fresh = "_"; body_proof } in
+  let proof = Csp_proof.Proof.Fix ([ spec_entry; spec_entry ], 1) in
+  check_bool "index 1 accepted" true
+    (Result.is_ok
+       (Check.check (Sequent.context defs_copier)
+          (Sequent.Holds (Process.ref_ "copier", spec))
+          proof))
+
+let test_check_rejects_judgment_shape () =
+  (* every non-Fix/Assumption rule must refuse an array judgment *)
+  let j = Sequent.Holds_all ("q", "x", Vset.Nat, Assertion.True) in
+  List.iter
+    (fun proof ->
+      check_bool "rejected" true
+        (Result.is_error (Check.check (Sequent.context Defs.empty) j proof)))
+    [
+      Csp_proof.Proof.Triviality;
+      Csp_proof.Proof.Emptiness;
+      Csp_proof.Proof.Chan_rule Csp_proof.Proof.Emptiness;
+      Csp_proof.Proof.Unfold Csp_proof.Proof.Emptiness;
+    ]
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "closure",
+        [ Alcotest.test_case "boundaries" `Quick test_closure_boundaries ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "zero hide fuel" `Quick test_zero_hide_fuel;
+          Alcotest.test_case "sampler bounds" `Quick test_sampler_bounds;
+          Alcotest.test_case "alias chains" `Quick test_unfold_alias_chain;
+        ] );
+      ( "assertions",
+        [
+          Alcotest.test_case "empty-set quantifiers" `Quick
+            test_quantifier_over_empty_set;
+          Alcotest.test_case "closed subscripts equal" `Quick
+            test_cons_channel_closed_subscripts_equal;
+          Alcotest.test_case "R_<> under quantifier" `Quick
+            test_subst_empty_under_quantifier;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "union sets" `Quick test_printer_vset_union;
+          Alcotest.test_case "negative literals" `Quick
+            test_printer_negative_ints;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "zero steps" `Quick test_runner_zero_steps;
+          Alcotest.test_case "scheduler stop" `Quick test_scheduler_stop;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "duplicate specifications" `Quick
+            test_fix_duplicate_spec_names_ok;
+          Alcotest.test_case "judgment shapes" `Quick
+            test_check_rejects_judgment_shape;
+        ] );
+    ]

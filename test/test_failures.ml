@@ -1,0 +1,258 @@
+(* The refusals model (§4 future work) and the LTS substrate. *)
+
+open Csp
+open Test_support
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let cfg ?(defs = Defs.empty) () = Step.config ~sampler:(Sampler.nat_bound 2) defs
+let out c v k = Process.send c (Expr.int v) k
+
+(* ---- commitments and acceptances ------------------------------------- *)
+
+let test_commitments_resolve_choice () =
+  let p = Process.Choice (out "a" 1 Process.Stop, out "b" 2 Process.Stop) in
+  check_int "two internal commitments" 2
+    (List.length (Failures.commitments ~choice:`Internal (cfg ()) p));
+  check_int "two singleton acceptances" 2
+    (List.length (Failures.acceptances_now ~choice:`Internal (cfg ()) p));
+  (* the external reading keeps one state offering both events *)
+  check_int "one external commitment" 1
+    (List.length (Failures.commitments ~choice:`External (cfg ()) p));
+  match Failures.acceptances_now ~choice:`External (cfg ()) p with
+  | [ [ _; _ ] ] -> ()
+  | _ -> Alcotest.fail "expected a single two-event acceptance" 
+
+let test_commitments_settle_hidden () =
+  (* (chan a; a!0 -> b!1 -> STOP): the hidden a runs before stability *)
+  let p =
+    Process.Hide (Chan_set.of_names [ "a" ], out "a" 0 (out "b" 1 Process.Stop))
+  in
+  match Failures.acceptances_now (cfg ()) p with
+  | [ [ e ] ] -> check_bool "offers b" true (Event.equal e (ev "b" 1))
+  | accs -> Alcotest.failf "unexpected acceptances (%d)" (List.length accs)
+
+let test_stable_state_acceptance () =
+  let p = out "a" 1 (out "b" 2 Process.Stop) in
+  match Failures.acceptances_now (cfg ()) p with
+  | [ [ e ] ] -> check_bool "offers a.1" true (Event.equal e (ev "a" 1))
+  | _ -> Alcotest.fail "expected a single singleton acceptance"
+
+(* ---- the §4 distinction ----------------------------------------------- *)
+
+let test_stop_choice_distinguished () =
+  (* the trace model equates STOP | P with P; the refusals model does not *)
+  let p = out "a" 1 Process.Stop in
+  let dcfg = Denote.config ~sampler:(Sampler.nat_bound 2) Defs.empty in
+  check_bool "trace model blind" true (Equiv.stop_choice_identity ~depth:3 dcfg p);
+  check_bool "failures model sees it" true
+    (Failures.distinguishes_stop_choice (cfg ()) ~depth:3 p);
+  (* ... and STOP | STOP = STOP: nothing to distinguish *)
+  check_bool "degenerate case equal" false
+    (Failures.distinguishes_stop_choice (cfg ()) ~depth:3 Process.Stop)
+
+let test_can_deadlock () =
+  let p = out "a" 1 Process.Stop in
+  check Alcotest.(option trace_testable) "deadlocks after a.1"
+    (Some [ ev "a" 1 ])
+    (Failures.can_deadlock (cfg ()) ~depth:3 p);
+  check Alcotest.(option trace_testable) "STOP|P may deadlock immediately"
+    (Some [])
+    (Failures.can_deadlock ~choice:`Internal (cfg ()) ~depth:3
+       (Process.Choice (Process.Stop, p)));
+  check Alcotest.(option trace_testable)
+    "externally, STOP|P deadlocks only after a.1" (Some [ ev "a" 1 ])
+    (Failures.can_deadlock ~choice:`External (cfg ()) ~depth:3
+       (Process.Choice (Process.Stop, p)));
+  let defs = defs_copier in
+  check Alcotest.(option trace_testable) "copier never deadlocks" None
+    (Failures.can_deadlock (cfg ~defs ()) ~depth:3 (Process.ref_ "copier"))
+
+let test_can_refuse () =
+  (* a!1 -> STOP | b!2 -> STOP may refuse a (by committing to b) *)
+  let p = Process.Choice (out "a" 1 Process.Stop, out "b" 2 Process.Stop) in
+  check_bool "refuse a (internal)" true
+    (Failures.can_refuse ~choice:`Internal (cfg ()) ~depth:1 p [] [ ev "a" 1 ]);
+  check_bool "refuse b (internal)" true
+    (Failures.can_refuse ~choice:`Internal (cfg ()) ~depth:1 p [] [ ev "b" 2 ]);
+  check_bool "externally neither is refusable" false
+    (Failures.can_refuse ~choice:`External (cfg ()) ~depth:1 p [] [ ev "a" 1 ]);
+  check_bool "cannot refuse both options of one commitment" false
+    (Failures.can_refuse (cfg ()) ~depth:1 (out "a" 1 Process.Stop) [] [ ev "a" 1 ])
+
+let test_refinement () =
+  (* deterministic a!1 refines the internal choice (a!1 | a-then-stop?) *)
+  let det = out "a" 1 (out "b" 2 Process.Stop) in
+  let nondet = Process.Choice (det, out "a" 1 Process.Stop) in
+  let f_det = Failures.failures ~choice:`Internal (cfg ()) ~depth:3 det in
+  let f_nondet = Failures.failures ~choice:`Internal (cfg ()) ~depth:3 nondet in
+  check_bool "det refines nondet" true (Failures.refines f_det f_nondet);
+  check_bool "nondet does not refine det" false (Failures.refines f_nondet f_det);
+  check_bool "reflexive" true (Failures.refines f_nondet f_nondet)
+
+let test_receiver_nondeterminism_visible () =
+  (* the protocol receiver may refuse to acknowledge: after wire.x it can
+     commit to the NACK branch, refusing wire.ACK *)
+  let module P = Paper.Protocol in
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) P.defs in
+  check_bool "may refuse ACK" true
+    (Failures.can_refuse ~choice:`Internal cfg ~depth:2 P.receiver
+       [ ev "wire" 1 ] [ Event.v "wire" Value.ack ]);
+  check_bool "may refuse NACK" true
+    (Failures.can_refuse ~choice:`Internal cfg ~depth:2 P.receiver
+       [ ev "wire" 1 ] [ Event.v "wire" Value.nack ]);
+  check_bool "cannot refuse both" false
+    (Failures.can_refuse ~choice:`Internal cfg ~depth:2 P.receiver
+       [ ev "wire" 1 ]
+       [ Event.v "wire" Value.ack; Event.v "wire" Value.nack ])
+
+let test_protocol_deadlock_free_externally () =
+  (* the sender's input-guarded alternative is resolved by the value on
+     the wire; under the external reading the protocol cannot deadlock,
+     while the internal reading lets sender and receiver commit to
+     mismatched ACK/NACK branches *)
+  let module P = Paper.Protocol in
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) P.defs in
+  check Alcotest.(option trace_testable) "no deadlock (external)" None
+    (Failures.can_deadlock ~choice:`External cfg ~depth:3 P.protocol);
+  check_bool "internal reading is more pessimistic" true
+    (Failures.can_deadlock ~choice:`Internal cfg ~depth:3 P.protocol <> None)
+
+let test_crossed_handshake_deadlock_found () =
+  (* E7's network: the failures model reports the deadlock the trace
+     model provably cannot express *)
+  let ab = Chan_set.of_names [ "a"; "b" ] in
+  let defs =
+    Defs.empty
+    |> Defs.define "l"
+         (out "a" 0 (Process.recv "b" "x" Vset.Nat (Process.ref_ "l")))
+    |> Defs.define "r"
+         (out "b" 0 (Process.recv "a" "x" Vset.Nat (Process.ref_ "r")))
+  in
+  let net = Process.Par (ab, ab, Process.ref_ "l", Process.ref_ "r") in
+  check Alcotest.(option trace_testable) "deadlock at the start" (Some [])
+    (Failures.can_deadlock (cfg ~defs ()) ~depth:2 net)
+
+let prop_traces_of_failures_match_step =
+  qcheck_case ~count:60 "failure traces = step traces" process_gen (fun p ->
+      let fs = Failures.failures (cfg ()) ~depth:3 p in
+      let from_failures = Closure.of_traces (List.map fst fs) in
+      Closure.equal from_failures (Step.traces (cfg ()) ~depth:3 p))
+
+let prop_deadlock_acceptance_consistent =
+  qcheck_case ~count:60 "empty acceptance iff a commitment is deadlocked"
+    process_gen (fun p ->
+      let cfg = cfg () in
+      let has_empty =
+        List.exists (fun a -> a = []) (Failures.acceptances_now cfg p)
+      in
+      let commit_dead =
+        List.exists
+          (fun c -> Failures.acceptances_now cfg c = [ [] ])
+          (Failures.commitments cfg p)
+      in
+      has_empty = commit_dead)
+
+(* ---- LTS ---------------------------------------------------------------- *)
+
+let test_lts_copier () =
+  let defs = defs_copier in
+  let lts = Lts.explore (cfg ~defs ()) (Process.ref_ "copier") in
+  (* states: copier, wire!0->copier, wire!1->copier *)
+  check_int "three states" 3 (Lts.num_states lts);
+  check_int "four transitions" 4 (Lts.num_transitions lts);
+  check_bool "complete" true lts.Lts.complete;
+  check_bool "deterministic" true (Lts.is_deterministic lts);
+  check_int "no deadlocks" 0 (List.length (Lts.deadlock_states lts));
+  check_int "two channels" 2 (List.length (Lts.reachable_channels lts))
+
+let test_lts_deadlock_and_dot () =
+  let p = out "a" 1 Process.Stop in
+  let lts = Lts.explore (cfg ()) p in
+  check_int "two states" 2 (Lts.num_states lts);
+  check_int "one deadlock state" 1 (List.length (Lts.deadlock_states lts));
+  let dot = Lts.to_dot lts in
+  check_bool "dot mentions the event" true
+    (String.length dot > 0
+    &&
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains dot "a.1" && contains dot "doublecircle")
+
+let test_lts_state_bound () =
+  (* a counter that never revisits a state: the bound must kick in *)
+  let defs =
+    Defs.empty
+    |> Defs.define_array "count" "n" Vset.Nat
+         (Process.Output
+            ( Chan_expr.simple "a",
+              Expr.Var "n",
+              Process.call "count" (Expr.Add (Expr.Var "n", Expr.int 1)) ))
+  in
+  let lts =
+    Lts.explore ~max_states:10 (cfg ~defs ()) (Process.call "count" (Expr.int 0))
+  in
+  check_bool "incomplete" false lts.Lts.complete;
+  check_bool "bounded" true (Lts.num_states lts <= 10)
+
+let test_lts_nondeterministic () =
+  let p =
+    Process.Choice (out "a" 1 (out "b" 1 Process.Stop), out "a" 1 Process.Stop)
+  in
+  let lts = Lts.explore (cfg ()) p in
+  check_bool "nondeterminism detected" false (Lts.is_deterministic lts)
+
+let test_lts_protocol_statistics () =
+  let module P = Paper.Protocol in
+  let lts =
+    Lts.explore ~max_states:500
+      (Step.config ~sampler:(Sampler.nat_bound 2) P.defs)
+      P.protocol
+  in
+  check_bool "complete at this sample" true lts.Lts.complete;
+  check_int "protocol never deadlocks" 0 (List.length (Lts.deadlock_states lts));
+  check_bool "has hidden transitions" true
+    (List.exists (fun tr -> not tr.Lts.visible) lts.Lts.transitions)
+
+let () =
+  Alcotest.run "failures"
+    [
+      ( "commitments",
+        [
+          Alcotest.test_case "choice resolution" `Quick
+            test_commitments_resolve_choice;
+          Alcotest.test_case "hidden settling" `Quick
+            test_commitments_settle_hidden;
+          Alcotest.test_case "stable acceptance" `Quick
+            test_stable_state_acceptance;
+        ] );
+      ( "refusals(§4)",
+        [
+          Alcotest.test_case "STOP|P distinguished" `Quick
+            test_stop_choice_distinguished;
+          Alcotest.test_case "deadlock detection" `Quick test_can_deadlock;
+          Alcotest.test_case "refusal queries" `Quick test_can_refuse;
+          Alcotest.test_case "refinement" `Quick test_refinement;
+          Alcotest.test_case "receiver nondeterminism" `Quick
+            test_receiver_nondeterminism_visible;
+          Alcotest.test_case "protocol deadlock-freedom" `Quick
+            test_protocol_deadlock_free_externally;
+          Alcotest.test_case "crossed handshake" `Quick
+            test_crossed_handshake_deadlock_found;
+          prop_traces_of_failures_match_step;
+          prop_deadlock_acceptance_consistent;
+        ] );
+      ( "lts",
+        [
+          Alcotest.test_case "copier graph" `Quick test_lts_copier;
+          Alcotest.test_case "deadlock and dot" `Quick test_lts_deadlock_and_dot;
+          Alcotest.test_case "state bound" `Quick test_lts_state_bound;
+          Alcotest.test_case "nondeterminism" `Quick test_lts_nondeterministic;
+          Alcotest.test_case "protocol statistics" `Quick
+            test_lts_protocol_statistics;
+        ] );
+    ]

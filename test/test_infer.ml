@@ -1,0 +1,128 @@
+(* Invariant discovery: observation, conjecture templates, verification. *)
+
+open Csp
+open Test_support
+
+let check_bool = Alcotest.(check bool)
+let scfg defs = Step.config ~sampler:(Sampler.nat_bound 2) defs
+
+let proved_assertions results =
+  List.filter_map
+    (fun c -> if c.Infer.proved then Some c.Infer.assertion else None)
+    results
+
+let contains results a = List.exists (Assertion.equal a) results
+
+let test_observe () =
+  let hists = Infer.observe (scfg defs_copier) (Process.ref_ "copier") in
+  check_bool "non-empty" true (List.length hists > 10);
+  check_bool "first history of every run is empty" true
+    (List.exists (History.equal History.empty) hists);
+  (* every observation satisfies the true invariant *)
+  check_bool "observations respect wire <= input" true
+    (List.for_all
+       (fun hist ->
+         Assertion.eval (Term.ctx ~hist ()) Paper.Copier.copier_spec)
+       hists)
+
+let test_copier_rediscovered () =
+  let results = Infer.infer (scfg defs_copier) ~name:"copier" (Process.ref_ "copier") in
+  let proved = proved_assertions results in
+  check_bool "wire <= input proved" true
+    (contains proved (Assertion.Prefix (Term.chan "wire", Term.chan "input")));
+  check_bool "#input <= #wire + 1 proved" true
+    (contains proved
+       (Assertion.Cmp
+          ( Assertion.Le,
+            Term.Len (Term.chan "input"),
+            Term.Add (Term.Len (Term.chan "wire"), Term.int 1) )));
+  (* the converse prefix must not even be conjectured *)
+  check_bool "input <= wire absent" false
+    (List.exists
+       (fun c ->
+         Assertion.equal c.Infer.assertion
+           (Assertion.Prefix (Term.chan "input", Term.chan "wire")))
+       results)
+
+let test_sender_rediscovers_table_1 () =
+  let tables =
+    Tactic.tables ~array_invariants:[ ("q", Paper.Protocol.q_spec) ] ()
+  in
+  let results =
+    Infer.infer ~tables (scfg Paper.Protocol.defs) ~name:"sender"
+      Paper.Protocol.sender
+  in
+  check_bool "f(wire) <= input proved (Table 1 found automatically)" true
+    (contains (proved_assertions results) Paper.Protocol.sender_spec)
+
+let test_receiver_rediscovered () =
+  let results =
+    Infer.infer (scfg Paper.Protocol.defs) ~name:"receiver"
+      Paper.Protocol.receiver
+  in
+  check_bool "output <= f(wire) proved" true
+    (contains (proved_assertions results) Paper.Protocol.receiver_spec)
+
+let test_unprovable_conjectures_flagged () =
+  (* conjectures that survive observation but fail verification must be
+     reported as unproved, not silently dropped or claimed *)
+  let results = Infer.infer (scfg defs_copier) ~name:"copier" (Process.ref_ "copier") in
+  List.iter
+    (fun c ->
+      match c.Infer.report with
+      | Some _ -> check_bool "report only when proved" true c.Infer.proved
+      | None -> check_bool "no report when unproved" false c.Infer.proved)
+    results
+
+let test_no_false_positives () =
+  (* every PROVED invariant must also survive bounded model checking *)
+  let cfg = scfg Paper.Protocol.defs in
+  let results = Infer.infer cfg ~name:"receiver" Paper.Protocol.receiver in
+  List.iter
+    (fun a ->
+      match Sat.check ~depth:5 cfg Paper.Protocol.receiver a with
+      | Sat.Holds _ -> ()
+      | Sat.Fails { trace } ->
+        Alcotest.failf "proved invariant %a refuted on %a" Assertion.pp a
+          Trace.pp trace)
+    (proved_assertions results)
+
+let test_conjecture_templates_cover () =
+  (* a process with an exact length correspondence gets k = 0 *)
+  let defs =
+    Defs.empty
+    |> Defs.define "echo"
+         (Process.recv "a" "x" Vset.Nat
+            (Process.send "b" (Expr.Var "x") Process.Stop))
+  in
+  let cands = Infer.conjecture (scfg defs) (Process.ref_ "echo") in
+  check_bool "b <= a conjectured" true
+    (contains cands (Assertion.Prefix (Term.chan "b", Term.chan "a")));
+  check_bool "#b <= #a + 0 conjectured (strongest k)" true
+    (contains cands
+       (Assertion.Cmp
+          ( Assertion.Le,
+            Term.Len (Term.chan "b"),
+            Term.Add (Term.Len (Term.chan "a"), Term.int 0) )))
+
+let () =
+  Alcotest.run "infer"
+    [
+      ( "observation",
+        [ Alcotest.test_case "random walks" `Quick test_observe ] );
+      ( "rediscovery",
+        [
+          Alcotest.test_case "copier invariants" `Slow test_copier_rediscovered;
+          Alcotest.test_case "Table 1 (sender)" `Slow
+            test_sender_rediscovers_table_1;
+          Alcotest.test_case "receiver" `Slow test_receiver_rediscovered;
+        ] );
+      ( "honesty",
+        [
+          Alcotest.test_case "unproved flagged" `Slow
+            test_unprovable_conjectures_flagged;
+          Alcotest.test_case "no false positives" `Slow test_no_false_positives;
+          Alcotest.test_case "template coverage" `Quick
+            test_conjecture_templates_cover;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* End-to-end integration: concrete syntax in, proofs + checks +
+   simulation out, mirroring what the cspc CLI does. *)
+
+open Csp
+module Parser = Csp_syntax.Parser
+module Printer = Csp_syntax.Printer
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let protocol_src =
+  {|
+-- the retransmission protocol (§1.3 / §2.2)
+sender = input?x:NAT -> q[x]
+q[x:NAT] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])
+receiver = wire?z:NAT -> (wire!ACK -> output!z -> receiver | wire!NACK -> receiver)
+protocol = chan wire; (sender [ {input, wire} || {wire, output} ] receiver)
+assert sender sat f(wire) <= input
+assert forall x:NAT. q[x] sat f(wire) <= x^input
+assert receiver sat output <= f(wire)
+assert protocol sat output <= input
+|}
+
+let tables_of (file : Parser.file) =
+  Tactic.tables
+    ~invariants:
+      (List.filter_map
+         (function Parser.Assert_plain (n, a) -> Some (n, a) | _ -> None)
+         file.Parser.decls)
+    ~array_invariants:
+      (List.filter_map
+         (function
+           | Parser.Assert_array (q, x, m, a) -> Some (q, (x, m, a))
+           | _ -> None)
+         file.Parser.decls)
+    ()
+
+let test_protocol_pipeline () =
+  let file = Parser.parse_file_exn protocol_src in
+  let tables = tables_of file in
+  let ctx = Sequent.context file.Parser.defs in
+  (* prove every declaration *)
+  List.iter
+    (fun decl ->
+      let j =
+        match decl with
+        | Parser.Assert_plain (n, a) -> Sequent.Holds (Process.ref_ n, a)
+        | Parser.Assert_array (q, x, m, a) -> Sequent.Holds_all (q, x, m, a)
+      in
+      match Tactic.prove_and_check ~tables ctx j with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "%s: %s" (Sequent.judgment_to_string j) m)
+    file.Parser.decls;
+  (* bounded-check the top-level claim *)
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) file.Parser.defs in
+  (match
+     Sat.check ~depth:5 cfg (Process.ref_ "protocol")
+       (Assertion.Prefix (Term.chan "output", Term.chan "input"))
+   with
+  | Sat.Holds _ -> ()
+  | Sat.Fails { trace } -> Alcotest.failf "refuted on %a" Trace.pp trace);
+  (* and run it *)
+  let r =
+    Csp_sim.Runner.run
+      ~scheduler:(Scheduler.uniform ~seed:1)
+      ~max_steps:500 cfg (Process.ref_ "protocol")
+  in
+  check_bool "delivered messages" true
+    (Stats.count r.Csp_sim.Runner.stats (Channel.simple "output") > 10)
+
+let test_parsed_equals_programmatic () =
+  (* the parsed protocol coincides with the library's Paper module *)
+  let file = Parser.parse_file_exn protocol_src in
+  List.iter
+    (fun n ->
+      let parsed = Option.get (Defs.lookup file.Parser.defs n) in
+      let built = Option.get (Defs.lookup Paper.Protocol.defs n) in
+      check_bool (n ^ " equal") true
+        (Process.equal parsed.Defs.body built.Defs.body))
+    [ "sender"; "q"; "receiver" ]
+
+let test_mixed_semantics_agreement () =
+  (* operational and denotational semantics agree on the parsed network *)
+  let file = Parser.parse_file_exn protocol_src in
+  let sampler = Sampler.nat_bound 2 in
+  let network =
+    match (Option.get (Defs.lookup file.Parser.defs "protocol")).Defs.body with
+    | Process.Hide (_, net) -> net
+    | p -> p
+  in
+  match
+    Equiv.operational_vs_denotational ~depth:4
+      (Step.config ~sampler file.Parser.defs)
+      (Denote.config ~sampler file.Parser.defs)
+      network
+  with
+  | Ok () -> ()
+  | Error s -> Alcotest.failf "semantics disagree on %a" Trace.pp s
+
+let test_printed_file_same_proofs () =
+  (* printing and reparsing the definitions preserves provability *)
+  let file = Parser.parse_file_exn protocol_src in
+  let file2 = Parser.parse_file_exn (Printer.defs file.Parser.defs) in
+  let tables = tables_of file in
+  let ctx = Sequent.context file2.Parser.defs in
+  match
+    Tactic.prove_and_check ~tables ctx
+      (Sequent.Holds
+         (Process.ref_ "protocol",
+          Assertion.Prefix (Term.chan "output", Term.chan "input")))
+  with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let test_faulty_variant_caught () =
+  (* a deliberately broken receiver (acknowledges but delivers a constant)
+     refutes the protocol specification *)
+  let src =
+    {|
+sender = input?x:NAT -> q[x]
+q[x:NAT] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])
+receiver = wire?z:NAT -> (wire!ACK -> output!0 -> receiver | wire!NACK -> receiver)
+protocol = chan wire; (sender [ {input, wire} || {wire, output} ] receiver)
+|}
+  in
+  let file = Parser.parse_file_exn src in
+  let cfg = Step.config ~sampler:(Sampler.nat_bound 2) file.Parser.defs in
+  match
+    Sat.check ~depth:5 cfg (Process.ref_ "protocol")
+      (Assertion.Prefix (Term.chan "output", Term.chan "input"))
+  with
+  | Sat.Fails _ -> ()
+  | Sat.Holds _ -> Alcotest.fail "the broken receiver must be caught"
+
+let test_faulty_variant_unprovable () =
+  (* ...and the tactic+checker cannot prove it either: the checker
+     refutes an obligation *)
+  let src =
+    {|
+receiver = wire?z:NAT -> (wire!ACK -> output!0 -> receiver | wire!NACK -> receiver)
+|}
+  in
+  let file = Parser.parse_file_exn src in
+  let spec =
+    Assertion.Prefix (Term.chan "output", Term.App ("f", Term.chan "wire"))
+  in
+  let tables = Tactic.tables ~invariants:[ ("receiver", spec) ] () in
+  match
+    Tactic.prove_and_check ~tables
+      (Sequent.context file.Parser.defs)
+      (Sequent.Holds (Process.ref_ "receiver", spec))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unsound proof accepted"
+
+let multiplier_csp = {|
+mult[i:{1..3}] = row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!(i*x + y) -> mult[i]
+zeroes = col[0]!0 -> zeroes
+last   = col[3]?y:NAT -> output!y -> last
+stage12  = mult[1] [ {row[1], col[0], col[1]} || {row[2], col[1], col[2]} ] mult[2]
+stage123 = stage12 [ {row[1..2], col[0..2]} || {row[3], col[2], col[3]} ] mult[3]
+pipeline = zeroes  [ {col[0]} || {row[1..3], col[0..3]} ] stage123
+network  = pipeline [ {row[1..3], col[0..3]} || {col[3], output} ] last
+multiplier = chan col[0..3]; network
+|}
+
+let test_multiplier_csp_matches_library () =
+  (* the concrete-syntax multiplier (v[i] encoded as i) and the
+     programmatic one (v = [1;2;3] as a constant vector) are different
+     terms with the same behaviour *)
+  let file = Parser.parse_file_exn multiplier_csp in
+  let m = Paper.Multiplier.default in
+  let sampler = Sampler.nat_bound 2 in
+  let parsed_traces =
+    Step.traces (Step.config ~sampler file.Parser.defs) ~depth:6
+      (Process.ref_ "network")
+  in
+  let library_traces =
+    Step.traces (Step.config ~sampler m.Paper.Multiplier.defs) ~depth:6
+      m.Paper.Multiplier.network
+  in
+  check_bool "identical trace sets" true
+    (Closure.equal parsed_traces library_traces);
+  (* and the paper assertion holds of the parsed network too *)
+  match
+    Sat.check ~nat_bound:8 ~depth:6
+      (Step.config ~sampler file.Parser.defs)
+      (Process.ref_ "network") m.Paper.Multiplier.spec
+  with
+  | Sat.Holds _ -> ()
+  | Sat.Fails { trace } -> Alcotest.failf "refuted on %a" Trace.pp trace
+
+let test_buffer_chain_integration () =
+  (* scaling: prove the 6-stage chain parsed from generated syntax *)
+  let n = 6 in
+  let defs, chain = Paper.Copier.chain_defs n in
+  let printed = Printer.defs defs in
+  let file = Parser.parse_file_exn printed in
+  check_int "all stages survive printing" n
+    (List.length (Defs.names file.Parser.defs));
+  let stage_spec i =
+    Assertion.Prefix
+      ( Term.Chan (Chan_expr.indexed "c" (Expr.int i)),
+        Term.Chan (Chan_expr.indexed "c" (Expr.int (i - 1))) )
+  in
+  let tables =
+    Tactic.tables
+      ~invariants:(List.init n (fun i -> (Paper.Copier.stage_name (i + 1), stage_spec (i + 1))))
+      ()
+  in
+  match
+    Tactic.prove_and_check ~tables
+      (Sequent.context file.Parser.defs)
+      (Sequent.Holds (chain, Paper.Copier.chain_spec n))
+  with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse-prove-check-run" `Slow test_protocol_pipeline;
+          Alcotest.test_case "parsed = programmatic" `Quick
+            test_parsed_equals_programmatic;
+          Alcotest.test_case "semantics agree" `Slow test_mixed_semantics_agreement;
+          Alcotest.test_case "print preserves proofs" `Slow
+            test_printed_file_same_proofs;
+        ] );
+      ( "fault-detection",
+        [
+          Alcotest.test_case "broken receiver refuted" `Quick
+            test_faulty_variant_caught;
+          Alcotest.test_case "broken receiver unprovable" `Quick
+            test_faulty_variant_unprovable;
+        ] );
+      ( "scaling",
+        [ Alcotest.test_case "6-stage chain" `Slow test_buffer_chain_integration ] );
+      ( "multiplier",
+        [
+          Alcotest.test_case "concrete = programmatic" `Slow
+            test_multiplier_csp_matches_library;
+        ] );
+    ]

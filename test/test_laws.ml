@@ -1,0 +1,164 @@
+(* Algebraic laws of the trace model, checked denotationally on random
+   processes and random (guarded, mutually recursive) definitions.
+   These are the identities §3's operators validate — the model theory
+   behind the inference rules. *)
+
+open Csp
+open Test_support
+
+let sampler = Sampler.nat_bound 2
+let dcfg ?(defs = Defs.empty) () = Denote.config ~sampler defs
+let denote ?defs p = Denote.denote (dcfg ?defs ()) ~depth:4 p
+let eq ?defs p q = Closure.equal (denote ?defs p) (denote ?defs q)
+
+(* ---- laws of the alternative ---------------------------------------- *)
+
+let prop_choice_commutative =
+  qcheck_case "P|Q = Q|P" QCheck2.Gen.(pair process_gen process_gen)
+    (fun (p, q) -> eq (Process.Choice (p, q)) (Process.Choice (q, p)))
+
+let prop_choice_associative =
+  qcheck_case "(P|Q)|R = P|(Q|R)"
+    QCheck2.Gen.(triple process_gen process_gen process_gen)
+    (fun (p, q, r) ->
+      eq
+        (Process.Choice (Process.Choice (p, q), r))
+        (Process.Choice (p, Process.Choice (q, r))))
+
+let prop_choice_idempotent =
+  qcheck_case "P|P = P" process_gen (fun p -> eq (Process.Choice (p, p)) p)
+
+let prop_choice_unit =
+  qcheck_case "STOP|P = P (the §4 identity)" process_gen (fun p ->
+      eq (Process.Choice (Process.Stop, p)) p)
+
+(* ---- laws of prefixing ------------------------------------------------ *)
+
+let prop_prefix_distributes_choice =
+  qcheck_case "c!v -> (P|Q) = (c!v -> P) | (c!v -> Q)"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (p, q) ->
+      let pre k = Process.send "a" (Expr.int 0) k in
+      eq
+        (pre (Process.Choice (p, q)))
+        (Process.Choice (pre p, pre q)))
+
+(* ---- laws of parallel composition -------------------------------------- *)
+
+let alphabets p q =
+  ( Chan_set.bases (Process.channel_bases p),
+    Chan_set.bases (Process.channel_bases q) )
+
+let prop_par_commutative =
+  qcheck_case "P ‖ Q = Q ‖ P (alphabets swapped)"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (p, q) ->
+      let xa, ya = alphabets p q in
+      eq (Process.Par (xa, ya, p, q)) (Process.Par (ya, xa, q, p)))
+
+let prop_par_stop_unit =
+  qcheck_case "P ‖ STOP∅ = P (empty-alphabet unit)" process_gen (fun p ->
+      let xa = Chan_set.bases (Process.channel_bases p) in
+      eq (Process.Par (xa, Chan_set.empty, p, Process.Stop)) p)
+
+let prop_par_self_sync =
+  qcheck_case "deterministic P: P ‖ P = P (full sync)" process_gen (fun p ->
+      (* synchronising a process with itself over its whole alphabet
+         keeps exactly the traces both copies can do — for any P this is
+         the intersection, which equals ⟦P⟧ *)
+      let xa = Chan_set.bases (Process.channel_bases p) in
+      let d = denote (Process.Par (xa, xa, p, p)) in
+      Closure.equal d (Closure.inter (denote p) (denote p))
+      && Closure.equal d (denote p))
+
+(* ---- laws of concealment ----------------------------------------------- *)
+
+let prop_hide_merge =
+  qcheck_case "chan L1; chan L2; P = chan L1∪L2; P" process_gen (fun p ->
+      let l1 = Chan_set.of_names [ "a" ] and l2 = Chan_set.of_names [ "b" ] in
+      eq
+        (Process.Hide (l1, Process.Hide (l2, p)))
+        (Process.Hide (Chan_set.union l1 l2, p)))
+
+let prop_hide_unused_identity =
+  qcheck_case "hiding an unused channel is the identity" process_gen (fun p ->
+      eq (Process.Hide (Chan_set.of_names [ "zzz" ], p)) p)
+
+let prop_hide_idempotent =
+  qcheck_case "chan L; chan L; P = chan L; P" process_gen (fun p ->
+      let l = Chan_set.of_names [ "a" ] in
+      eq (Process.Hide (l, Process.Hide (l, p))) (Process.Hide (l, p)))
+
+(* ---- laws of recursion (on random guarded definitions) ----------------- *)
+
+let prop_unfold_preserves_denotation =
+  qcheck_case ~count:100 "⟦p⟧ = ⟦body(p)⟧ (fixpoint property)" defs_gen
+    (fun defs ->
+      List.for_all
+        (fun n ->
+          let body = (Option.get (Defs.lookup defs n)).Defs.body in
+          Closure.equal
+            (denote ~defs (Process.ref_ n))
+            (denote ~defs body))
+        (Defs.names defs))
+
+let prop_recursive_defs_guarded =
+  qcheck_case ~count:100 "generated definitions are well guarded" defs_gen
+    (fun defs -> Result.is_ok (Defs.well_guarded defs))
+
+let prop_recursive_op_vs_deno =
+  qcheck_case ~count:100 "operational = denotational on recursive definitions"
+    defs_gen (fun defs ->
+      let scfg = Step.config ~sampler defs in
+      List.for_all
+        (fun n ->
+          match
+            Equiv.operational_vs_denotational ~depth:4 scfg (dcfg ~defs ())
+              (Process.ref_ n)
+          with
+          | Ok () -> true
+          | Error _ -> false)
+        (Defs.names defs))
+
+let prop_recursive_traces_monotone =
+  qcheck_case ~count:100 "recursive traces grow with depth" defs_gen
+    (fun defs ->
+      let scfg = Step.config ~sampler defs in
+      List.for_all
+        (fun n ->
+          Closure.subset
+            (Step.traces scfg ~depth:3 (Process.ref_ n))
+            (Step.traces scfg ~depth:5 (Process.ref_ n)))
+        (Defs.names defs))
+
+let prop_recursive_lts_finite =
+  qcheck_case ~count:100 "recursive definitions explore to finite graphs"
+    defs_gen (fun defs ->
+      let scfg = Step.config ~sampler defs in
+      let lts = Lts.explore ~max_states:500 scfg (Process.ref_ "p0") in
+      lts.Lts.complete)
+
+let () =
+  Alcotest.run "laws"
+    [
+      ( "alternative",
+        [
+          prop_choice_commutative;
+          prop_choice_associative;
+          prop_choice_idempotent;
+          prop_choice_unit;
+        ] );
+      ("prefix", [ prop_prefix_distributes_choice ]);
+      ( "parallel",
+        [ prop_par_commutative; prop_par_stop_unit; prop_par_self_sync ] );
+      ( "concealment",
+        [ prop_hide_merge; prop_hide_unused_identity; prop_hide_idempotent ] );
+      ( "recursion",
+        [
+          prop_recursive_defs_guarded;
+          prop_unfold_preserves_denotation;
+          prop_recursive_op_vs_deno;
+          prop_recursive_traces_monotone;
+          prop_recursive_lts_finite;
+        ] );
+    ]

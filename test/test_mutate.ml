@@ -1,0 +1,140 @@
+(* The mutation substrate, and the kill-matrix claims of experiment E10. *)
+
+open Csp
+open Test_support
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let out c v k = Process.send c (Expr.int v) k
+
+let test_operators_cover () =
+  let p =
+    Process.Choice
+      ( out "a" 1 (out "b" 2 Process.Stop),
+        Process.recv "a" "x" Vset.Nat (Process.send "b" (Expr.Var "x") Process.Stop)
+      )
+  in
+  let ms = Mutate.mutants p in
+  let count op =
+    List.length (List.filter (fun m -> m.Mutate.operator = op) ms)
+  in
+  (* three outputs mutable by value (two constants + one variable) *)
+  check_int "value mutants" 3 (count `Value);
+  (* each of the four communications can move to the one other base *)
+  check_int "channel mutants" 4 (count `Channel);
+  check_int "branch mutants" 2 (count `Branch);
+  (* two communications have non-STOP continuations *)
+  check_int "truncate mutants" 2 (count `Truncate);
+  (* all mutants differ from the original *)
+  check_bool "all distinct from original" true
+    (List.for_all (fun m -> not (Process.equal m.Mutate.body p)) ms)
+
+let test_single_point () =
+  (* each mutant differs from the original in exactly one communication
+     or one choice node: mutating twice is never produced *)
+  let p = out "a" 1 (out "a" 2 (out "a" 3 Process.Stop)) in
+  let ms = Mutate.mutants p in
+  List.iter
+    (fun m ->
+      let rec count_diff p q =
+        match p, q with
+        | Process.Output (_, e1, k1), Process.Output (_, e2, k2) ->
+          (if Csp_lang.Expr.equal e1 e2 then 0 else 1) + count_diff k1 k2
+        | Process.Stop, Process.Stop -> 0
+        | Process.Output (_, _, k1), Process.Stop ->
+          1 + Process.size k1 (* truncation counts the dropped suffix *)
+        | _ -> 99
+      in
+      check_bool "single point" true (count_diff p m.Mutate.body >= 1))
+    ms;
+  check_int "mutant count" 5 (List.length ms)
+
+let test_mutate_def_packaging () =
+  let muts = Mutate.mutate_def defs_copier "copier" in
+  check_bool "non-empty" true (muts <> []);
+  List.iter
+    (fun (m, defs') ->
+      (* only the named definition changed *)
+      let body' = (Option.get (Defs.lookup defs' "copier")).Defs.body in
+      check_bool "body is the mutant" true (Process.equal body' m.Mutate.body);
+      check_bool "description labelled" true
+        (String.length m.Mutate.description > 7))
+    muts;
+  check_int "unknown name yields nothing" 0
+    (List.length (Mutate.mutate_def defs_copier "nope"))
+
+let test_value_mutant_killed () =
+  (* the copier that adds one to what it forwards violates wire <= input *)
+  let killed =
+    List.exists
+      (fun (m, defs') ->
+        m.Mutate.operator = `Value
+        &&
+        match
+          Sat.check ~depth:5
+            (Step.config ~sampler:(Sampler.nat_bound 2) defs')
+            (Process.ref_ "copier") Paper.Copier.copier_spec
+        with
+        | Sat.Fails _ -> true
+        | Sat.Holds _ -> false)
+      (Mutate.mutate_def defs_copier "copier")
+  in
+  check_bool "value mutant refuted" true killed
+
+let test_truncation_mutant_survives_sat () =
+  (* §4: prefix-closed specs cannot reject truncation *)
+  List.iter
+    (fun (m, defs') ->
+      if m.Mutate.operator = `Truncate then
+        match
+          Sat.check ~depth:5
+            (Step.config ~sampler:(Sampler.nat_bound 2) defs')
+            (Process.ref_ "copier") Paper.Copier.copier_spec
+        with
+        | Sat.Holds _ -> ()
+        | Sat.Fails { trace } ->
+          Alcotest.failf "truncation wrongly refuted on %a" Trace.pp trace)
+    (Mutate.mutate_def defs_copier "copier");
+  (* ... but the refusals extension sees the introduced deadlock *)
+  let caught =
+    List.exists
+      (fun (m, defs') ->
+        m.Mutate.operator = `Truncate
+        && Failures.can_deadlock
+             (Step.config ~sampler:(Sampler.nat_bound 2) defs')
+             ~depth:3 (Process.ref_ "copier")
+           <> None)
+      (Mutate.mutate_def defs_copier "copier")
+  in
+  check_bool "refusals catch a truncation" true caught
+
+let prop_mutants_well_formed =
+  qcheck_case ~count:80 "mutants still step or stop cleanly" process_gen
+    (fun p ->
+      let cfg = Step.config ~sampler:(Sampler.nat_bound 2) Defs.empty in
+      List.for_all
+        (fun m ->
+          match Step.traces cfg ~depth:2 m.Mutate.body with
+          | _ -> true
+          | exception Step.Unproductive _ -> true)
+        (Mutate.mutants p))
+
+let () =
+  Alcotest.run "mutate"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "coverage" `Quick test_operators_cover;
+          Alcotest.test_case "single point" `Quick test_single_point;
+          Alcotest.test_case "definition packaging" `Quick
+            test_mutate_def_packaging;
+          prop_mutants_well_formed;
+        ] );
+      ( "kill-matrix(E10)",
+        [
+          Alcotest.test_case "value mutants killed" `Quick
+            test_value_mutant_killed;
+          Alcotest.test_case "truncation invisible to sat (§4)" `Quick
+            test_truncation_mutant_survives_sat;
+        ] );
+    ]

@@ -1,0 +1,338 @@
+(* The proof checker: one positive and several negative cases per rule,
+   plus the machine-checked soundness experiment (E6): accepted proofs
+   are never refuted by bounded model checking. *)
+
+open Csp
+open Test_support
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let wire_le_input = Assertion.Prefix (Term.chan "wire", Term.chan "input")
+let ctx0 = Sequent.context Defs.empty
+let ctx_copier = Sequent.context defs_copier
+let out c v k = Process.send c (Expr.int v) k
+
+let accepts ctx j p = Result.is_ok (Check.check ctx j p)
+let rejects ctx j p = Result.is_error (Check.check ctx j p)
+
+(* ---- emptiness ------------------------------------------------------ *)
+
+let test_emptiness () =
+  check_bool "STOP sat wire <= input" true
+    (accepts ctx0 (Sequent.Holds (Process.Stop, wire_le_input)) Proof.Emptiness);
+  (* R_<> false: <3> <= <3,4> becomes <> <= <> after substitution — true;
+     use a genuinely channel-free falsehood instead *)
+  check_bool "R_<> must hold" true
+    (rejects ctx0
+       (Sequent.Holds (Process.Stop, Assertion.Cmp (Assertion.Gt, Term.Len (Term.chan "c"), Term.int 0)))
+       Proof.Emptiness);
+  check_bool "wrong shape" true
+    (rejects ctx0
+       (Sequent.Holds (out "a" 1 Process.Stop, wire_le_input))
+       Proof.Emptiness)
+
+(* ---- triviality ------------------------------------------------------ *)
+
+let test_triviality () =
+  check_bool "wire <= wire always" true
+    (accepts ctx0
+       (Sequent.Holds
+          (out "a" 1 Process.Stop, Assertion.Prefix (Term.chan "wire", Term.chan "wire")))
+       Proof.Triviality);
+  check_bool "falsifiable assertion rejected" true
+    (rejects ctx0
+       (Sequent.Holds (out "a" 1 Process.Stop, wire_le_input))
+       Proof.Triviality)
+
+(* ---- output ---------------------------------------------------------- *)
+
+let test_output_rule () =
+  (* wire!3 -> STOP sat wire <= <3> : premise STOP sat 3^wire <= <3>,
+     i.e. after R^wire substitution; prove premise by emptiness *)
+  let spec =
+    Assertion.Prefix (Term.chan "wire", Term.Const (Value.Seq [ Value.Int 3 ]))
+  in
+  let p = out "wire" 3 Process.Stop in
+  check_bool "accepted" true
+    (accepts ctx0 (Sequent.Holds (p, spec)) (Proof.Output_rule Proof.Emptiness));
+  (* wrong constant: R_<> holds but the premise <4>-substitution fails *)
+  let bad = out "wire" 4 Process.Stop in
+  check_bool "wrong value rejected" true
+    (rejects ctx0 (Sequent.Holds (bad, spec)) (Proof.Output_rule Proof.Emptiness));
+  check_bool "wrong shape rejected" true
+    (rejects ctx0 (Sequent.Holds (Process.Stop, spec)) (Proof.Output_rule Proof.Emptiness))
+
+(* ---- input ----------------------------------------------------------- *)
+
+let test_input_rule () =
+  let p =
+    Process.recv "c" "x" (Vset.Range (0, 1))
+      (Process.send "d" (Expr.Var "x") Process.Stop)
+  in
+  let spec = Assertion.Prefix (Term.chan "d", Term.chan "c") in
+  let proof = Proof.Input_rule ("v", Proof.Output_rule Proof.Emptiness) in
+  check_bool "copy step accepted" true (accepts ctx0 (Sequent.Holds (p, spec)) proof);
+  (* freshness violation: v occurs in the invariant *)
+  let spec_v =
+    Assertion.And (spec, Assertion.Eq (Term.Var "v", Term.Var "v"))
+  in
+  check_bool "non-fresh variable rejected" true
+    (rejects ctx0 (Sequent.Holds (p, spec_v)) proof)
+
+(* ---- alternative / conjunction / consequence ------------------------- *)
+
+let test_alternative () =
+  let p = Process.Choice (Process.Stop, Process.Stop) in
+  check_bool "both branches" true
+    (accepts ctx0
+       (Sequent.Holds (p, wire_le_input))
+       (Proof.Alternative (Proof.Emptiness, Proof.Emptiness)));
+  check_bool "wrong shape" true
+    (rejects ctx0
+       (Sequent.Holds (Process.Stop, wire_le_input))
+       (Proof.Alternative (Proof.Emptiness, Proof.Emptiness)))
+
+let test_conjunction () =
+  let spec = Assertion.And (wire_le_input, Assertion.True) in
+  check_bool "accepted" true
+    (accepts ctx0
+       (Sequent.Holds (Process.Stop, spec))
+       (Proof.Conjunction (Proof.Emptiness, Proof.Emptiness)));
+  check_bool "needs a conjunction" true
+    (rejects ctx0
+       (Sequent.Holds (Process.Stop, wire_le_input))
+       (Proof.Conjunction (Proof.Emptiness, Proof.Emptiness)))
+
+let test_consequence () =
+  (* STOP sat #wire <= 1 via STOP sat wire = <> and (wire = <> => #wire <= 1) *)
+  let strong = Assertion.Eq (Term.chan "wire", Term.empty_seq) in
+  let weak = Assertion.Cmp (Assertion.Le, Term.Len (Term.chan "wire"), Term.int 1) in
+  check_bool "weakening accepted" true
+    (accepts ctx0
+       (Sequent.Holds (Process.Stop, weak))
+       (Proof.Consequence (strong, Proof.Emptiness)));
+  (* the implication must be valid *)
+  check_bool "invalid implication rejected" true
+    (rejects ctx0
+       (Sequent.Holds (Process.Stop, strong))
+       (Proof.Consequence (weak, Proof.Emptiness)))
+
+(* ---- parallelism ------------------------------------------------------ *)
+
+let test_parallelism () =
+  let xa = Chan_set.of_names [ "a" ] and ya = Chan_set.of_names [ "b" ] in
+  let p = Process.Par (xa, ya, Process.Stop, Process.Stop) in
+  let ra = Assertion.Prefix (Term.chan "a", Term.chan "a") in
+  let rb = Assertion.Prefix (Term.chan "b", Term.chan "b") in
+  check_bool "accepted" true
+    (accepts ctx0
+       (Sequent.Holds (p, Assertion.And (ra, rb)))
+       (Proof.Parallelism (ra, rb, Proof.Emptiness, Proof.Emptiness)));
+  check_bool "channel scope violated" true
+    (rejects ctx0
+       (Sequent.Holds (p, Assertion.And (rb, ra)))
+       (Proof.Parallelism (rb, ra, Proof.Emptiness, Proof.Emptiness)));
+  check_bool "conclusion must be the conjunction" true
+    (rejects ctx0
+       (Sequent.Holds (p, ra))
+       (Proof.Parallelism (ra, rb, Proof.Emptiness, Proof.Emptiness)))
+
+(* ---- chan ------------------------------------------------------------- *)
+
+let test_chan_rule () =
+  let p = Process.Hide (Chan_set.of_names [ "wire" ], Process.Stop) in
+  let about_out = Assertion.Prefix (Term.chan "output", Term.chan "output") in
+  check_bool "accepted" true
+    (accepts ctx0 (Sequent.Holds (p, about_out)) (Proof.Chan_rule Proof.Emptiness));
+  check_bool "mentions concealed channel" true
+    (rejects ctx0 (Sequent.Holds (p, wire_le_input)) (Proof.Chan_rule Proof.Emptiness))
+
+(* ---- recursion (Fix) --------------------------------------------------- *)
+
+let copier_fix =
+  Proof.Fix
+    ( [
+        {
+          Proof.spec_hyp = Sequent.Sat ("copier", wire_le_input);
+          fresh = "_";
+          body_proof =
+            Proof.Input_rule
+              ( "v",
+                Proof.Output_rule
+                  (Proof.Consequence (wire_le_input, Proof.Assumption)) );
+        };
+      ],
+      0 )
+
+let test_fix_copier () =
+  check_bool "hand-built copier proof" true
+    (accepts ctx_copier
+       (Sequent.Holds (Process.ref_ "copier", wire_le_input))
+       copier_fix)
+
+let test_fix_negative () =
+  (* conclusion index out of range *)
+  check_bool "bad index" true
+    (rejects ctx_copier
+       (Sequent.Holds (Process.ref_ "copier", wire_le_input))
+       (Proof.Fix ([], 0)));
+  (* wrong invariant in the conclusion *)
+  check_bool "conclusion mismatch" true
+    (rejects ctx_copier
+       (Sequent.Holds
+          (Process.ref_ "copier", Assertion.Prefix (Term.chan "input", Term.chan "wire")))
+       copier_fix);
+  (* R_<> failure: invariant false at the start *)
+  let bad_inv = Assertion.Cmp (Assertion.Gt, Term.Len (Term.chan "wire"), Term.int 0) in
+  check_bool "initial falsehood rejected" true
+    (rejects ctx_copier
+       (Sequent.Holds (Process.ref_ "copier", bad_inv))
+       (Proof.Fix
+          ( [
+              {
+                Proof.spec_hyp = Sequent.Sat ("copier", bad_inv);
+                fresh = "_";
+                body_proof = Proof.Assumption;
+              };
+            ],
+            0 )))
+
+let test_assumption () =
+  let ctx =
+    Sequent.add_hyp (Sequent.Sat ("copier", wire_le_input)) ctx_copier
+  in
+  check_bool "hypothesis used" true
+    (accepts ctx (Sequent.Holds (Process.ref_ "copier", wire_le_input)) Proof.Assumption);
+  check_bool "no matching hypothesis" true
+    (rejects ctx_copier
+       (Sequent.Holds (Process.ref_ "copier", wire_le_input))
+       Proof.Assumption);
+  check_bool "assumption needs a name" true
+    (rejects ctx (Sequent.Holds (Process.Stop, wire_le_input)) Proof.Assumption)
+
+let test_unfold () =
+  check_bool "definitional expansion" true
+    (accepts ctx_copier
+       (Sequent.Holds (Process.ref_ "copier", Assertion.True))
+       (Proof.Unfold (Proof.Input_rule ("v", Proof.Output_rule Proof.Triviality))));
+  check_bool "undefined name" true
+    (rejects ctx_copier
+       (Sequent.Holds (Process.ref_ "nope", Assertion.True))
+       (Proof.Unfold Proof.Triviality))
+
+(* ---- forall-elim ------------------------------------------------------ *)
+
+let array_defs =
+  Defs.empty
+  |> Defs.define_array "emit" "x" (Vset.Range (0, 3))
+       (Process.Output (Chan_expr.simple "a", Expr.Var "x", Process.Stop))
+
+let emit_spec =
+  (* a <= <x> *)
+  Assertion.Prefix
+    (Term.chan "a", Term.Cons (Term.Var "x", Term.empty_seq))
+
+let emit_fix fresh =
+  Proof.Fix
+    ( [
+        {
+          Proof.spec_hyp = Sequent.Sat_array ("emit", "x", Vset.Range (0, 3), emit_spec);
+          fresh;
+          body_proof = Proof.Output_rule Proof.Emptiness;
+        };
+      ],
+      0 )
+
+let test_fix_array_and_elim () =
+  let ctx = Sequent.context array_defs in
+  check_bool "array recursion" true
+    (accepts ctx
+       (Sequent.Holds_all ("emit", "x", Vset.Range (0, 3), emit_spec))
+       (emit_fix "x"));
+  (* specialise to emit[2] *)
+  let inst = Assertion.subst_var "x" (Term.int 2) emit_spec in
+  check_bool "forall-elim in range" true
+    (accepts ctx
+       (Sequent.Holds (Process.call "emit" (Expr.int 2), inst))
+       (Proof.Forall_elim ("x", Vset.Range (0, 3), emit_spec, emit_fix "x")));
+  (* out-of-range subscript: the membership obligation is refuted *)
+  let inst9 = Assertion.subst_var "x" (Term.int 9) emit_spec in
+  check_bool "forall-elim out of range rejected" true
+    (rejects ctx
+       (Sequent.Holds (Process.call "emit" (Expr.int 9), inst9))
+       (Proof.Forall_elim ("x", Vset.Range (0, 3), emit_spec, emit_fix "x")))
+
+(* ---- report ----------------------------------------------------------- *)
+
+let test_report_contents () =
+  match Check.check ctx_copier
+          (Sequent.Holds (Process.ref_ "copier", wire_le_input)) copier_fix
+  with
+  | Error m -> Alcotest.fail m
+  | Ok report ->
+    check_int "steps numbered from 1" 1 (List.hd report.Check.steps).Check.index;
+    check_bool "all obligations proved" true (Check.fully_proved report);
+    check_int "no tested obligations" 0 (Check.tested_obligations report);
+    check_int "five rule applications" 5 report.Check.rules_applied;
+    (* the final step concludes the original judgment *)
+    let last = List.nth report.Check.steps (List.length report.Check.steps - 1) in
+    check_bool "conclusion" true
+      (String.length last.Check.judgment > 0 && last.Check.rule = "recursion")
+
+(* ---- E6: soundness of accepted proofs --------------------------------- *)
+
+let test_soundness_examples () =
+  (* every accepted proof in this file concerns a judgment that bounded
+     model checking confirms *)
+  let cases =
+    [
+      (ctx_copier, Process.ref_ "copier", wire_le_input);
+      (ctx0, Process.Stop, wire_le_input);
+    ]
+  in
+  List.iter
+    (fun (ctx, p, spec) ->
+      let cfg =
+        Step.config ~sampler:(Sampler.nat_bound 2) ctx.Sequent.defs
+      in
+      match Sat.check ~depth:5 cfg p spec with
+      | Sat.Holds _ -> ()
+      | Sat.Fails { trace } ->
+        Alcotest.failf "accepted judgment refuted on %a" Trace.pp trace)
+    cases
+
+let () =
+  Alcotest.run "proof"
+    [
+      ( "leaf-rules",
+        [
+          Alcotest.test_case "emptiness" `Quick test_emptiness;
+          Alcotest.test_case "triviality" `Quick test_triviality;
+          Alcotest.test_case "assumption" `Quick test_assumption;
+        ] );
+      ( "structural-rules",
+        [
+          Alcotest.test_case "output" `Quick test_output_rule;
+          Alcotest.test_case "input" `Quick test_input_rule;
+          Alcotest.test_case "alternative" `Quick test_alternative;
+          Alcotest.test_case "conjunction" `Quick test_conjunction;
+          Alcotest.test_case "consequence" `Quick test_consequence;
+          Alcotest.test_case "parallelism" `Quick test_parallelism;
+          Alcotest.test_case "chan" `Quick test_chan_rule;
+          Alcotest.test_case "unfold" `Quick test_unfold;
+        ] );
+      ( "recursion",
+        [
+          Alcotest.test_case "copier (hand proof)" `Quick test_fix_copier;
+          Alcotest.test_case "negative cases" `Quick test_fix_negative;
+          Alcotest.test_case "arrays and forall-elim" `Quick
+            test_fix_array_and_elim;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "report structure" `Quick test_report_contents;
+          Alcotest.test_case "soundness (E6 spot checks)" `Quick
+            test_soundness_examples;
+        ] );
+    ]

@@ -1,0 +1,306 @@
+(* Concrete syntax: lexer, parser, printer, and round-trip properties. *)
+
+open Csp
+open Test_support
+module Lexer = Csp_syntax.Lexer
+module Token = Csp_syntax.Token
+module Parser = Csp_syntax.Parser
+module Printer = Csp_syntax.Printer
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- lexer ----------------------------------------------------------- *)
+
+let tokens s = List.map (fun l -> l.Lexer.token) (Lexer.tokenize s)
+
+let test_lexer_basics () =
+  check_int "eof only" 1 (List.length (tokens ""));
+  check_bool "arrow vs minus" true
+    (tokens "a->b-c" = [ Token.IDENT "a"; Token.ARROW; Token.IDENT "b";
+                          Token.MINUS; Token.IDENT "c"; Token.EOF ]);
+  check_bool "parallel vs bar" true
+    (tokens "p||q|r" = [ Token.IDENT "p"; Token.PARALLEL; Token.IDENT "q";
+                          Token.BAR; Token.IDENT "r"; Token.EOF ]);
+  check_bool "dotdot vs dot" true
+    (tokens "{0..3}.x" = [ Token.LBRACE; Token.INT 0; Token.DOTDOT; Token.INT 3;
+                           Token.RBRACE; Token.DOT; Token.IDENT "x"; Token.EOF ]);
+  check_bool "dotlpar" true
+    (tokens "s.(1)" = [ Token.IDENT "s"; Token.DOTLPAR; Token.INT 1;
+                        Token.RPAR; Token.EOF ]);
+  check_bool "le/implies/ge" true
+    (tokens "<= => >= \\/" = [ Token.LE; Token.IMPLIES; Token.GE; Token.OR; Token.EOF ])
+
+let test_lexer_comments_keywords () =
+  check_bool "comments skipped" true
+    (tokens "a -- rest of line\nb" = [ Token.IDENT "a"; Token.IDENT "b"; Token.EOF ]);
+  check_bool "keywords reserved" true
+    (tokens "STOP chan NAT sat" = [ Token.KW_STOP; Token.KW_CHAN; Token.KW_NAT;
+                                     Token.KW_SAT; Token.EOF ]);
+  check_bool "idents with primes and underscores" true
+    (tokens "x_1'" = [ Token.IDENT "x_1'"; Token.EOF ])
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  let b = List.nth toks 1 in
+  check_int "line" 2 b.Lexer.line;
+  check_int "col" 3 b.Lexer.col
+
+let test_lexer_error () =
+  match Lexer.tokenize "a $ b" with
+  | exception Lexer.Lex_error (_, 1, 3) -> ()
+  | exception Lexer.Lex_error (_, l, c) -> Alcotest.failf "wrong position %d:%d" l c
+  | _ -> Alcotest.fail "expected a lexer error"
+
+(* ---- parser: processes ------------------------------------------------ *)
+
+let parse_p s =
+  match Parser.parse_process s with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_parse_prefixes () =
+  check process_testable "output chain"
+    (Process.send "a" (Expr.int 1) (Process.send "b" (Expr.int 2) Process.Stop))
+    (parse_p "a!1 -> b!2 -> STOP");
+  check process_testable "input"
+    (Process.recv "c" "x" Vset.Nat (Process.send "d" (Expr.Var "x") Process.Stop))
+    (parse_p "c?x:NAT -> d!x -> STOP");
+  check process_testable "subscripted channels"
+    (Process.Output
+       (Chan_expr.indexed "col" (Expr.Sub (Expr.Var "i", Expr.int 1)),
+        Expr.int 0, Process.Stop))
+    (parse_p "col[i-1]!0 -> STOP")
+
+let test_parse_precedence () =
+  (* -> binds tighter than |, which binds tighter than || *)
+  let p = parse_p "a!1 -> STOP | b!2 -> STOP" in
+  (match p with
+  | Process.Choice (Process.Output _, Process.Output _) -> ()
+  | _ -> Alcotest.failf "wrong parse: %a" Process.pp p);
+  let q = parse_p "a!1 -> STOP | b!2 -> STOP || c!3 -> STOP" in
+  match q with
+  | Process.Par (_, _, Process.Choice _, Process.Output _) -> ()
+  | _ -> Alcotest.failf "wrong parse: %a" Process.pp q
+
+let test_parse_symbols_uppercase () =
+  check process_testable "ACK is a constant"
+    (Process.send "wire" (Expr.Const Value.ack) Process.Stop)
+    (parse_p "wire!ACK -> STOP")
+
+let test_parse_explicit_alphabets () =
+  match parse_p "STOP [ {a, col[0..3]} || {b[*]} ] STOP" with
+  | Process.Par (xa, ya, Process.Stop, Process.Stop) ->
+    check_bool "family" true (Chan_set.mem xa (Channel.indexed "col" 2));
+    check_bool "family bound" false (Chan_set.mem xa (Channel.indexed "col" 7));
+    check_bool "base wildcard" true (Chan_set.mem ya (Channel.indexed "b" 9))
+  | p -> Alcotest.failf "wrong parse: %a" Process.pp p
+
+let test_parse_chan_scope () =
+  match parse_p "chan wire, col[0..2]; STOP" with
+  | Process.Hide (l, Process.Stop) ->
+    check_bool "wire hidden" true (Chan_set.mem l (Channel.simple "wire"));
+    check_bool "col[1] hidden" true (Chan_set.mem l (Channel.indexed "col" 1))
+  | p -> Alcotest.failf "wrong parse: %a" Process.pp p
+
+let test_inferred_alphabets () =
+  let src = "left = a!1 -> left\nright = a?x:NAT -> b!x -> right\nnet = left || right" in
+  let file = Parser.parse_file_exn src in
+  match (Option.get (Defs.lookup file.Parser.defs "net")).Defs.body with
+  | Process.Par (xa, ya, _, _) ->
+    check_bool "left alphabet" true (Chan_set.mem xa (Channel.simple "a"));
+    check_bool "left lacks b" false (Chan_set.mem xa (Channel.simple "b"));
+    check_bool "right has b" true (Chan_set.mem ya (Channel.simple "b"))
+  | p -> Alcotest.failf "wrong body: %a" Process.pp p
+
+let test_parse_sets () =
+  check process_testable "range set"
+    (Process.recv "c" "x" (Vset.Range (0, 3)) Process.Stop)
+    (parse_p "c?x:{0..3} -> STOP");
+  check process_testable "enum of symbols"
+    (Process.recv "c" "y" (Vset.Enum [ Value.ack; Value.nack ]) Process.Stop)
+    (parse_p "c?y:{ACK, NACK} -> STOP")
+
+let test_parse_errors () =
+  let bad s =
+    match Parser.parse_process s with
+    | Error _ -> ()
+    | Ok p -> Alcotest.failf "accepted %S as %a" s Process.pp p
+  in
+  bad "a!1 ->";
+  bad "c?x -> STOP";
+  bad "(a!1 -> STOP";
+  bad "a!1 -> STOP extra";
+  bad "q[1,2]!x -> STOP | |"
+
+(* ---- parser: assertions ----------------------------------------------- *)
+
+let parse_a ?bound s =
+  match Parser.parse_assertion ?bound s with
+  | Ok a -> a
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_parse_assertions () =
+  check assertion_testable "prefix order"
+    (Assertion.Prefix (Term.chan "wire", Term.chan "input"))
+    (parse_a "wire <= input");
+  check assertion_testable "length comparison"
+    (Assertion.Cmp
+       (Assertion.Le, Term.Len (Term.chan "input"),
+        Term.Add (Term.Len (Term.chan "wire"), Term.int 1)))
+    (parse_a "#input <= #wire + 1");
+  check assertion_testable "function application"
+    (Assertion.Prefix (Term.App ("f", Term.chan "wire"), Term.chan "input"))
+    (parse_a "f(wire) <= input");
+  check assertion_testable "bound variables"
+    (Assertion.Prefix
+       (Term.chan "wire", Term.Cons (Term.Var "x", Term.chan "input")))
+    (parse_a ~bound:[ "x" ] "wire <= x^input")
+
+let test_parse_quantified () =
+  match parse_a "forall i:NAT. 1 <= i & i <= #output => output.(i) = sum(j, 1, 3, row[j].(i))" with
+  | Assertion.Forall ("i", Vset.Nat, Assertion.Imp (Assertion.And _, Assertion.Eq (Term.Index _, Term.Sum _))) -> ()
+  | a -> Alcotest.failf "wrong parse: %a" Assertion.pp a
+
+let test_parse_seq_literals () =
+  check assertion_testable "sequence literal"
+    (Assertion.Prefix
+       (Term.Const (Value.Seq [ Value.Int 1; Value.Int 2 ]), Term.chan "c"))
+    (parse_a "<1, 2> <= c");
+  check assertion_testable "empty literal"
+    (Assertion.Eq (Term.chan "c", Term.empty_seq))
+    (parse_a "c = <>")
+
+let test_parse_paren_backtrack () =
+  (* parenthesised term starting a comparison vs parenthesised assertion *)
+  check assertion_testable "paren term"
+    (Assertion.Cmp
+       (Assertion.Le, Term.Add (Term.Len (Term.chan "a"), Term.int 1), Term.int 5))
+    (parse_a "(#a + 1) <= 5");
+  check assertion_testable "paren assertion"
+    (Assertion.And (Assertion.True, Assertion.False))
+    (parse_a "(true) & false")
+
+(* ---- files ------------------------------------------------------------- *)
+
+let test_duplicate_definition_rejected () =
+  match Parser.parse_file "p = a!1 -> STOP\np = b!2 -> STOP" with
+  | Error m -> check_bool "mentions the name" true
+      (String.length m > 0 &&
+       let contains s sub =
+         let n = String.length s and m' = String.length sub in
+         let rec go i = i + m' <= n && (String.sub s i m' = sub || go (i + 1)) in
+         go 0
+       in
+       contains m "defined twice")
+  | Ok _ -> Alcotest.fail "duplicate definitions must be rejected"
+
+let test_parse_file_decls () =
+  let src =
+    "p = a!1 -> p\nassert p sat a <= a\nq[x:{0..1}] = b!x -> STOP\n\
+     assert forall x:{0..1}. q[x] sat #b <= 1"
+  in
+  let file = Parser.parse_file_exn src in
+  check_int "two defs" 2 (List.length (Defs.names file.Parser.defs));
+  check_int "two decls" 2 (List.length file.Parser.decls);
+  match file.Parser.decls with
+  | [ Parser.Assert_plain ("p", _); Parser.Assert_array ("q", "x", Vset.Range (0, 1), _) ] -> ()
+  | _ -> Alcotest.fail "wrong declarations"
+
+(* ---- printer round-trips ------------------------------------------------ *)
+
+let prop_process_roundtrip =
+  qcheck_case ~count:300 "parse (print p) = p" process_gen (fun p ->
+      match Parser.parse_process (Printer.process p) with
+      | Ok p' -> Process.equal p p'
+      | Error m ->
+        QCheck2.Test.fail_reportf "did not reparse: %s\n%s" (Printer.process p) m)
+
+let test_assertion_roundtrips () =
+  (* hand-picked assertion round trips, covering every constructor *)
+  let cases =
+    [
+      "true"; "false"; "wire <= input"; "#input <= #wire + 1";
+      "f(wire) <= input"; "a = b ++ c"; "~(a = <>)";
+      "true & false \\/ true"; "1 <= 2 => a <= a";
+      "forall x:NAT. x^a <= x^b"; "exists y:{ACK, NACK}. a = <>";
+      "s.(1) = 3"; "2 in {0..4}";
+      "sum(j, 1, 3, j * j) = 14"; "#a - 1 < #b * 2";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let a = parse_a s in
+      let printed = Printer.assertion a in
+      match Parser.parse_assertion printed with
+      | Ok a' ->
+        if not (Assertion.equal a a') then
+          Alcotest.failf "round trip changed %S -> %S" s printed
+      | Error m -> Alcotest.failf "%S printed as %S: %s" s printed m)
+    cases
+
+let test_defs_roundtrip_paper () =
+  (* the protocol definitions round-trip through the printer *)
+  let src =
+    "sender = input?x:NAT -> q[x]\n\
+     q[x:NAT] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])\n\
+     receiver = wire?z:NAT -> (wire!ACK -> output!z -> receiver | wire!NACK -> receiver)\n\
+     protocol = chan wire; (sender [ {input, wire} || {wire, output} ] receiver)"
+  in
+  let file = Parser.parse_file_exn src in
+  let file2 = Parser.parse_file_exn (Printer.defs file.Parser.defs) in
+  List.iter
+    (fun n ->
+      let d1 = Option.get (Defs.lookup file.Parser.defs n) in
+      let d2 = Option.get (Defs.lookup file2.Parser.defs n) in
+      if not (Process.equal d1.Defs.body d2.Defs.body) then
+        Alcotest.failf "definition %s changed" n)
+    (Defs.names file.Parser.defs)
+
+let () =
+  Alcotest.run "syntax"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "token shapes" `Quick test_lexer_basics;
+          Alcotest.test_case "comments and keywords" `Quick
+            test_lexer_comments_keywords;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_error;
+        ] );
+      ( "processes",
+        [
+          Alcotest.test_case "prefixes" `Quick test_parse_prefixes;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "symbolic constants" `Quick
+            test_parse_symbols_uppercase;
+          Alcotest.test_case "explicit alphabets" `Quick
+            test_parse_explicit_alphabets;
+          Alcotest.test_case "chan scope" `Quick test_parse_chan_scope;
+          Alcotest.test_case "inferred alphabets" `Quick test_inferred_alphabets;
+          Alcotest.test_case "sets" `Quick test_parse_sets;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "assertions",
+        [
+          Alcotest.test_case "comparisons" `Quick test_parse_assertions;
+          Alcotest.test_case "quantifiers and sums" `Quick test_parse_quantified;
+          Alcotest.test_case "sequence literals" `Quick test_parse_seq_literals;
+          Alcotest.test_case "parenthesis backtracking" `Quick
+            test_parse_paren_backtrack;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "definitions and asserts" `Quick
+            test_parse_file_decls;
+          Alcotest.test_case "duplicates rejected" `Quick
+            test_duplicate_definition_rejected;
+        ] );
+      ( "round-trips",
+        [
+          prop_process_roundtrip;
+          Alcotest.test_case "assertions" `Quick test_assertion_roundtrips;
+          Alcotest.test_case "paper definitions" `Quick test_defs_roundtrip_paper;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+(* Unit and property tests for the trace substrate:
+   values, channels, events, traces, histories, sequence operations. *)
+
+open Csp
+open Test_support
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- Value ---------------------------------------------------------- *)
+
+let test_value_order () =
+  check_bool "int < sym" true (Value.compare (Value.Int 5) Value.ack < 0);
+  check_bool "equal ints" true (Value.equal (Value.Int 3) (Value.Int 3));
+  check_bool "distinct syms" false (Value.equal Value.ack Value.nack);
+  check_bool "tuple order lexicographic" true
+    (Value.compare
+       (Value.Tuple [ Value.Int 1; Value.Int 2 ])
+       (Value.Tuple [ Value.Int 1; Value.Int 3 ])
+    < 0);
+  check_bool "shorter seq first" true
+    (Value.compare (Value.Seq [ Value.Int 1 ])
+       (Value.Seq [ Value.Int 1; Value.Int 0 ])
+    < 0)
+
+let test_value_accessors () =
+  check Alcotest.(option int) "to_int" (Some 7) (Value.to_int (Value.Int 7));
+  check Alcotest.(option int) "to_int sym" None (Value.to_int Value.ack);
+  check_bool "is_int" true (Value.is_int (Value.Int 0));
+  check Alcotest.string "pp seq" "<1, ACK>"
+    (Value.to_string (Value.Seq [ Value.Int 1; Value.ack ]))
+
+let value_order_total =
+  qcheck_case "value compare antisymmetric"
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0 && c2 = 0) || c1 * c2 < 0)
+
+let value_order_trans =
+  qcheck_case "value compare transitive"
+    QCheck2.Gen.(triple value_gen value_gen value_gen)
+    (fun (a, b, c) ->
+      if Value.compare a b <= 0 && Value.compare b c <= 0 then
+        Value.compare a c <= 0
+      else true)
+
+(* ---- Channel -------------------------------------------------------- *)
+
+let test_channel () =
+  check_bool "simple equal" true
+    (Channel.equal (Channel.simple "wire") (Channel.simple "wire"));
+  check_bool "index distinguishes" false
+    (Channel.equal (Channel.indexed "col" 0) (Channel.indexed "col" 1));
+  check_bool "name distinguishes" false
+    (Channel.equal (Channel.simple "col") (Channel.indexed "col" 0));
+  check Alcotest.string "pp indexed" "col[2]"
+    (Channel.to_string (Channel.indexed "col" 2));
+  check Alcotest.string "base" "col" (Channel.base (Channel.indexed "col" 2))
+
+let test_channel_set () =
+  let s =
+    Channel.Set.of_list
+      [ Channel.indexed "c" 0; Channel.indexed "c" 0; Channel.simple "d" ]
+  in
+  check_int "set dedups" 2 (Channel.Set.cardinal s)
+
+(* ---- Trace ---------------------------------------------------------- *)
+
+let t1 = [ ev "input" 27; ev "wire" 27; ev "input" 0 ]
+
+let test_trace_prefix () =
+  check_bool "empty prefix of all" true (Trace.is_prefix [] t1);
+  check_bool "self prefix" true (Trace.is_prefix t1 t1);
+  check_bool "proper prefix" true
+    (Trace.is_prefix [ ev "input" 27 ] t1);
+  check_bool "not prefix (value)" false
+    (Trace.is_prefix [ ev "input" 3 ] t1);
+  check_bool "longer not prefix" false
+    (Trace.is_prefix (t1 @ [ ev "x" 0 ]) t1)
+
+let test_trace_hide () =
+  let in_wire c = Channel.equal c (Channel.simple "wire") in
+  check trace_testable "hide removes wire"
+    [ ev "input" 27; ev "input" 0 ]
+    (Trace.hide in_wire t1);
+  check trace_testable "restrict keeps wire" [ ev "wire" 27 ]
+    (Trace.restrict in_wire t1);
+  check trace_testable "hide nothing" t1 (Trace.hide (fun _ -> false) t1)
+
+let test_trace_prefixes () =
+  check_int "count" 4 (List.length (Trace.prefixes t1));
+  check trace_testable "first is empty" [] (List.hd (Trace.prefixes t1));
+  check trace_testable "last is whole" t1
+    (List.nth (Trace.prefixes t1) 3)
+
+let test_trace_channels () =
+  check_int "two channels" 2 (Channel.Set.cardinal (Trace.channels t1))
+
+let test_interleavings () =
+  let a = [ ev "a" 1 ] and b = [ ev "b" 2 ] in
+  check_int "1x1 -> 2" 2 (List.length (Trace.interleavings a b));
+  check_int "2x1 -> 3" 3
+    (List.length (Trace.interleavings (a @ a) b));
+  check_int "with empty" 1 (List.length (Trace.interleavings a []))
+
+let prop_hide_restrict_partition =
+  qcheck_case "hide + restrict partition the trace length" trace_gen
+    (fun t ->
+      let p c = Channel.base c = "a" in
+      List.length (Trace.hide p t) + List.length (Trace.restrict p t)
+      = List.length t)
+
+let prop_prefixes_are_prefixes =
+  qcheck_case "every element of prefixes is a prefix" trace_gen (fun t ->
+      List.for_all (fun s -> Trace.is_prefix s t) (Trace.prefixes t))
+
+let prop_prefix_partial_order =
+  qcheck_case "prefix order antisymmetry"
+    QCheck2.Gen.(pair trace_gen trace_gen)
+    (fun (s, t) ->
+      if Trace.is_prefix s t && Trace.is_prefix t s then Trace.equal s t
+      else true)
+
+(* ---- History -------------------------------------------------------- *)
+
+let test_history_of_trace () =
+  (* ch(<input.27, wire.27, input.0, wire.0, input.3>) — §3.3's example *)
+  let s =
+    [ ev "input" 27; ev "wire" 27; ev "input" 0; ev "wire" 0; ev "input" 3 ]
+  in
+  let h = History.of_trace s in
+  check value_testable "input history"
+    (Value.Seq [ Value.Int 27; Value.Int 0; Value.Int 3 ])
+    (Value.Seq (History.get h (Channel.simple "input")));
+  check value_testable "wire history"
+    (Value.Seq [ Value.Int 27; Value.Int 0 ])
+    (Value.Seq (History.get h (Channel.simple "wire")));
+  check value_testable "other channel empty" (Value.Seq [])
+    (Value.Seq (History.get h (Channel.simple "zzz")))
+
+let test_history_set () =
+  let h = History.set History.empty (Channel.simple "c") [ Value.Int 1 ] in
+  check_int "channels" 1 (List.length (History.channels h));
+  let h = History.set h (Channel.simple "c") [] in
+  check_int "setting empty removes" 0 (List.length (History.channels h));
+  check_bool "empty histories equal" true (History.equal h History.empty)
+
+let prop_extend_agrees_with_of_trace =
+  qcheck_case "of_trace (s @ [e]) = extend (of_trace s) e"
+    QCheck2.Gen.(pair trace_gen event_gen)
+    (fun (s, e) ->
+      History.equal
+        (History.of_trace (s @ [ e ]))
+        (History.extend (History.of_trace s) e))
+
+let prop_history_lengths =
+  qcheck_case "sum of history lengths = trace length" trace_gen (fun s ->
+      let h = History.of_trace s in
+      List.fold_left
+        (fun acc c -> acc + List.length (History.get h c))
+        0 (History.channels h)
+      = List.length s)
+
+(* ---- Seq_ops -------------------------------------------------------- *)
+
+let ints = List.map (fun n -> Value.Int n)
+
+let test_seq_ops () =
+  check_bool "is_prefix" true (Seq_ops.is_prefix (ints [ 1 ]) (ints [ 1; 2 ]));
+  check_bool "not prefix" false
+    (Seq_ops.is_prefix (ints [ 2 ]) (ints [ 1; 2 ]));
+  check Alcotest.(option (module Value)) "index 1-based" (Some (Value.Int 5))
+    (Seq_ops.index (ints [ 5; 6 ]) 1);
+  check Alcotest.(option (module Value)) "index out of range" None
+    (Seq_ops.index (ints [ 5; 6 ]) 3);
+  check Alcotest.(option (module Value)) "index zero" None
+    (Seq_ops.index (ints [ 5; 6 ]) 0);
+  check value_testable "take" (Value.Seq (ints [ 1; 2 ]))
+    (Value.Seq (Seq_ops.take 2 (ints [ 1; 2; 3 ])));
+  check value_testable "drop" (Value.Seq (ints [ 3 ]))
+    (Value.Seq (Seq_ops.drop 2 (ints [ 1; 2; 3 ])));
+  check value_testable "common_prefix" (Value.Seq (ints [ 1; 2 ]))
+    (Value.Seq (Seq_ops.common_prefix (ints [ 1; 2; 3 ]) (ints [ 1; 2; 9 ])));
+  check value_testable "alternate" (Value.Seq (ints [ 1; 4; 2; 5; 3 ]))
+    (Value.Seq (Seq_ops.alternate (ints [ 1; 2; 3 ]) (ints [ 4; 5 ])))
+
+let prop_take_drop =
+  qcheck_case "take n ++ drop n = id"
+    QCheck2.Gen.(pair (int_range 0 8) seq_gen)
+    (fun (n, s) -> Seq_ops.take n s @ Seq_ops.drop n s = s)
+
+let prop_common_prefix =
+  qcheck_case "common_prefix is a prefix of both"
+    QCheck2.Gen.(pair seq_gen seq_gen)
+    (fun (a, b) ->
+      let c = Seq_ops.common_prefix a b in
+      Seq_ops.is_prefix c a && Seq_ops.is_prefix c b)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+          value_order_total;
+          value_order_trans;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "identity" `Quick test_channel;
+          Alcotest.test_case "sets" `Quick test_channel_set;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "prefix" `Quick test_trace_prefix;
+          Alcotest.test_case "hide/restrict" `Quick test_trace_hide;
+          Alcotest.test_case "prefixes" `Quick test_trace_prefixes;
+          Alcotest.test_case "channels" `Quick test_trace_channels;
+          Alcotest.test_case "interleavings" `Quick test_interleavings;
+          prop_hide_restrict_partition;
+          prop_prefixes_are_prefixes;
+          prop_prefix_partial_order;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "ch(s) of §3.3" `Quick test_history_of_trace;
+          Alcotest.test_case "set/remove" `Quick test_history_set;
+          prop_extend_agrees_with_of_trace;
+          prop_history_lengths;
+        ] );
+      ( "seq_ops",
+        [
+          Alcotest.test_case "operations" `Quick test_seq_ops;
+          prop_take_drop;
+          prop_common_prefix;
+        ] );
+    ]
