@@ -7,12 +7,16 @@
    experiment re-derives the corresponding claim and prints a
    paper-vs-measured line.  EXPERIMENTS.md records the outputs.
 
-   Part 2 holds the ablations (A1–A2) and a Bechamel timing suite
+   Part 2 holds the ablations (A1–A2), the hash-consing comparison
+   (P8, which writes BENCH_closure.json) and a Bechamel timing suite
    (P1–P7) characterising the cost of the semantic operations, the
    bounded checker, the proof system and the simulator.
 
    Run with: dune exec bench/main.exe            (everything)
-             dune exec bench/main.exe -- quick   (part 1 only) *)
+             dune exec bench/main.exe -- quick   (part 1 only)
+             dune exec bench/main.exe -- p8      (P8 comparison only)
+             dune exec bench/main.exe -- smoke   (E11 + P8, tiny sizes;
+                                                  the @bench-smoke alias) *)
 
 open Csp
 module Runner = Csp_sim.Runner
@@ -447,7 +451,7 @@ let e10_mutations () =
    from per-component invariants, so proof size grows with the number of
    components while the state space grows with their product.  Measured
    on the n-stage copier chain. *)
-let e11_compositionality () =
+let e11_compositionality ?(sizes = [ 1; 2; 3; 4; 6; 8; 12 ]) () =
   section "E11: compositional proofs vs state explosion (n-stage chain)";
   result "  %4s %10s %12s %14s %14s %10s\n" "n" "LTS states" "proof rules"
     "sat-check(ms)" "proof(ms)" "status";
@@ -496,7 +500,7 @@ let e11_compositionality () =
           proof_ms
           (ok sat_ok)
       | Error m -> result "  %4d PROOF FAILED: %s\n" n m)
-    [ 1; 2; 3; 4; 6; 8; 12 ]
+    sizes
 
 (* ---------------------------------------------------------------------- *)
 (* A1/A2: ablations of design choices                                      *)
@@ -568,6 +572,230 @@ let a2_closure_ablation () =
   time "list mem" (fun () -> Naive.mem probe listed);
   time "trie hide" (fun () -> Closure.hide in_wire trie);
   time "list hide" (fun () -> Naive.hide in_wire listed)
+
+(* ---------------------------------------------------------------------- *)
+(* P8: hash-consed kernel vs the retained naive reference                  *)
+(* ---------------------------------------------------------------------- *)
+
+(* The "old" side of the comparison re-runs the pipelines on
+   [Closure_ref] — the pre-hash-consing trie, kept in the library as an
+   executable specification.  Two workloads: the E11 chain's bounded
+   sat check (closure construction dominates) and the protocol's
+   denotational fixpoint run for the full [depth + hide_extra + 1]
+   rounds, as [denote] did before convergence detection. *)
+module Ref_pipeline = struct
+  (* [Step.traces] with the reference trie: same transition relation,
+     same (state, depth, budget) memo, only the closure representation
+     differs. *)
+  let traces cfg ~depth p =
+    let memo : (string * int * int, Closure_ref.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let rec go d hidden_budget p =
+      if d <= 0 then Closure_ref.empty
+      else
+        let key = (Process.to_string p, d, hidden_budget) in
+        match Hashtbl.find_opt memo key with
+        | Some c -> c
+        | None ->
+          let c =
+            List.fold_left
+              (fun acc (e, vis, p') ->
+                match vis with
+                | Step.Visible ->
+                  Closure_ref.union acc
+                    (Closure_ref.prefix e (go (d - 1) cfg.Step.hide_fuel p'))
+                | Step.Hidden ->
+                  if hidden_budget <= 0 then acc
+                  else Closure_ref.union acc (go d (hidden_budget - 1) p'))
+              Closure_ref.empty (Step.transitions cfg p)
+          in
+          Hashtbl.add memo key c;
+          c
+    in
+    go depth cfg.Step.hide_fuel p
+
+  (* [Sat.check] before streaming: materialise the member traces and
+     test the assertion on each. *)
+  let check ?nat_bound cfg ~depth p assertion =
+    let closure = traces cfg ~depth p in
+    let ctx0 = Term.ctx ?nat_bound () in
+    List.for_all
+      (fun s ->
+        Assertion.eval { ctx0 with Term.hist = History.of_trace s } assertion)
+      (Closure_ref.to_traces closure)
+
+  (* The denotational equations over the reference trie. *)
+  let rec eval defs sampler hide_extra env depth p =
+    let k = eval defs sampler hide_extra in
+    if depth <= 0 then Closure_ref.empty
+    else
+      match p with
+      | Process.Stop -> Closure_ref.empty
+      | Process.Output (c, e, cont) ->
+        Closure_ref.prefix
+          (Event.make
+             (Chan_expr.eval Valuation.empty c)
+             (Expr.eval Valuation.empty e))
+          (k env (depth - 1) cont)
+      | Process.Input (c, x, m, cont) ->
+        let chan = Chan_expr.eval Valuation.empty c in
+        Closure_ref.union_all
+          (List.map
+             (fun v ->
+               Closure_ref.prefix (Event.make chan v)
+                 (k env (depth - 1) (Process.subst_value x v cont)))
+             (Sampler.sample sampler m))
+      | Process.Choice (p1, p2) ->
+        Closure_ref.union (k env depth p1) (k env depth p2)
+      | Process.Par (xa, ya, p1, p2) ->
+        Closure_ref.truncate depth
+          (Closure_ref.par
+             ~in_x:(fun c -> Chan_set.mem xa c)
+             ~in_y:(fun c -> Chan_set.mem ya c)
+             (k env depth p1) (k env depth p2))
+      | Process.Hide (l, p1) ->
+        Closure_ref.truncate depth
+          (Closure_ref.hide
+             (fun c -> Chan_set.mem l c)
+             (k env (depth + hide_extra) p1))
+      | Process.Ref (n, arg) ->
+        Closure_ref.truncate depth
+          (env n (Option.map (Expr.eval Valuation.empty) arg))
+
+  (* Fixed-iteration fixpoint: always [env_depth + 1] rounds, with the
+     per-level memo the old [denote] had — no convergence detection. *)
+  let denote defs sampler ~hide_extra ~depth p =
+    let env_depth = depth + hide_extra in
+    let next prev =
+      let table = Hashtbl.create 16 in
+      fun name arg ->
+        let key = (name, Option.map Value.to_string arg) in
+        match Hashtbl.find_opt table key with
+        | Some c -> c
+        | None ->
+          let c =
+            eval defs sampler hide_extra prev env_depth
+              (Defs.unfold defs name arg)
+          in
+          Hashtbl.add table key c;
+          c
+    in
+    let rec chain env i = if i <= 0 then env else chain (next env) (i - 1) in
+    let env = chain (fun _ _ -> Closure_ref.empty) (env_depth + 1) in
+    eval defs sampler hide_extra env depth p
+end
+
+(* Wall-clock of the best of [repeats] runs, in ms.  The hash-consed
+   side clears its global caches before every run, so the numbers are
+   cold — sharing within one run is the feature being measured, reuse
+   across runs is not. *)
+let time_ms ?(repeats = 2) ?(cold = false) f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    if cold then Closure.clear_caches ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1000.0
+
+type p8_row = {
+  p8_name : string;
+  p8_n : int;
+  p8_old_ms : float;
+  p8_new_ms : float;
+  p8_nodes : int;
+  p8_hit_rate : float;
+}
+
+let write_bench_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"p8_hashcons\",\n  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"n\": %d, \"old_ms\": %.3f, \"new_ms\": \
+         %.3f, \"speedup\": %.2f, \"nodes\": %d, \"memo_hit_rate\": %.3f }%s\n"
+        r.p8_name r.p8_n r.p8_old_ms r.p8_new_ms
+        (r.p8_old_ms /. r.p8_new_ms)
+        r.p8_nodes r.p8_hit_rate
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let p8_hashcons ?(smoke = false) () =
+  section "P8: hash-consed closure kernel vs naive reference trie";
+  result "  %-22s %4s %12s %12s %9s %9s %9s\n" "workload" "n" "old(ms)"
+    "new(ms)" "speedup" "nodes" "hit-rate";
+  let rows = ref [] in
+  (* The stats pass runs first — the weak unique table survives
+     [clear_caches] (live closures must stay interned), so only the
+     first run of a workload creates nodes; later timing runs re-find
+     them, which is the very effect being measured. *)
+  let row label run_new run_old n =
+    Closure.clear_caches ();
+    let s0 = Closure.stats () in
+    run_new ();
+    let s1 = Closure.stats () in
+    let nodes = s1.Closure.nodes - s0.Closure.nodes in
+    let hits = s1.Closure.memo_hits - s0.Closure.memo_hits
+    and misses = s1.Closure.memo_misses - s0.Closure.memo_misses in
+    let hit_rate =
+      if hits + misses = 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    let old_ms = time_ms run_old in
+    let new_ms = time_ms ~cold:true run_new in
+    result "  %-22s %4d %12.1f %12.1f %8.1fx %9d %8.1f%%\n" label n old_ms
+      new_ms (old_ms /. new_ms) nodes (100.0 *. hit_rate);
+    rows :=
+      {
+        p8_name = label;
+        p8_n = n;
+        p8_old_ms = old_ms;
+        p8_new_ms = new_ms;
+        p8_nodes = nodes;
+        p8_hit_rate = hit_rate;
+      }
+      :: !rows
+  in
+  (* E11 chain: bounded sat check, construction-dominated *)
+  let chain_sizes = if smoke then [ 2; 3 ] else [ 2; 4; 6 ] in
+  let depth = 6 in
+  List.iter
+    (fun n ->
+      let defs, chain = Paper.Copier.chain_defs n in
+      let cfg = Step.config ~sampler:(Sampler.nat_bound 2) defs in
+      let spec = Paper.Copier.chain_spec n in
+      let new_side () = ignore (Sys.opaque_identity (Sat.check ~depth cfg chain spec)) in
+      let old_side () =
+        ignore (Sys.opaque_identity (Ref_pipeline.check cfg ~depth chain spec))
+      in
+      row "e11-chain-sat" new_side old_side n)
+    chain_sizes;
+  (* protocol fixpoint: full-round naive chain vs converging denote *)
+  let fix_depth = if smoke then 3 else 4 in
+  let sampler = Sampler.nat_bound 2 in
+  let new_side () =
+    ignore
+      (Sys.opaque_identity
+         (Denote.denote
+            (Denote.config ~sampler Paper.Protocol.defs)
+            ~depth:fix_depth Paper.Protocol.network))
+  in
+  let old_side () =
+    ignore
+      (Sys.opaque_identity
+         (Ref_pipeline.denote Paper.Protocol.defs sampler ~hide_extra:8
+            ~depth:fix_depth Paper.Protocol.network))
+  in
+  row "protocol-fixpoint" new_side old_side fix_depth;
+  write_bench_json "BENCH_closure.json" (List.rev !rows);
+  result "  wrote BENCH_closure.json\n"
 
 (* ---------------------------------------------------------------------- *)
 (* Part 2: Bechamel timing suites (P1–P6)                                  *)
@@ -735,21 +963,34 @@ let run_timings () =
     (make_tests ())
 
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
-  e1_copier ();
-  e2_protocol ();
-  e3_multiplier ();
-  e4_model_theorems ();
-  e5_op_vs_deno ();
-  e6_soundness ();
-  e7_partiality ();
-  e8_nondet_defect ();
-  e9_failures_extension ();
-  e10_mutations ();
-  e11_compositionality ();
-  if not quick then begin
-    a1_prover_ablation ();
-    a2_closure_ablation ();
-    run_timings ()
-  end;
-  print_newline ()
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "smoke" ->
+    (* tiny sizes for the @bench-smoke alias: exercises the E11 driver,
+       the P8 old-vs-new comparison and the JSON emitter in seconds *)
+    e11_compositionality ~sizes:[ 1; 2; 3 ] ();
+    p8_hashcons ~smoke:true ();
+    print_newline ()
+  | "p8" ->
+    p8_hashcons ();
+    print_newline ()
+  | _ ->
+    let quick = mode = "quick" in
+    e1_copier ();
+    e2_protocol ();
+    e3_multiplier ();
+    e4_model_theorems ();
+    e5_op_vs_deno ();
+    e6_soundness ();
+    e7_partiality ();
+    e8_nondet_defect ();
+    e9_failures_extension ();
+    e10_mutations ();
+    e11_compositionality ();
+    if not quick then begin
+      a1_prover_ablation ();
+      a2_closure_ablation ();
+      p8_hashcons ();
+      run_timings ()
+    end;
+    print_newline ()

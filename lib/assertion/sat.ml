@@ -7,17 +7,22 @@ type outcome =
   | Holds of { traces : int; depth : int }
   | Fails of { trace : Csp_trace.Trace.t }
 
+exception Refuted of Csp_trace.Trace.t
+
 let check_closure ?rho ?funs ?nat_bound closure assertion =
   let ctx0 = Term.ctx ?rho ?funs ?nat_bound () in
-  let traces = Closure.to_traces closure in
-  let rec go n = function
-    | [] -> Holds { traces = n; depth = Closure.depth closure }
-    | s :: rest ->
-      let ctx = { ctx0 with Term.hist = History.of_trace s } in
-      if Assertion.eval ctx assertion then go (n + 1) rest
-      else Fails { trace = s }
-  in
-  go 0 traces
+  (* Stream the member traces (same order as [Closure.to_traces]) so a
+     counterexample exits early and no trace list is materialised;
+     [Closure.depth] is O(1) on the hash-consed representation. *)
+  match
+    Closure.fold_traces
+      (fun s n ->
+        let ctx = { ctx0 with Term.hist = History.of_trace s } in
+        if Assertion.eval ctx assertion then n + 1 else raise (Refuted s))
+      closure 0
+  with
+  | n -> Holds { traces = n; depth = Closure.depth closure }
+  | exception Refuted s -> Fails { trace = s }
 
 let check ?rho ?funs ?nat_bound ?(depth = 6) cfg p assertion =
   check_closure ?rho ?funs ?nat_bound (Step.traces cfg ~depth p) assertion

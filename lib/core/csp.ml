@@ -26,6 +26,7 @@ module Mutate = Csp_lang.Mutate
 
 (* Semantics (§3) *)
 module Closure = Csp_semantics.Closure
+module Closure_ref = Csp_semantics.Closure_ref
 module Sampler = Csp_semantics.Sampler
 module Step = Csp_semantics.Step
 module Denote = Csp_semantics.Denote

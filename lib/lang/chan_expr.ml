@@ -5,6 +5,12 @@ type t = { name : string; subs : Expr.t list }
 let simple name = { name; subs = [] }
 let indexed name e = { name; subs = [ e ] }
 
+(* deep structural hash, consistent with structural equality *)
+let hash c =
+  List.fold_left
+    (fun h e -> ((h * 31) + Expr.hash e) land max_int)
+    (Hashtbl.hash c.name) c.subs
+
 let eval rho c =
   Channel.make ~indices:(List.map (Expr.eval rho) c.subs) c.name
 

@@ -22,4 +22,8 @@ val subst : string -> Expr.t -> t -> t
 val subst_value : string -> Csp_trace.Value.t -> t -> t
 val is_closed : t -> bool
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Deep structural hash, consistent with structural equality. *)
+
 val pp : Format.formatter -> t -> unit

@@ -8,6 +8,16 @@ type item =
 type t = item list
 
 let empty = []
+
+(* deep structural hash, consistent with structural equality *)
+let hash_item = function
+  | Chan c -> ((1 * 31) + Chan_expr.hash c) land max_int
+  | Family (n, m) ->
+    ((((2 * 31) + Hashtbl.hash n) * 31) + Vset.hash m) land max_int
+  | Base n -> ((3 * 31) + Hashtbl.hash n) land max_int
+
+let hash cs =
+  List.fold_left (fun h i -> ((h * 31) + hash_item i) land max_int) 17 cs
 let of_channels cs = List.map (fun c -> Chan (Chan_expr.of_channel c)) cs
 let of_names ns = List.map (fun n -> Chan (Chan_expr.simple n)) ns
 let bases ns = List.map (fun n -> Base n) ns

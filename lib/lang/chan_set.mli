@@ -21,6 +21,9 @@ val of_names : string list -> t
 val bases : string list -> t
 val family : string -> Vset.t -> item
 
+val hash : t -> int
+(** Deep structural hash, consistent with structural equality. *)
+
 val mem : ?rho:Valuation.t -> t -> Csp_trace.Channel.t -> bool
 (** [mem cs c]: does [c] belong to the set?  Items whose subscripts
     cannot be evaluated under [rho] are matched conservatively by base

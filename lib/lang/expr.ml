@@ -17,6 +17,26 @@ exception Eval_error of string
 let int n = Const (Value.Int n)
 let var x = Var x
 let value v = Const v
+
+(* Deep structural hash, consistent with structural equality.  Unlike
+   [Hashtbl.hash] it traverses the whole term — memo tables keyed on
+   large ASTs need hashes that see past the polymorphic hash's node
+   cap, or structurally distinct terms collide en masse. *)
+let hash_combine h k = ((h * 31) + k) land max_int
+
+let rec hash = function
+  | Const v -> hash_combine 1 (Value.hash v)
+  | Var x -> hash_combine 2 (Hashtbl.hash x)
+  | Neg e -> hash_combine 3 (hash e)
+  | Add (a, b) -> hash2 4 a b
+  | Sub (a, b) -> hash2 5 a b
+  | Mul (a, b) -> hash2 6 a b
+  | Div (a, b) -> hash2 7 a b
+  | Mod (a, b) -> hash2 8 a b
+  | Idx (a, b) -> hash2 9 a b
+  | Tuple xs -> List.fold_left (fun h e -> hash_combine h (hash e)) 10 xs
+
+and hash2 seed a b = hash_combine (hash_combine seed (hash a)) (hash b)
 let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
 
 let as_int v =

@@ -37,4 +37,9 @@ val subst_value : string -> Csp_trace.Value.t -> t -> t
 
 val is_closed : t -> bool
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Deep structural hash, consistent with structural equality (no
+    node-count cap, unlike [Hashtbl.hash]). *)
+
 val pp : Format.formatter -> t -> unit

@@ -18,6 +18,36 @@ let choice = function
 let ref_ name = Ref (name, None)
 let call name e = Ref (name, Some e)
 
+(* Deep structural hash, consistent with [Stdlib.( = )].  State-space
+   interning (Lts, Step.traces) keys hash tables on whole process
+   terms; network states differ only in an inner continuation, beyond
+   the polymorphic hash's 256-node cap, so [Hashtbl.hash] would put
+   thousands of states in one bucket. *)
+let hash_combine h k = ((h * 31) + k) land max_int
+
+let rec hash = function
+  | Stop -> 1
+  | Output (c, e, k) ->
+    hash_combine (hash_combine (hash_combine 2 (Chan_expr.hash c)) (Expr.hash e)) (hash k)
+  | Input (c, x, m, k) ->
+    hash_combine
+      (hash_combine
+         (hash_combine (hash_combine 3 (Chan_expr.hash c)) (Hashtbl.hash x))
+         (Vset.hash m))
+      (hash k)
+  | Choice (p, q) -> hash_combine (hash_combine 4 (hash p)) (hash q)
+  | Par (xa, ya, p, q) ->
+    hash_combine
+      (hash_combine
+         (hash_combine (hash_combine 5 (Chan_set.hash xa)) (Chan_set.hash ya))
+         (hash p))
+      (hash q)
+  | Hide (l, p) -> hash_combine (hash_combine 6 (Chan_set.hash l)) (hash p)
+  | Ref (n, arg) ->
+    hash_combine
+      (hash_combine 7 (Hashtbl.hash n))
+      (match arg with None -> 0 | Some e -> Expr.hash e)
+
 let subst_chan_set x r cs =
   List.map
     (function

@@ -54,5 +54,11 @@ val size : t -> int
 (** Number of AST constructors — used for fuel accounting in tests. *)
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Deep structural hash, consistent with [Stdlib.( = )] on process
+    terms (no node-count cap, unlike [Hashtbl.hash]); used to intern
+    states when exploring large networks. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -7,6 +7,15 @@ type t =
   | Union of t * t
   | Bools
 
+(* deep structural hash, consistent with structural equality *)
+let rec hash = function
+  | Nat -> 11
+  | Bools -> 12
+  | Range (lo, hi) -> ((((13 * 31) + lo) * 31) + hi) land max_int
+  | Enum vs ->
+    List.fold_left (fun h v -> ((h * 31) + Value.hash v) land max_int) 14 vs
+  | Union (a, b) -> ((((15 * 31) + hash a) * 31) + hash b) land max_int
+
 let rec mem m (v : Value.t) =
   match m, v with
   | Nat, Value.Int n -> n >= 0

@@ -28,4 +28,8 @@ val signals : string list -> t
 (** [signals ["ACK"; "NACK"]] is the enumeration of those symbols. *)
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Deep structural hash, consistent with structural equality. *)
+
 val pp : Format.formatter -> t -> unit

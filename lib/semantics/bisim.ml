@@ -3,9 +3,10 @@ module Event = Csp_trace.Event
 type partition = int array
 (* class number per state *)
 
-(* A transition label: the event plus its visibility. *)
-let label (tr : Lts.transition) =
-  (Event.to_string tr.Lts.event, tr.Lts.visible)
+(* A transition label: the event plus its visibility.  Events are pure
+   data, so polymorphic equality/hashing agree with [Event.equal] — no
+   need to go through the printed form. *)
+let label (tr : Lts.transition) = (tr.Lts.event, tr.Lts.visible)
 
 let signatures (t : Lts.t) (classes : int array) =
   let n = Array.length t.Lts.states in

@@ -2,14 +2,165 @@ module Event = Csp_trace.Event
 module Trace = Csp_trace.Trace
 module Channel = Csp_trace.Channel
 
-(* Children are sorted by [Event.compare] and duplicate-free, so that
-   structural recursion implements set operations and equality. *)
-type t = Node of (Event.t * t) list
+(* Hash-consed prefix-closure tries (BDD-style unique/compute tables).
 
-let empty = Node []
-let prefix a p = Node [ (a, p) ]
+   Children are sorted by [Event.compare] and duplicate-free, so that
+   structural recursion implements set operations — and every node is
+   interned in a global unique table, so that structurally equal
+   closures are *physically* equal.  Consequences exploited throughout:
 
-let rec union (Node xs) (Node ys) = Node (merge xs ys)
+   - [equal] is pointer equality (O(1));
+   - [cardinal] and [depth] are cached per node (O(1));
+   - set operations are memoised in compute tables keyed on node ids,
+     so the approximation chains of the denotational semantics and the
+     state-space sweeps of the bounded checker turn into cache hits;
+   - shared subtrees are represented once, which is what keeps the
+     3ⁿ-state chains of E11 tractable.
+
+   Node ids are allocated from a monotonic counter and never reused, so
+   compute-table entries keyed on the id of a dead node can never be
+   confused with a live one.  The unique table is weak: nodes
+   unreachable from the program (and from the compute tables) may be
+   collected and later re-interned under a fresh id. *)
+
+type t = {
+  id : int;
+  children : (Event.t * t) list;
+  cardinal : int;  (* number of member traces = number of trie nodes *)
+  depth : int;     (* length of the longest member trace *)
+}
+
+let id t = t.id
+let hash t = t.id land max_int
+let cardinal t = t.cardinal
+let depth t = t.depth
+let equal a b = a == b
+
+(* ---- the unique table ------------------------------------------------ *)
+
+let children_equal xs ys =
+  let rec go xs ys =
+    match xs, ys with
+    | [], [] -> true
+    | (e1, t1) :: xs', (e2, t2) :: ys' ->
+      t1 == t2 && Event.equal e1 e2 && go xs' ys'
+    | _ -> false
+  in
+  go xs ys
+
+let children_hash xs =
+  List.fold_left
+    (fun h (e, t) -> ((((h * 31) + Event.hash e) * 31) + t.id) land max_int)
+    17 xs
+
+module Unique = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = children_equal a.children b.children
+  let hash a = children_hash a.children
+end)
+
+(* One lock guards the unique table, the compute tables and the
+   statistics counters, making interning safe under OCaml 5 domains.
+   The critical sections are tiny (a hash lookup / insert); recursive
+   descent happens outside the lock. *)
+let lock = Mutex.create ()
+
+let[@inline] locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
+let unique = Unique.create 4096
+let next_id = ref 1
+let nodes_created = ref 1 (* [empty] below *)
+let memo_hits = ref 0
+let memo_misses = ref 0
+
+let empty = { id = 0; children = []; cardinal = 1; depth = 0 }
+let () = Unique.add unique empty
+
+let node children =
+  match children with
+  | [] -> empty
+  | _ ->
+    locked (fun () ->
+        let cardinal =
+          List.fold_left (fun acc (_, t) -> acc + t.cardinal) 1 children
+        and depth =
+          List.fold_left (fun acc (_, t) -> max acc (1 + t.depth)) 0 children
+        in
+        let candidate = { id = !next_id; children; cardinal; depth } in
+        let interned = Unique.merge unique candidate in
+        if interned == candidate then begin
+          incr next_id;
+          incr nodes_created
+        end;
+        interned)
+
+let prefix a p = node [ (a, p) ]
+
+(* ---- compute tables -------------------------------------------------- *)
+
+module Int_pair = struct
+  type t = int * int
+
+  let equal (a, b) (c, d) = a = c && b = d
+  let hash (a, b) = ((a * 31) + b) land max_int
+end
+
+module Memo = Hashtbl.Make (Int_pair)
+
+let memo_find tbl key =
+  locked (fun () ->
+      match Memo.find_opt tbl key with
+      | Some _ as r ->
+        incr memo_hits;
+        r
+      | None ->
+        incr memo_misses;
+        None)
+
+let memo_add tbl key v = locked (fun () -> Memo.replace tbl key v)
+
+let union_tbl : t Memo.t = Memo.create 4096
+let inter_tbl : t Memo.t = Memo.create 1024
+let truncate_tbl : t Memo.t = Memo.create 1024
+let subset_tbl : bool Memo.t = Memo.create 1024
+
+type stats = { nodes : int; memo_hits : int; memo_misses : int }
+
+let stats () =
+  locked (fun () ->
+      { nodes = !nodes_created; memo_hits = !memo_hits; memo_misses = !memo_misses })
+
+let clear_caches () =
+  locked (fun () ->
+      Memo.reset union_tbl;
+      Memo.reset inter_tbl;
+      Memo.reset truncate_tbl;
+      Memo.reset subset_tbl)
+
+(* ---- set operations -------------------------------------------------- *)
+
+let rec union a b =
+  if a == b then a
+  else if a == empty then b
+  else if b == empty then a
+  else
+    (* union is commutative: normalise the key so both orders hit *)
+    let key = if a.id <= b.id then (a.id, b.id) else (b.id, a.id) in
+    match memo_find union_tbl key with
+    | Some r -> r
+    | None ->
+      let r = node (merge a.children b.children) in
+      memo_add union_tbl key r;
+      r
 
 and merge xs ys =
   match xs, ys with
@@ -20,9 +171,32 @@ and merge xs ys =
     else if c > 0 then (e2, t2) :: merge xs ys'
     else (e1, union t1 t2) :: merge xs' ys'
 
-let union_all ts = List.fold_left union empty ts
+(* Balanced pairwise reduction: folding [union] left-to-right makes the
+   accumulator grow with every operand (O(n·m) merges on an n-way Input
+   fan-out); halving rounds keep both operands of every merge small. *)
+let union_all ts =
+  let rec halve = function
+    | a :: b :: rest -> union a b :: halve rest
+    | ([] | [ _ ]) as rest -> rest
+  in
+  let rec go = function
+    | [] -> empty
+    | [ t ] -> t
+    | ts -> go (halve ts)
+  in
+  go ts
 
-let rec inter (Node xs) (Node ys) = Node (inter_children xs ys)
+let rec inter a b =
+  if a == b then a
+  else if a == empty || b == empty then empty
+  else
+    let key = if a.id <= b.id then (a.id, b.id) else (b.id, a.id) in
+    match memo_find inter_tbl key with
+    | Some r -> r
+    | None ->
+      let r = node (inter_children a.children b.children) in
+      memo_add inter_tbl key r;
+      r
 
 and inter_children xs ys =
   match xs, ys with
@@ -42,17 +216,16 @@ let lookup e children =
   in
   go children
 
-let rec mem s (Node children) =
+let rec mem s t =
   match s with
   | [] -> true
   | e :: rest -> (
-    match lookup e children with Some child -> mem rest child | None -> false)
+    match lookup e t.children with Some child -> mem rest child | None -> false)
 
 let rec add s t =
   match s with
   | [] -> t
   | e :: rest ->
-    let (Node children) = t in
     let rec go = function
       | [] -> [ (e, add rest empty) ]
       | ((e', t') :: tail) as all ->
@@ -61,115 +234,205 @@ let rec add s t =
         else if c = 0 then (e', add rest t') :: tail
         else (e', t') :: go tail
     in
-    Node (go children)
+    node (go t.children)
 
 let of_traces ss = List.fold_left (fun acc s -> add s acc) empty ss
 
-let rec to_traces (Node children) =
-  [] :: List.concat_map (fun (e, t) -> List.map (fun s -> e :: s) (to_traces t)) children
+let rec to_traces t =
+  []
+  :: List.concat_map
+       (fun (e, t') -> List.map (fun s -> e :: s) (to_traces t'))
+       t.children
 
-let rec maximal_traces (Node children) =
-  match children with
+let fold_traces f t init =
+  let rec go rev_prefix t acc =
+    let acc = f (List.rev rev_prefix) acc in
+    List.fold_left
+      (fun acc (e, t') -> go (e :: rev_prefix) t' acc)
+      acc t.children
+  in
+  go [] t init
+
+let rec maximal_traces t =
+  match t.children with
   | [] -> [ [] ]
-  | _ ->
+  | children ->
     List.concat_map
-      (fun (e, t) -> List.map (fun s -> e :: s) (maximal_traces t))
+      (fun (e, t') -> List.map (fun s -> e :: s) (maximal_traces t'))
       children
 
-let rec cardinal (Node children) =
-  1 + List.fold_left (fun acc (_, t) -> acc + cardinal t) 0 children
-
-let rec depth (Node children) =
-  List.fold_left (fun acc (_, t) -> max acc (1 + depth t)) 0 children
-
-let rec truncate n (Node children) =
+let rec truncate n t =
   if n <= 0 then empty
-  else Node (List.map (fun (e, t) -> (e, truncate (n - 1) t)) children)
+  else if t.depth <= n then t (* already within the bound: share *)
+  else
+    let key = (n, t.id) in
+    match memo_find truncate_tbl key with
+    | Some r -> r
+    | None ->
+      let r = node (List.map (fun (e, t') -> (e, truncate (n - 1) t')) t.children) in
+      memo_add truncate_tbl key r;
+      r
 
-let rec hide in_c (Node children) =
-  let visible, hidden =
-    List.partition (fun ((e : Event.t), _) -> not (in_c e.chan)) children
+(* [hide]/[par]/[interleave] close over predicates and so cannot key a
+   global table; each call carries its own memo keyed on node ids, which
+   still collapses the (heavily shared) subtree revisits within a call. *)
+let hide in_c t =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some r -> r
+    | None ->
+      let visible, hidden =
+        List.partition (fun ((e : Event.t), _) -> not (in_c e.chan)) t.children
+      in
+      let base = node (List.map (fun (e, t') -> (e, go t')) visible) in
+      let r = List.fold_left (fun acc (_, t') -> union acc (go t')) base hidden in
+      Hashtbl.add memo t.id r;
+      r
   in
-  let base = Node (List.map (fun (e, t) -> (e, hide in_c t)) visible) in
-  List.fold_left (fun acc (_, t) -> union acc (hide in_c t)) base hidden
+  go t
 
 let restrict in_c t = hide (fun c -> not (in_c c)) t
 
-let rec interleave ~events ~extra t =
-  let (Node children) = t in
-  let own = List.map (fun (e, t') -> (e, interleave ~events ~extra t')) children in
-  let padded =
-    if extra <= 0 then []
-    else
-      List.map (fun e -> (e, interleave ~events ~extra:(extra - 1) t)) events
+let interleave ~events ~extra t =
+  let memo : t Memo.t = Memo.create 64 in
+  let rec go extra t =
+    let key = (extra, t.id) in
+    match Memo.find_opt memo key with
+    | Some r -> r
+    | None ->
+      let own = List.map (fun (e, t') -> (e, go extra t')) t.children in
+      let padded =
+        if extra <= 0 then []
+        else List.map (fun e -> (e, go (extra - 1) t)) events
+      in
+      let r =
+        List.fold_left union (node own)
+          (List.map (fun c -> node [ c ]) padded)
+      in
+      Memo.replace memo key r;
+      r
   in
-  List.fold_left union (Node own) (List.map (fun c -> Node [ c ]) padded)
+  go extra t
 
-let rec par ~in_x ~in_y (Node ps as p) (Node qs as q) =
-  let from_p =
-    List.concat_map
-      (fun ((e : Event.t), p') ->
-        if in_y e.chan then
-          match lookup e qs with
-          | Some q' -> [ (e, par ~in_x ~in_y p' q') ]
-          | None -> []
-        else [ (e, par ~in_x ~in_y p' q) ])
-      ps
+let par ~in_x ~in_y p q =
+  let memo : t Memo.t = Memo.create 256 in
+  let rec go p q =
+    let key = (p.id, q.id) in
+    match Memo.find_opt memo key with
+    | Some r -> r
+    | None ->
+      let from_p =
+        List.concat_map
+          (fun ((e : Event.t), p') ->
+            if in_y e.chan then
+              match lookup e q.children with
+              | Some q' -> [ (e, go p' q') ]
+              | None -> []
+            else [ (e, go p' q) ])
+          p.children
+      in
+      let from_q =
+        List.concat_map
+          (fun ((e : Event.t), q') ->
+            if in_x e.chan then [] (* shared events were handled from the P side *)
+            else [ (e, go p q') ])
+          q.children
+      in
+      let r =
+        List.fold_left
+          (fun acc c -> union acc (node [ c ]))
+          empty (from_p @ from_q)
+      in
+      Memo.replace memo key r;
+      r
   in
-  let from_q =
-    List.concat_map
-      (fun ((e : Event.t), q') ->
-        if in_x e.chan then [] (* shared events were handled from the P side *)
-        else [ (e, par ~in_x ~in_y p q') ])
-      qs
-  in
-  List.fold_left
-    (fun acc c -> union acc (Node [ c ]))
-    empty (from_p @ from_q)
+  go p q
 
-let rec equal (Node xs) (Node ys) =
-  match xs, ys with
-  | [], [] -> true
-  | (e1, t1) :: xs', (e2, t2) :: ys' ->
-    Event.compare e1 e2 = 0 && equal t1 t2 && equal (Node xs') (Node ys')
-  | _ -> false
+let rec subset a b =
+  if a == b || a == empty then true
+  else if a.cardinal > b.cardinal || a.depth > b.depth then false
+  else
+    let key = (a.id, b.id) in
+    match memo_find subset_tbl key with
+    | Some r -> r
+    | None ->
+      let r =
+        List.for_all
+          (fun (e, t) ->
+            match lookup e b.children with
+            | Some t' -> subset t t'
+            | None -> false)
+          a.children
+      in
+      memo_add subset_tbl key r;
+      r
 
-let rec subset (Node xs) (Node ys) =
-  List.for_all
-    (fun (e, t) ->
-      match lookup e ys with Some t' -> subset t t' | None -> false)
-    xs
-
+(* Synchronous walk over the shared part of both tries — no trace
+   materialisation.  Physically equal subtrees are skipped wholesale;
+   BFS order makes the first one-sided event a shortest witness.  As
+   before, a trace of [a] missing from [b] is preferred over the
+   converse. *)
 let first_difference a b =
-  let traces_sorted t =
-    List.sort
-      (fun s1 s2 ->
-        let c = Stdlib.compare (List.length s1) (List.length s2) in
-        if c <> 0 then c else Trace.compare s1 s2)
-      (to_traces t)
-  in
-  let rec find = function
-    | [] -> None
-    | s :: rest -> if mem s b then find rest else Some s
-  in
-  match find (traces_sorted a) with
-  | Some s -> Some s
-  | None ->
-    let rec find' = function
-      | [] -> None
-      | s :: rest -> if mem s a then find' rest else Some s
-    in
-    find' (traces_sorted b)
+  if a == b then None
+  else begin
+    let a_diff = ref None and b_diff = ref None in
+    let queue = Queue.create () in
+    Queue.add ([], a, b) queue;
+    (try
+       while not (Queue.is_empty queue) do
+         let rev_path, na, nb = Queue.pop queue in
+         if na != nb then begin
+           let rec walk xs ys =
+             match xs, ys with
+             | [], [] -> ()
+             | (e, _) :: _, [] ->
+               a_diff := Some (List.rev (e :: rev_path));
+               raise Exit
+             | [], (e, _) :: _ ->
+               if !b_diff = None then b_diff := Some (List.rev (e :: rev_path))
+             | (e1, t1) :: xs', (e2, t2) :: ys' ->
+               let c = Event.compare e1 e2 in
+               if c < 0 then begin
+                 a_diff := Some (List.rev (e1 :: rev_path));
+                 raise Exit
+               end
+               else if c > 0 then begin
+                 if !b_diff = None then
+                   b_diff := Some (List.rev (e2 :: rev_path));
+                 walk xs ys'
+               end
+               else begin
+                 Queue.add (e1 :: rev_path, t1, t2) queue;
+                 walk xs' ys'
+               end
+           in
+           walk na.children nb.children
+         end
+       done
+     with Exit -> ());
+    match !a_diff with Some _ as r -> r | None -> !b_diff
+  end
+
+module Event_set = Set.Make (Event)
 
 let events t =
-  let rec go acc (Node children) =
-    List.fold_left
-      (fun acc (e, t') ->
-        let acc = if List.exists (Event.equal e) acc then acc else e :: acc in
-        go acc t')
-      acc children
+  (* visit every distinct node once: sharing makes the walk linear in
+     the number of *unique* nodes *)
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref Event_set.empty in
+  let rec go t =
+    if not (Hashtbl.mem seen t.id) then begin
+      Hashtbl.add seen t.id ();
+      List.iter
+        (fun (e, t') ->
+          acc := Event_set.add e !acc;
+          go t')
+        t.children
+    end
   in
-  List.rev (go [] t)
+  go t;
+  Event_set.elements !acc
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@]"

@@ -1,4 +1,4 @@
-(** Prefix closures, represented as tries.
+(** Prefix closures, represented as hash-consed tries.
 
     A prefix closure (§3.1) is a set of traces containing the empty
     trace and closed under prefixes.  A trie whose every node counts as
@@ -7,8 +7,13 @@
     the closure of a non-trivial process is truncated at some depth by
     the functions that build it.
 
-    Children lists are kept sorted by event and duplicate-free, so
-    structural equality coincides with set equality. *)
+    Children lists are kept sorted by event and duplicate-free, and
+    every node is interned in a global (domain-safe) unique table, so
+    structurally equal closures are physically equal: {!equal} is
+    pointer equality, {!cardinal} and {!depth} are cached per node, and
+    the set operations are memoised in compute tables keyed on node
+    ids.  Structure is shared across the approximation chains of the
+    denotational semantics and across the bounded checker's sweeps. *)
 
 type t
 
@@ -20,6 +25,9 @@ val prefix : Csp_trace.Event.t -> t -> t
 
 val union : t -> t -> t
 val union_all : t list -> t
+(** Balanced pairwise reduction of [union] (avoids the O(n·m) left-fold
+    on wide fan-outs such as sampled [Input] branches). *)
+
 val inter : t -> t -> t
 
 val mem : Csp_trace.Trace.t -> t -> bool
@@ -30,17 +38,22 @@ val of_traces : Csp_trace.Trace.t list -> t
 val to_traces : t -> Csp_trace.Trace.t list
 (** All member traces, shortest first within each branch. *)
 
+val fold_traces : (Csp_trace.Trace.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_traces f t init] folds [f] over every member trace in
+    {!to_traces} order without materialising the trace list. *)
+
 val maximal_traces : t -> Csp_trace.Trace.t list
 (** Only the traces that are not proper prefixes of another member. *)
 
 val cardinal : t -> int
-(** Number of member traces (= number of trie nodes). *)
+(** Number of member traces (= number of trie nodes).  O(1): cached. *)
 
 val depth : t -> int
-(** Length of the longest member trace. *)
+(** Length of the longest member trace.  O(1): cached. *)
 
 val truncate : int -> t -> t
-(** Keep only traces of length ≤ n. *)
+(** Keep only traces of length ≤ n.  Returns the argument itself (no
+    copy) when it is already within the bound. *)
 
 val hide : (Csp_trace.Channel.t -> bool) -> t -> t
 (** [P\C]: the image of the closure under [s ↦ s\C]; prefix-closed. *)
@@ -67,12 +80,32 @@ val par :
     property). *)
 
 val equal : t -> t -> bool
+(** Physical equality — O(1), exact thanks to hash-consing. *)
+
 val subset : t -> t -> bool
 val first_difference : t -> t -> Csp_trace.Trace.t option
-(** A shortest trace in exactly one of the two closures, if any. *)
+(** A shortest trace in exactly one of the two closures, if any;
+    computed by a synchronous walk of the shared trie structure. *)
 
 val events : t -> Csp_trace.Event.t list
-(** All events occurring anywhere in the closure, deduplicated. *)
+(** All events occurring anywhere in the closure, deduplicated
+    (returned in [Event.compare] order). *)
+
+val id : t -> int
+(** The unique node id: equal ids ⇔ equal closures.  Never reused. *)
+
+val hash : t -> int
+(** Hash consistent with {!equal} (derived from {!id}); O(1). *)
+
+type stats = { nodes : int; memo_hits : int; memo_misses : int }
+
+val stats : unit -> stats
+(** Global counters: nodes interned, compute-table hits/misses — for
+    the bench's memoisation hit-rate report. *)
+
+val clear_caches : unit -> unit
+(** Drop the compute tables (unique table entries become collectable
+    once unreferenced).  Only affects performance, never results. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the maximal traces. *)

@@ -1,0 +1,141 @@
+module Event = Csp_trace.Event
+module Trace = Csp_trace.Trace
+module Channel = Csp_trace.Channel
+
+(* The pre-hash-consing closure representation, retained verbatim as an
+   executable reference: an unshared sorted-assoc-list trie with
+   structural equality and no memoisation.  The qcheck agreement
+   properties in test/test_closure.ml check every memoised operation of
+   [Closure] against this module, and bench/main.ml's P8 section times
+   the two side by side. *)
+
+type t = Node of (Event.t * t) list
+
+let empty = Node []
+let prefix a p = Node [ (a, p) ]
+
+let rec union (Node xs) (Node ys) = Node (merge xs ys)
+
+and merge xs ys =
+  match xs, ys with
+  | [], rest | rest, [] -> rest
+  | (e1, t1) :: xs', (e2, t2) :: ys' ->
+    let c = Event.compare e1 e2 in
+    if c < 0 then (e1, t1) :: merge xs' ys
+    else if c > 0 then (e2, t2) :: merge xs ys'
+    else (e1, union t1 t2) :: merge xs' ys'
+
+let union_all ts = List.fold_left union empty ts
+
+let rec inter (Node xs) (Node ys) = Node (inter_children xs ys)
+
+and inter_children xs ys =
+  match xs, ys with
+  | [], _ | _, [] -> []
+  | (e1, t1) :: xs', (e2, t2) :: ys' ->
+    let c = Event.compare e1 e2 in
+    if c < 0 then inter_children xs' ys
+    else if c > 0 then inter_children xs ys'
+    else (e1, inter t1 t2) :: inter_children xs' ys'
+
+let lookup e children =
+  let rec go = function
+    | [] -> None
+    | (e', t) :: rest ->
+      let c = Event.compare e e' in
+      if c = 0 then Some t else if c < 0 then None else go rest
+  in
+  go children
+
+let rec mem s (Node children) =
+  match s with
+  | [] -> true
+  | e :: rest -> (
+    match lookup e children with Some child -> mem rest child | None -> false)
+
+let rec add s t =
+  match s with
+  | [] -> t
+  | e :: rest ->
+    let (Node children) = t in
+    let rec go = function
+      | [] -> [ (e, add rest empty) ]
+      | ((e', t') :: tail) as all ->
+        let c = Event.compare e e' in
+        if c < 0 then (e, add rest empty) :: all
+        else if c = 0 then (e', add rest t') :: tail
+        else (e', t') :: go tail
+    in
+    Node (go children)
+
+let of_traces ss = List.fold_left (fun acc s -> add s acc) empty ss
+
+let rec to_traces (Node children) =
+  [] :: List.concat_map (fun (e, t) -> List.map (fun s -> e :: s) (to_traces t)) children
+
+let rec cardinal (Node children) =
+  1 + List.fold_left (fun acc (_, t) -> acc + cardinal t) 0 children
+
+let rec depth (Node children) =
+  List.fold_left (fun acc (_, t) -> max acc (1 + depth t)) 0 children
+
+let rec truncate n (Node children) =
+  if n <= 0 then empty
+  else Node (List.map (fun (e, t) -> (e, truncate (n - 1) t)) children)
+
+let rec hide in_c (Node children) =
+  let visible, hidden =
+    List.partition (fun ((e : Event.t), _) -> not (in_c e.chan)) children
+  in
+  let base = Node (List.map (fun (e, t) -> (e, hide in_c t)) visible) in
+  List.fold_left (fun acc (_, t) -> union acc (hide in_c t)) base hidden
+
+let rec interleave ~events ~extra t =
+  let (Node children) = t in
+  let own = List.map (fun (e, t') -> (e, interleave ~events ~extra t')) children in
+  let padded =
+    if extra <= 0 then []
+    else
+      List.map (fun e -> (e, interleave ~events ~extra:(extra - 1) t)) events
+  in
+  List.fold_left union (Node own) (List.map (fun c -> Node [ c ]) padded)
+
+let rec par ~in_x ~in_y (Node ps as p) (Node qs as q) =
+  let from_p =
+    List.concat_map
+      (fun ((e : Event.t), p') ->
+        if in_y e.chan then
+          match lookup e qs with
+          | Some q' -> [ (e, par ~in_x ~in_y p' q') ]
+          | None -> []
+        else [ (e, par ~in_x ~in_y p' q) ])
+      ps
+  in
+  let from_q =
+    List.concat_map
+      (fun ((e : Event.t), q') ->
+        if in_x e.chan then [] (* shared events were handled from the P side *)
+        else [ (e, par ~in_x ~in_y p q') ])
+      qs
+  in
+  List.fold_left
+    (fun acc c -> union acc (Node [ c ]))
+    empty (from_p @ from_q)
+
+let rec equal (Node xs) (Node ys) =
+  match xs, ys with
+  | [], [] -> true
+  | (e1, t1) :: xs', (e2, t2) :: ys' ->
+    Event.compare e1 e2 = 0 && equal t1 t2 && equal (Node xs') (Node ys')
+  | _ -> false
+
+let rec subset (Node xs) (Node ys) =
+  List.for_all
+    (fun (e, t) ->
+      match lookup e ys with Some t' -> subset t t' | None -> false)
+    xs
+
+(* Conversions to/from the hash-consed representation, for the
+   agreement properties and the bench comparison. *)
+let of_closure c = of_traces (Closure.to_traces c)
+let to_closure t = Closure.of_traces (to_traces t)

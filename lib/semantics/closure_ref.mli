@@ -1,0 +1,43 @@
+(** Reference prefix-closure implementation (unshared trie).
+
+    The representation {!Closure} had before hash-consing: a plain
+    sorted-assoc-list trie with structural equality and no sharing or
+    memoisation.  Kept as an executable specification — the qcheck
+    properties assert that every memoised operation of {!Closure}
+    agrees with the operation here, and the bench's P8 section measures
+    the two side by side on the E11 chain and the protocol fixpoint. *)
+
+type t = Node of (Csp_trace.Event.t * t) list
+
+val empty : t
+val prefix : Csp_trace.Event.t -> t -> t
+val union : t -> t -> t
+val union_all : t list -> t
+val inter : t -> t -> t
+val mem : Csp_trace.Trace.t -> t -> bool
+val add : Csp_trace.Trace.t -> t -> t
+val of_traces : Csp_trace.Trace.t list -> t
+val to_traces : t -> Csp_trace.Trace.t list
+val cardinal : t -> int
+val depth : t -> int
+val truncate : int -> t -> t
+val hide : (Csp_trace.Channel.t -> bool) -> t -> t
+
+val interleave :
+  events:Csp_trace.Event.t list -> extra:int -> t -> t
+
+val par :
+  in_x:(Csp_trace.Channel.t -> bool) ->
+  in_y:(Csp_trace.Channel.t -> bool) ->
+  t ->
+  t ->
+  t
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val of_closure : Closure.t -> t
+(** Convert from the hash-consed representation (same trace set). *)
+
+val to_closure : t -> Closure.t
+(** Convert to the hash-consed representation (same trace set). *)

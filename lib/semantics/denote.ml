@@ -11,15 +11,21 @@ type config = {
   defs : Csp_lang.Defs.t;
   sampler : Sampler.t;
   hide_extra : int;
+  ref_memo : (string * string option * int * int, Closure.t) Hashtbl.t;
+      (* (name, arg, depth, env generation) → truncated approximation:
+         recursive references hit cache across the chain *)
+  mutable generation : int;
+      (* generation counter: each environment level built by [next]
+         gets a fresh generation, so [ref_memo] keys are unambiguous *)
 }
 
 let config ?(sampler = Sampler.default) ?(hide_extra = 8) defs =
-  { defs; sampler; hide_extra }
+  { defs; sampler; hide_extra; ref_memo = Hashtbl.create 64; generation = 0 }
 
 (* A semantic environment maps a (possibly subscripted) process name to
    its current approximation, already truncated at the environment
-   depth. *)
-type senv = string -> Value.t option -> Closure.t
+   depth.  [gen] identifies the approximation level for memoisation. *)
+type senv = { gen : int; find : string -> Value.t option -> Closure.t }
 
 let eval_chan c = Chan_expr.eval Valuation.empty c
 let eval_expr e = Expr.eval Valuation.empty e
@@ -55,16 +61,35 @@ let rec eval cfg (senv : senv) depth p =
            (fun c -> Chan_set.mem l c)
            (eval cfg senv (depth + cfg.hide_extra) p1))
     | Process.Ref (n, arg) ->
-      Closure.truncate depth (senv n (Option.map eval_expr arg))
+      let argv = Option.map eval_expr arg in
+      let key = (n, Option.map Value.to_string argv, depth, senv.gen) in
+      (match Hashtbl.find_opt cfg.ref_memo key with
+      | Some c -> c
+      | None ->
+        let c = Closure.truncate depth (senv.find n argv) in
+        Hashtbl.add cfg.ref_memo key c;
+        c)
+
+(* The per-level table: every (name, arg) demanded of this environment,
+   with its approximation.  Comparing consecutive tables — physical
+   equality per entry, thanks to hash-consing — detects that the chain
+   has converged. *)
+type level_table = (string * string option, Closure.t) Hashtbl.t
 
 (* One step of the approximation chain, with memoisation per level so
-   that the chain is computed in time linear in its length. *)
-let next cfg env_depth (prev : senv) : senv =
-  let table : (string * string option, Closure.t) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  fun name arg ->
+   that the chain is computed in time linear in its length.  [record]
+   accumulates every key ever demanded (with its argument value), so
+   the caller can force subsequent levels on the same key set. *)
+let next ?record cfg env_depth (prev : senv) : senv * level_table =
+  let table : level_table = Hashtbl.create 16 in
+  cfg.generation <- cfg.generation + 1;
+  let gen = cfg.generation in
+  let find name arg =
     let key = (name, Option.map Value.to_string arg) in
+    (match record with
+    | Some demanded ->
+      if not (Hashtbl.mem demanded key) then Hashtbl.add demanded key arg
+    | None -> ());
     match Hashtbl.find_opt table key with
     | Some c -> c
     | None ->
@@ -72,29 +97,90 @@ let next cfg env_depth (prev : senv) : senv =
       let c = eval cfg prev env_depth body in
       Hashtbl.add table key c;
       c
-
-let bottom : senv = fun _ _ -> Closure.empty
-
-let env_chain cfg env_depth n =
-  let rec go acc env i =
-    if i >= n then List.rev acc
-    else
-      let env' = next cfg env_depth env in
-      go (env' :: acc) env' (i + 1)
   in
-  go [ bottom ] bottom 0
+  ({ gen; find }, table)
+
+let bottom : senv = { gen = 0; find = (fun _ _ -> Closure.empty) }
+
+(* Force every approximation demanded so far at this level.  Computing
+   a body may demand new names (added to [demanded] by [next]'s
+   recording); loop until the set is closed, so consecutive level
+   tables range over the same keys and their comparison is sound. *)
+let force (env : senv) (demanded : (string * string option, Value.t option) Hashtbl.t)
+    =
+  let rec loop () =
+    let before = Hashtbl.length demanded in
+    let snapshot =
+      Hashtbl.fold (fun (name, _) arg acc -> (name, arg) :: acc) demanded []
+    in
+    List.iter (fun (name, arg) -> ignore (env.find name arg)) snapshot;
+    if Hashtbl.length demanded > before then loop ()
+  in
+  loop ()
+
+let tables_agree (prev : level_table) (cur : level_table) =
+  Hashtbl.length prev = Hashtbl.length cur
+  && Hashtbl.fold
+       (fun key c ok ->
+         ok
+         &&
+         match Hashtbl.find_opt prev key with
+         | Some c' -> Closure.equal c c'
+         | None -> false)
+       cur true
 
 let denote ?iterations cfg ~depth p =
   let env_depth = depth + cfg.hide_extra in
-  let iterations =
-    match iterations with Some n -> n | None -> env_depth + 1
-  in
-  let rec iterate env i =
-    if i <= 0 then env else iterate (next cfg env_depth env) (i - 1)
-  in
-  let env = iterate bottom iterations in
-  eval cfg env depth p
+  (* With an explicit [iterations] the chain is run for exactly that
+     many rounds (the pre-convergence behaviour, kept as a reference);
+     by default it stops as soon as a level reproduces the previous one
+     — every later level is then identical, because evaluation is a
+     deterministic function of the approximations it demands. *)
+  let early_stop = iterations = None in
+  let limit = match iterations with Some n -> n | None -> env_depth + 1 in
+  if limit <= 0 then eval cfg bottom depth p
+  else begin
+    let demanded = Hashtbl.create 16 in
+    let rec go prev_env prev_table i =
+      let env, table = next ~record:demanded cfg env_depth prev_env in
+      let r = eval cfg env depth p in
+      force env demanded;
+      let converged =
+        early_stop
+        &&
+        match prev_table with
+        | Some prev -> tables_agree prev table
+        | None -> Hashtbl.length table = 0 (* no recursion at all *)
+      in
+      if converged || i + 1 >= limit then r else go env (Some table) (i + 1)
+    in
+    go bottom None 0
+  end
 
 let approximations cfg ~depth ~n p =
   let env_depth = depth + cfg.hide_extra in
-  List.map (fun env -> eval cfg env depth p) (env_chain cfg env_depth n)
+  let demanded = Hashtbl.create 16 in
+  let a0 = eval cfg bottom depth p in
+  (* [state] is [`Growing (env, table option)] while the chain still
+     moves, [`Stable a] once a level reproduced its predecessor — from
+     then on every approximation is [a], no re-evaluation needed. *)
+  let rec go state acc i =
+    if i > n then List.rev acc
+    else
+      match state with
+      | `Stable a -> go state (a :: acc) (i + 1)
+      | `Growing (prev_env, prev_table) ->
+        let env, table = next ~record:demanded cfg env_depth prev_env in
+        let a = eval cfg env depth p in
+        force env demanded;
+        let stable =
+          match prev_table with
+          | Some prev -> tables_agree prev table
+          | None -> false
+        in
+        let state =
+          if stable then `Stable a else `Growing (env, Some table)
+        in
+        go state (a :: acc) (i + 1)
+  in
+  go (`Growing (bottom, None)) [ a0 ] 1

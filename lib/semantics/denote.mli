@@ -9,6 +9,14 @@
     the union finite: for well-guarded definitions, [iterations ≥ depth]
     approximations determine all traces of length ≤ [depth] exactly.
 
+    The chain is iterated with *early convergence*: each level records
+    the approximation of every definition it demands, and iteration
+    stops as soon as a level reproduces the previous one — detected in
+    O(1) per definition, since hash-consed closures compare by pointer.
+    Guarded bodies add one event per guard and level, so chains
+    typically stabilise well before the worst-case
+    [depth + hide_extra + 1] rounds.
+
     Hiding needs look-ahead: to know the visible traces of [chan L; P]
     up to depth [d] one must explore [P] beyond depth [d].  The
     [hide_extra] budget says how much deeper; it is the one genuine
@@ -19,6 +27,12 @@ type config = {
   defs : Csp_lang.Defs.t;
   sampler : Sampler.t;
   hide_extra : int;
+  ref_memo : (string * string option * int * int, Closure.t) Hashtbl.t;
+      (** [(name, arg, depth, env generation) → approximation]: process
+          references hit cache across the chain and across repeated
+          denotations under the same config. *)
+  mutable generation : int;
+      (** Fresh generation per environment level; keys [ref_memo]. *)
 }
 
 val config :
@@ -26,11 +40,15 @@ val config :
 (** Defaults: {!Sampler.default}, [hide_extra = 8]. *)
 
 val denote : ?iterations:int -> config -> depth:int -> Csp_lang.Process.t -> Closure.t
-(** Traces of length ≤ [depth].  [iterations] defaults to
-    [depth + hide_extra + 1], exact for well-guarded definitions whose
-    hiding does not occur inside recursive bodies. *)
+(** Traces of length ≤ [depth].  By default the approximation chain
+    stops at convergence (bounded by [depth + hide_extra + 1] rounds,
+    exact for well-guarded definitions whose hiding does not occur
+    inside recursive bodies).  An explicit [iterations] runs exactly
+    that many rounds with no convergence check — the reference
+    behaviour the regression tests compare against. *)
 
 val approximations :
   config -> depth:int -> n:int -> Csp_lang.Process.t -> Closure.t list
 (** The chain [⟦P⟧ under a₀, …, ⟦P⟧ under aₙ] — an ascending chain of
-    closures whose union {!denote} computes. *)
+    closures whose union {!denote} computes.  Levels past convergence
+    are shared physically rather than recomputed. *)

@@ -6,15 +6,16 @@ type acceptance = Event.t list
 
 let sort_events es = List.sort_uniq Event.compare es
 
-let acceptance_equal a b =
-  List.length a = List.length b && List.for_all2 Event.equal a b
+(* Acceptances are kept sorted (see [sort_events]), so lexicographic
+   comparison decides equality and [sort_uniq] dedups in O(n log n)
+   instead of the quadratic pairwise scan. *)
+let acceptance_compare = List.compare Event.compare
+
+let acceptance_equal a b = acceptance_compare a b = 0
 
 let acceptance_subset a b = List.for_all (fun e -> List.exists (Event.equal e) b) a
 
-let dedup_acceptances accs =
-  List.fold_left
-    (fun acc a -> if List.exists (acceptance_equal a) acc then acc else acc @ [ a ])
-    [] accs
+let dedup_acceptances accs = List.sort_uniq acceptance_compare accs
 
 type choice_reading = [ `External | `Internal ]
 
@@ -109,6 +110,22 @@ let failures ?choice cfg ~depth p =
   go depth [] [ p ];
   List.rev !out
 
+module Trace_tbl = Hashtbl.Make (struct
+  type t = Trace.t
+
+  let equal = Trace.equal
+
+  (* traces are pure data, so polymorphic hashing is consistent with
+     [Trace.equal]; hash deeply — traces sharing a prefix would
+     otherwise collide *)
+  let hash s = Hashtbl.hash_param 64 256 s
+end)
+
+let index_traces (fs : (Trace.t * acceptance list) list) =
+  let tbl = Trace_tbl.create (List.length fs * 2) in
+  List.iter (fun (s, accs) -> Trace_tbl.replace tbl s accs) fs;
+  tbl
+
 let lookup_trace fs s =
   List.find_map
     (fun (s', accs) -> if Trace.equal s s' then Some accs else None)
@@ -136,24 +153,22 @@ let can_deadlock ?choice cfg ~depth p =
   | s :: _ -> Some s
 
 let equal (a : t) (b : t) =
+  (* normalise both levels to sorted order, then compare pointwise *)
   let norm fs =
-    List.sort (fun (s1, _) (s2, _) -> Trace.compare s1 s2) fs
+    List.sort
+      (fun (s1, _) (s2, _) -> Trace.compare s1 s2)
+      (List.map (fun (s, accs) -> (s, List.sort_uniq acceptance_compare accs)) fs)
   in
-  let same_accs x y =
-    List.length x = List.length y
-    && List.for_all (fun a -> List.exists (acceptance_equal a) y) x
-    && List.for_all (fun a -> List.exists (acceptance_equal a) x) y
-  in
-  let a = norm a and b = norm b in
-  List.length a = List.length b
-  && List.for_all2
-       (fun (s1, x) (s2, y) -> Trace.equal s1 s2 && same_accs x y)
-       a b
+  List.equal
+    (fun (s1, x) (s2, y) ->
+      Trace.equal s1 s2 && List.equal acceptance_equal x y)
+    (norm a) (norm b)
 
 let refines (impl : t) (spec : t) =
+  let spec_index = index_traces spec in
   List.for_all
     (fun (s, accs_impl) ->
-      match lookup_trace spec s with
+      match Trace_tbl.find_opt spec_index s with
       | None -> false
       | Some accs_spec ->
         List.for_all

@@ -18,18 +18,29 @@ type t = {
   complete : bool;
 }
 
+(* Canonicalise states structurally: the AST is pure data, so the
+   polymorphic hash agrees with structural equality — and interning
+   skips the printed-form detour (building a string per visit was a
+   large constant on big state spaces such as E11's chains).
+   [Process.hash] rather than [Hashtbl.hash]: chain states differ only
+   in an inner continuation, beyond the polymorphic hash's node cap,
+   which would put thousands of states in one bucket. *)
+module Proc_tbl = Hashtbl.Make (struct
+  type t = Process.t
+
+  let equal = Stdlib.( = )
+  let hash = Process.hash
+end)
+
 let explore ?(max_states = 2000) cfg p =
-  (* canonicalise states by their printed form: cheap, and exact for the
-     structural equality we need *)
-  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let ids : int Proc_tbl.t = Proc_tbl.create 64 in
   let states = ref [] and n_states = ref 0 in
   let intern q =
-    let key = Process.to_string q in
-    match Hashtbl.find_opt ids key with
+    match Proc_tbl.find_opt ids q with
     | Some i -> (i, false)
     | None ->
       let i = !n_states in
-      Hashtbl.add ids key i;
+      Proc_tbl.add ids q i;
       states := q :: !states;
       incr n_states;
       (i, true)
@@ -45,7 +56,7 @@ let explore ?(max_states = 2000) cfg p =
       (fun (e, vis, q') ->
         if !n_states >= max_states then begin
           (* record the transition only if the target is already known *)
-          match Hashtbl.find_opt ids (Process.to_string q') with
+          match Proc_tbl.find_opt ids q' with
           | Some j ->
             transitions :=
               { source = i; event = e; visible = vis = Step.Visible; target = j }
@@ -84,7 +95,7 @@ let is_deterministic t =
     (fun tr ->
       (not tr.visible)
       ||
-      let key = (tr.source, Event.to_string tr.event) in
+      let key = (tr.source, tr.event) in
       match Hashtbl.find_opt seen key with
       | Some target -> target = tr.target
       | None ->
@@ -93,11 +104,16 @@ let is_deterministic t =
     t.transitions
 
 let reachable_channels t =
-  List.fold_left
-    (fun acc tr ->
-      if List.exists (Channel.equal tr.event.Event.chan) acc then acc
-      else acc @ [ tr.event.Event.chan ])
-    [] t.transitions
+  let seen = ref Channel.Set.empty and out = ref [] in
+  List.iter
+    (fun tr ->
+      let c = tr.event.Event.chan in
+      if not (Channel.Set.mem c !seen) then begin
+        seen := Channel.Set.add c !seen;
+        out := c :: !out
+      end)
+    t.transitions;
+  List.rev !out
 
 let dot_escape s = String.concat "\\\"" (String.split_on_char '"' s)
 

@@ -161,31 +161,75 @@ let rec accepts_trace cfg p = function
 
 let is_deadlocked cfg p = transitions cfg p = []
 
+(* Interning table for [traces]: process terms are pure data, so
+   polymorphic equality is sound, and the deep [Process.hash] keeps
+   states that differ only in an inner continuation from colliding.
+   Each distinct state is hashed once, when it is first produced as a
+   transition target; every memo probe afterwards works on its id. *)
+module Proc_key = struct
+  type t = Process.t
+
+  let equal = Stdlib.( = )
+  let hash = Process.hash
+end
+
+module Proc_memo = Hashtbl.Make (Proc_key)
+
 let traces cfg ~depth p =
-  (* Memoised on (state, depth, hidden budget): recursive networks
+  (* Memoised on (state id, depth, hidden budget): recursive networks
      revisit the same state at many points of the exploration tree, and
-     the closure of a state is independent of how it was reached. *)
-  let memo : (string * int * int, Closure.t) Hashtbl.t = Hashtbl.create 64 in
-  let rec go d hidden_budget p =
+     the closure of a state is independent of how it was reached.
+     Previously the memo was keyed on [Process.to_string], and printing
+     every state dominated construction time on parallel networks. *)
+  let ids = Proc_memo.create 256 in
+  let next_id = ref 0 in
+  let intern q =
+    match Proc_memo.find_opt ids q with
+    | Some id -> id
+    | None ->
+      let id = !next_id in
+      incr next_id;
+      Proc_memo.add ids q id;
+      id
+  in
+  (* The transition relation depends on the state alone (not on the
+     remaining depth or budget), so it is derived — and its targets
+     interned — once per distinct state. *)
+  let trans_memo : (int, (Event.t * visibility * int * Process.t) list) Hashtbl.t
+      =
+    Hashtbl.create 256
+  in
+  let transitions_of id q =
+    match Hashtbl.find_opt trans_memo id with
+    | Some ts -> ts
+    | None ->
+      let ts =
+        List.map (fun (e, vis, q') -> (e, vis, intern q', q')) (transitions cfg q)
+      in
+      Hashtbl.add trans_memo id ts;
+      ts
+  in
+  let memo : (int * int * int, Closure.t) Hashtbl.t = Hashtbl.create 256 in
+  let rec go d hidden_budget id q =
     if d <= 0 then Closure.empty
     else
-      let key = (Process.to_string p, d, hidden_budget) in
+      let key = (id, d, hidden_budget) in
       match Hashtbl.find_opt memo key with
       | Some c -> c
       | None ->
         let c =
           List.fold_left
-            (fun acc (e, vis, p') ->
+            (fun acc (e, vis, id', q') ->
               match vis with
               | Visible ->
                 Closure.union acc
-                  (Closure.prefix e (go (d - 1) cfg.hide_fuel p'))
+                  (Closure.prefix e (go (d - 1) cfg.hide_fuel id' q'))
               | Hidden ->
                 if hidden_budget <= 0 then acc
-                else Closure.union acc (go d (hidden_budget - 1) p'))
-            Closure.empty (transitions cfg p)
+                else Closure.union acc (go d (hidden_budget - 1) id' q'))
+            Closure.empty (transitions_of id q)
         in
         Hashtbl.add memo key c;
         c
   in
-  go depth cfg.hide_fuel p
+  go depth cfg.hide_fuel (intern p) p

@@ -9,6 +9,12 @@ let compare a b =
   if c <> 0 then c else Value.compare_list a.indices b.indices
 
 let equal a b = compare a b = 0
+
+let hash c =
+  List.fold_left
+    (fun h v -> ((h * 31) + Value.hash v) land max_int)
+    (Hashtbl.hash c.name) c.indices
+
 let base c = c.name
 
 let pp ppf c =

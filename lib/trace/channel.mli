@@ -16,6 +16,10 @@ val indexed : string -> int -> t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash consistent with {!equal}. *)
+
 val base : t -> string
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -9,5 +9,6 @@ let compare a b =
   if c <> 0 then c else Value.compare a.value b.value
 
 let equal a b = compare a b = 0
+let hash e = ((Channel.hash e.chan * 31) + Value.hash e.value) land max_int
 let pp ppf e = Format.fprintf ppf "%a.%a" Channel.pp e.chan Value.pp e.value
 let to_string e = Format.asprintf "%a" pp e

@@ -15,5 +15,9 @@ val vi : string -> int -> t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

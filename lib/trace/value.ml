@@ -36,6 +36,21 @@ and compare_list xs ys =
 
 let equal a b = compare a b = 0
 
+(* A simple polynomial hash; constructors are tagged so that e.g.
+   [Int 0] and [Bool false] do not collide. *)
+let hash_combine h k = ((h * 31) + k) land max_int
+
+let rec hash = function
+  | Int n -> hash_combine 1 n
+  | Bool b -> hash_combine 2 (if b then 1 else 0)
+  | Sym s -> hash_combine 3 (Hashtbl.hash s)
+  | Str s -> hash_combine 4 (Hashtbl.hash s)
+  | Tuple xs -> hash_list 5 xs
+  | Seq xs -> hash_list 6 xs
+
+and hash_list seed xs =
+  List.fold_left (fun h v -> hash_combine h (hash v)) seed xs
+
 let ack = Sym "ACK"
 let nack = Sym "NACK"
 let int n = Int n

@@ -18,6 +18,10 @@ val compare : t -> t -> int
 val compare_list : t list -> t list -> int
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Structural hash consistent with {!equal}; used by the hash-consed
+    closure kernel and other interning tables. *)
+
 val ack : t
 (** The acknowledgement signal [Sym "ACK"] of the paper's protocol. *)
 

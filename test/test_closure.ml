@@ -230,6 +230,88 @@ let prop_par_vs_interleave_inter =
         (Closure.truncate depth direct)
         (Closure.truncate depth via_interleave))
 
+(* ---- agreement with the retained naive reference ------------------- *)
+
+(* Every memoised / hash-consed operation must compute the same trace
+   set as the pre-hash-consing implementation ([Closure_ref], the old
+   unshared trie kept as an executable specification). *)
+
+let sorted_traces_c c = List.sort Trace.compare (Closure.to_traces c)
+let sorted_traces_r r = List.sort Trace.compare (Closure_ref.to_traces r)
+let agrees c r = List.equal Trace.equal (sorted_traces_c c) (sorted_traces_r r)
+
+let prop_ref_binary_ops =
+  qcheck_case "hash-consed union/inter agree with the naive reference"
+    QCheck2.Gen.(pair closure_gen closure_gen)
+    (fun (a, b) ->
+      let ra = Closure_ref.of_closure a and rb = Closure_ref.of_closure b in
+      agrees (Closure.union a b) (Closure_ref.union ra rb)
+      && agrees (Closure.inter a b) (Closure_ref.inter ra rb))
+
+let prop_ref_unary_ops =
+  qcheck_case "hash-consed hide/truncate/prefix agree with the reference"
+    QCheck2.Gen.(pair closure_gen (int_range 0 4))
+    (fun (a, n) ->
+      let ra = Closure_ref.of_closure a in
+      let in_a c = Channel.base c = "a" in
+      agrees (Closure.hide in_a a) (Closure_ref.hide in_a ra)
+      && agrees (Closure.truncate n a) (Closure_ref.truncate n ra)
+      && agrees (Closure.prefix a1 a) (Closure_ref.prefix a1 ra))
+
+let prop_ref_par_interleave =
+  qcheck_case ~count:80 "hash-consed par/interleave agree with the reference"
+    QCheck2.Gen.(pair closure_gen closure_gen)
+    (fun (a, b) ->
+      let in_x c = Channel.base c <> "c" and in_y c = Channel.base c <> "b" in
+      let ra = Closure_ref.of_closure a and rb = Closure_ref.of_closure b in
+      agrees (Closure.par ~in_x ~in_y a b) (Closure_ref.par ~in_x ~in_y ra rb)
+      && agrees
+           (Closure.interleave ~events:[ c3 ] ~extra:2 a)
+           (Closure_ref.interleave ~events:[ c3 ] ~extra:2 ra))
+
+let prop_ref_predicates =
+  qcheck_case "subset/equal/mem/cardinal/depth agree with the reference"
+    QCheck2.Gen.(triple closure_gen closure_gen trace_gen)
+    (fun (a, b, s) ->
+      let ra = Closure_ref.of_closure a and rb = Closure_ref.of_closure b in
+      Closure.subset a b = Closure_ref.subset ra rb
+      && Closure.equal a b = Closure_ref.equal ra rb
+      && Closure.mem s a = Closure_ref.mem s ra
+      && Closure.cardinal a = Closure_ref.cardinal ra
+      && Closure.depth a = Closure_ref.depth ra)
+
+let prop_ref_union_all =
+  (* the balanced reduction vs the reference's left fold *)
+  qcheck_case "union_all (balanced) agrees with the reference (left fold)"
+    QCheck2.Gen.(list_size (int_range 0 7) closure_gen)
+    (fun ts ->
+      agrees
+        (Closure.union_all ts)
+        (Closure_ref.union_all (List.map Closure_ref.of_closure ts)))
+
+let prop_hashcons_physical_equality =
+  (* the point of the unique table: equal sets are the same pointer,
+     whatever order they were built in *)
+  qcheck_case "of_traces is order-insensitive up to physical equality"
+    QCheck2.Gen.(list_size (int_range 0 6) trace_gen)
+    (fun ss ->
+      let a = Closure.of_traces ss and b = Closure.of_traces (List.rev ss) in
+      Closure.equal a b && Closure.id a = Closure.id b)
+
+let prop_fold_traces =
+  qcheck_case "fold_traces enumerates to_traces in order" closure_gen
+    (fun a ->
+      List.equal Trace.equal (Closure.to_traces a)
+        (List.rev (Closure.fold_traces (fun s acc -> s :: acc) a [])))
+
+let prop_first_difference_sound =
+  qcheck_case "first_difference returns a member of exactly one side"
+    QCheck2.Gen.(pair closure_gen closure_gen)
+    (fun (a, b) ->
+      match Closure.first_difference a b with
+      | None -> Closure.equal a b
+      | Some s -> Closure.mem s a <> Closure.mem s b)
+
 let () =
   Alcotest.run "closure"
     [
@@ -261,5 +343,16 @@ let () =
           prop_union_laws;
           prop_subset_union;
           prop_mem_to_traces_agree;
+        ] );
+      ( "hash-consing agreement",
+        [
+          prop_ref_binary_ops;
+          prop_ref_unary_ops;
+          prop_ref_par_interleave;
+          prop_ref_predicates;
+          prop_ref_union_all;
+          prop_hashcons_physical_equality;
+          prop_fold_traces;
+          prop_first_difference_sound;
         ] );
     ]

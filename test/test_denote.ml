@@ -217,6 +217,34 @@ let prop_choice_absorption =
     QCheck2.Gen.(pair process_gen process_gen)
     (fun (q, p) -> Equiv.choice_absorption ~depth:4 (dcfg ()) q p)
 
+(* Early convergence must not change any denotation: the default
+   (converging) [denote] has to agree with the reference behaviour of
+   running the full [depth + hide_extra + 1] rounds, on the paper's own
+   systems. *)
+let check_convergence name defs ~depth p =
+  let cfg = Denote.config ~sampler defs in
+  let full = depth + 8 (* default hide_extra *) + 1 in
+  check closure_testable name
+    (Denote.denote ~iterations:full cfg ~depth p)
+    (Denote.denote cfg ~depth p)
+
+let test_convergence_protocol () =
+  check_convergence "protocol network" Paper.Protocol.defs ~depth:4
+    Paper.Protocol.network;
+  check_convergence "protocol (hidden)" Paper.Protocol.defs ~depth:4
+    Paper.Protocol.protocol
+
+let test_convergence_multiplier () =
+  let m = Paper.Multiplier.default in
+  check_convergence "multiplier network" m.Paper.Multiplier.defs ~depth:3
+    m.Paper.Multiplier.network;
+  check_convergence "multiplier (hidden)" m.Paper.Multiplier.defs ~depth:3
+    m.Paper.Multiplier.multiplier
+
+let test_convergence_copier_chain () =
+  let defs, net = Paper.Copier.chain_defs 3 in
+  check_convergence "copier chain n=3" defs ~depth:4 net
+
 let () =
   Alcotest.run "denote"
     [
@@ -236,6 +264,13 @@ let () =
           Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
           Alcotest.test_case "process arrays" `Quick
             test_process_array_denotation;
+        ] );
+      ( "early-convergence",
+        [
+          Alcotest.test_case "protocol" `Quick test_convergence_protocol;
+          Alcotest.test_case "multiplier" `Quick test_convergence_multiplier;
+          Alcotest.test_case "copier chain" `Quick
+            test_convergence_copier_chain;
         ] );
       ( "consistency(E5)",
         [
