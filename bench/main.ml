@@ -962,6 +962,20 @@ let run_timings () =
              result "  %-36s %s\n" name est))
     (make_tests ())
 
+(* ---------------------------------------------------------------------- *)
+(* P9: fuzz throughput — scenarios cross-checked per second                *)
+(* ---------------------------------------------------------------------- *)
+
+let p9_fuzz_throughput ?(cases = 400) () =
+  section "P9: differential fuzz throughput (all oracles, seeded)";
+  let module Fuzz = Csp_testkit.Fuzz in
+  let cfg = { Fuzz.default_config with Fuzz.seed = 1; max_cases = cases } in
+  let r = Fuzz.run cfg in
+  result "  %-22s %6d cases %8.2fs %10.1f cases/s  %d counterexample(s)\n"
+    "generate+4 oracles" r.Fuzz.cases r.Fuzz.elapsed
+    (float_of_int r.Fuzz.cases /. r.Fuzz.elapsed)
+    (List.length r.Fuzz.counterexamples)
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match mode with
@@ -970,6 +984,7 @@ let () =
        the P8 old-vs-new comparison and the JSON emitter in seconds *)
     e11_compositionality ~sizes:[ 1; 2; 3 ] ();
     p8_hashcons ~smoke:true ();
+    p9_fuzz_throughput ~cases:100 ();
     print_newline ()
   | "p8" ->
     p8_hashcons ();
@@ -991,6 +1006,7 @@ let () =
       a1_prover_ablation ();
       a2_closure_ablation ();
       p8_hashcons ();
+      p9_fuzz_throughput ();
       run_timings ()
     end;
     print_newline ()

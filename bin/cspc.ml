@@ -1,6 +1,6 @@
 (* cspc — command-line front end.
 
-   Subcommands: parse, traces, simulate, check, prove, deadlock.
+   Subcommands: parse, traces, simulate, check, prove, deadlock, fuzz.
    A .csp file contains process definitions and `assert` declarations in
    the concrete syntax of Csp_syntax.Parser. *)
 
@@ -89,10 +89,7 @@ let cmd_simulate path name steps seed nat_bound =
       file.Parser.decls
   in
   let cfg = step_config file ~nat_bound ~hide_fuel:16 in
-  let r =
-    Csp_sim.Runner.run ~scheduler:(Scheduler.uniform ~seed) ~monitors
-      ~max_steps:steps cfg p
-  in
+  let r = Csp_sim.Runner.run ~seed ~monitors ~max_steps:steps cfg p in
   Format.printf "%a@." Csp_sim.Runner.pp_result r;
   List.iter
     (fun v ->
@@ -207,16 +204,13 @@ let cmd_check_cert path cert_path =
 
 (* ---- deadlock ------------------------------------------------------- *)
 
-let cmd_deadlock path name steps runs nat_bound =
+let cmd_deadlock path name steps runs nat_bound seed =
   let file = load path in
   let p = find_process file name in
   let cfg = step_config file ~nat_bound ~hide_fuel:16 in
   let deadlocks = ref 0 in
-  for seed = 1 to runs do
-    let r =
-      Csp_sim.Runner.run ~scheduler:(Scheduler.uniform ~seed) ~max_steps:steps
-        cfg p
-    in
+  for i = 0 to runs - 1 do
+    let r = Csp_sim.Runner.run ~seed:(seed + i) ~max_steps:steps cfg p in
     if r.Csp_sim.Runner.stop = Csp_sim.Runner.Deadlock then incr deadlocks
   done;
   Printf.printf "%d/%d runs deadlocked within %d steps\n" !deadlocks runs steps;
@@ -281,12 +275,13 @@ let cmd_refine path impl spec depth nat_bound weak =
 
 (* ---- infer ------------------------------------------------------------ *)
 
-let cmd_infer path name nat_bound =
+let cmd_infer path name nat_bound seed =
   let file = load path in
   let p = find_process file name in
   let cfg = step_config file ~nat_bound ~hide_fuel:16 in
   let tables = tables_of file in
-  let results = Infer.infer ~tables cfg ~name p in
+  let config = { Infer.default_config with Infer.seed } in
+  let results = Infer.infer ~config ~tables cfg ~name p in
   if results = [] then print_endline "no invariants conjectured"
   else
     List.iter
@@ -295,6 +290,75 @@ let cmd_infer path name nat_bound =
           (if c.Infer.proved then "PROVED   " else "conjecture")
           (Printer.assertion c.Infer.assertion))
       results
+
+(* ---- fuzz ------------------------------------------------------------- *)
+
+module Oracle = Csp_testkit.Oracle
+module Fuzz = Csp_testkit.Fuzz
+module Corpus = Csp_testkit.Corpus
+
+let resolve_oracles = function
+  | [] -> Oracle.all
+  | names ->
+    List.map
+      (fun n ->
+        match Oracle.find n with
+        | Some o -> o
+        | None ->
+          die "unknown oracle %s (available: %s)" n
+            (String.concat ", " (Oracle.names ())))
+      names
+
+let cmd_fuzz seed cases budget oracle_names save replay =
+  let oracles = resolve_oracles oracle_names in
+  let replay_failures =
+    match replay with
+    | None -> 0
+    | Some dir ->
+      let entries = Corpus.read_dir dir in
+      let failed = ref 0 in
+      List.iter
+        (fun (e : Corpus.entry) ->
+          match Oracle.find e.Corpus.oracle with
+          | None ->
+            incr failed;
+            Printf.printf "DISABLED %s: oracle %s is not registered\n"
+              e.Corpus.path e.Corpus.oracle
+          | Some o -> (
+            match o.Oracle.check e.Corpus.scenario with
+            | Oracle.Pass -> Printf.printf "ok %s [%s]\n" e.Corpus.path o.Oracle.name
+            | Oracle.Fail m ->
+              incr failed;
+              Printf.printf "FAIL %s [%s]: %s\n" e.Corpus.path o.Oracle.name m))
+        entries;
+      Printf.printf "corpus: %d entr%s replayed, %d failure(s)\n"
+        (List.length entries)
+        (if List.length entries = 1 then "y" else "ies")
+        !failed;
+      !failed
+  in
+  let report =
+    Fuzz.run
+      {
+        Fuzz.default_config with
+        Fuzz.seed;
+        max_cases = cases;
+        budget;
+        oracles;
+      }
+  in
+  Format.printf "%a@." Fuzz.pp_report report;
+  (match save with
+  | Some dir ->
+    List.iter
+      (fun (c : Fuzz.counterexample) ->
+        let path =
+          Corpus.write ~dir ~oracle:c.Fuzz.oracle ~seed c.Fuzz.scenario
+        in
+        Printf.printf "saved %s\n" path)
+      report.Fuzz.counterexamples
+  | None -> ());
+  if replay_failures > 0 || report.Fuzz.counterexamples <> [] then exit 1
 
 (* ---- cmdliner glue --------------------------------------------------- *)
 
@@ -429,14 +493,62 @@ let infer_cmd =
        ~doc:"Discover invariants: observe simulated histories, \
              conjecture template instances, and prove the survivors \
              with the recursion rule")
-    Term.(const cmd_infer $ path_arg $ name_arg $ nat_arg)
+    Term.(const cmd_infer $ path_arg $ name_arg $ nat_arg $ seed_arg)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Generator seed (the run \
+                                                  is deterministic for a \
+                                                  fixed seed and case count)")
+  in
+  let cases =
+    Arg.(value & opt int 200 & info [ "count" ] ~doc:"Generated scenarios")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget; stops between cases, so completed cases \
+                stay reproducible from the seed")
+  in
+  let oracles =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:"Run only this oracle (repeatable; default: all)")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"Persist shrunk counterexamples into this corpus directory")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:"First replay every corpus entry of this directory against \
+                its recorded oracle")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential conformance fuzzing: generate random scenarios \
+             and cross-check the closure kernel, the two semantics, the \
+             refinement models and the prover against each other; failures \
+             are shrunk and printed as parseable .csp text")
+    Term.(const cmd_fuzz $ seed $ cases $ budget $ oracles $ save $ replay)
 
 let deadlock_cmd =
   Cmd.v
     (Cmd.info "deadlock"
        ~doc:"Search for deadlocks by repeated randomised execution (partial \
              correctness cannot rule them out — §4)")
-    Term.(const cmd_deadlock $ path_arg $ name_arg $ steps_arg $ runs_arg $ nat_arg)
+    Term.(
+      const cmd_deadlock $ path_arg $ name_arg $ steps_arg $ runs_arg
+      $ nat_arg $ seed_arg)
 
 let main =
   Cmd.group
@@ -446,7 +558,7 @@ let main =
     [
       parse_cmd; traces_cmd; simulate_cmd; check_cmd; prove_cmd;
       deadlock_cmd; graph_cmd; refusals_cmd; infer_cmd; refine_cmd;
-      check_cert_cmd;
+      check_cert_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -16,11 +16,12 @@ type config = {
   runs : int;
   steps : int;
   max_len_diff : int;
+  seed : int;
   funs : Afun.env;
 }
 
 let default_config =
-  { runs = 5; steps = 200; max_len_diff = 2; funs = Afun.default_env }
+  { runs = 5; steps = 200; max_len_diff = 2; seed = 1; funs = Afun.default_env }
 
 (* Random walks over the transition relation, recording the channel
    history after every communication (hidden ones included — invariants
@@ -45,9 +46,12 @@ let observe ?(config = default_config) scfg p =
       (Closure.to_traces (Step.traces scfg ~depth:5 p))
   in
   let from_walks =
+    (* walk seeds derive from the explicit config seed (base, base+1,
+       …) instead of a hard-wired 1..runs, so observation runs are
+       reproducible and re-seedable from the caller *)
     List.concat_map
       (fun seed -> random_walk scfg config.steps seed p)
-      (List.init config.runs (fun i -> i + 1))
+      (List.init config.runs (fun i -> config.seed + i))
   in
   from_enumeration @ from_walks
 

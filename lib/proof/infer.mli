@@ -34,6 +34,10 @@ type config = {
   runs : int;            (** simulations to observe (default 5) *)
   steps : int;           (** steps per simulation (default 200) *)
   max_len_diff : int;    (** largest [k] tried in [#c ≤ #d + k] (default 2) *)
+  seed : int;            (** base seed of the observation walks
+                             (default 1): run [i] walks with seed
+                             [seed + i], so observations are
+                             reproducible and re-seedable *)
   funs : Afun.env;       (** sequence functions tried in [g(c) ≤ d] *)
 }
 

@@ -5,4 +5,23 @@ type t = { sample : Vset.t -> Csp_trace.Value.t list }
 let nat_bound n = { sample = (fun m -> Vset.enumerate_bounded ~bound:n m) }
 let default = nat_bound 4
 let of_fun f = { sample = f }
+
+let shuffled ~seed t =
+  {
+    sample =
+      (fun m ->
+        let vs = Array.of_list (t.sample m) in
+        (* a pure function of the seed and the sampled set: no global
+           random state, so every run with the same seed explores
+           values in the same order *)
+        let st = Random.State.make [| seed; Hashtbl.hash (Array.to_list vs) |] in
+        for i = Array.length vs - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let tmp = vs.(i) in
+          vs.(i) <- vs.(j);
+          vs.(j) <- tmp
+        done;
+        Array.to_list vs);
+  }
+
 let sample t m = List.filter (Vset.mem m) (t.sample m)

@@ -15,6 +15,12 @@ val nat_bound : int -> t
 
 val of_fun : (Csp_lang.Vset.t -> Csp_trace.Value.t list) -> t
 
+val shuffled : seed:int -> t -> t
+(** Deterministically permutes the underlying sampler's candidates.
+    The permutation is a pure function of [seed] and the sampled set —
+    never of any global random state — so randomised exploration
+    orders are reproducible from the seed alone. *)
+
 val sample : t -> Csp_lang.Vset.t -> Csp_trace.Value.t list
 (** Always a subset of the set it samples; finite sets are returned in
     full. *)

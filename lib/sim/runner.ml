@@ -37,8 +37,14 @@ let check_monitors funs monitors hist step acc =
         { monitor_name = m.name; at_step = step; history = hist } :: acc)
     acc monitors
 
-let run ?(scheduler = Scheduler.uniform ~seed:1) ?(monitors = [])
-    ?(max_steps = 1000) ?(funs = Csp_assertion.Afun.default_env) cfg p =
+let run ?scheduler ?(seed = 1) ?(monitors = []) ?(max_steps = 1000)
+    ?(funs = Csp_assertion.Afun.default_env) cfg p =
+  let scheduler =
+    (* the default scheduler is built from the explicit [seed] rather
+       than self-initialising, so a run is reproducible from its
+       arguments alone *)
+    match scheduler with Some s -> s | None -> Scheduler.uniform ~seed
+  in
   let rec go step p hist rev_events rev_trace stats violations =
     let violations = check_monitors funs monitors hist step violations in
     if step >= max_steps then

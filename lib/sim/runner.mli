@@ -36,12 +36,17 @@ type result = {
 
 val run :
   ?scheduler:Scheduler.t ->
+  ?seed:int ->
   ?monitors:monitor list ->
   ?max_steps:int ->
   ?funs:Csp_assertion.Afun.env ->
   Csp_semantics.Step.config ->
   Csp_lang.Process.t ->
   result
-(** Defaults: [Scheduler.uniform ~seed:1], no monitors, 1000 steps. *)
+(** Defaults: [Scheduler.uniform ~seed] with [seed] defaulting to 1,
+    no monitors, 1000 steps.  [seed] is ignored when an explicit
+    [scheduler] is supplied; runs are reproducible from their
+    arguments alone — no scheduler self-initialises from hidden
+    state. *)
 
 val pp_result : Format.formatter -> result -> unit

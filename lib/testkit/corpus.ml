@@ -1,0 +1,88 @@
+module Parser = Csp_syntax.Parser
+
+type entry = {
+  path : string;
+  oracle : string;
+  seed : int option;
+  scenario : Scenario.t;
+}
+
+let header_value line key =
+  let prefix = "-- " ^ key ^ ":" in
+  if String.length line >= String.length prefix
+     && String.equal (String.sub line 0 (String.length prefix)) prefix
+  then
+    Some
+      (String.trim
+         (String.sub line (String.length prefix)
+            (String.length line - String.length prefix)))
+  else None
+
+let headers text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         List.find_map
+           (fun key ->
+             Option.map (fun v -> (key, v)) (header_value line key))
+           [ "oracle"; "seed"; "main" ])
+
+let read path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error m -> Error m
+  | text -> (
+    let hs = headers text in
+    match List.assoc_opt "oracle" hs with
+    | None -> Error (path ^ ": missing '-- oracle:' header")
+    | Some oracle -> (
+      let seed =
+        Option.bind (List.assoc_opt "seed" hs) int_of_string_opt
+      in
+      let main = Option.value ~default:"main" (List.assoc_opt "main" hs) in
+      match Parser.parse_file text with
+      | Error m -> Error (path ^ ": " ^ m)
+      | Ok file -> (
+        match Scenario.make ~defs:file.Parser.defs ~main with
+        | scenario -> Ok { path; oracle; seed; scenario }
+        | exception Invalid_argument m -> Error (path ^ ": " ^ m))))
+
+let read_exn path =
+  match read path with Ok e -> e | Error m -> failwith m
+
+let read_dir dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".csp")
+  |> List.sort String.compare
+  |> List.map (fun f -> read_exn (Filename.concat dir f))
+
+let content ~oracle ?seed scenario =
+  let header =
+    [ "fuzz counterexample — replayed by test_conformance"; "oracle: " ^ oracle ]
+    @ (match seed with
+      | Some n -> [ "seed: " ^ string_of_int n ]
+      | None -> [])
+    @
+    if String.equal scenario.Scenario.main "main" then []
+    else [ "main: " ^ scenario.Scenario.main ]
+  in
+  Scenario.to_csp ~header scenario ^ "\n"
+
+let write ~dir ~oracle ?seed ?stem scenario =
+  let text = content ~oracle ?seed scenario in
+  let stem =
+    match stem with
+    | Some s -> s
+    | None -> Printf.sprintf "%s-%08x" oracle (Hashtbl.hash text)
+  in
+  let path = Filename.concat dir (stem ^ ".csp") in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  path

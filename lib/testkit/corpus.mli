@@ -1,0 +1,39 @@
+(** The replayable counterexample corpus.
+
+    A corpus entry is an ordinary [.csp] definition file whose leading
+    comments carry the replay metadata:
+
+    {v
+    -- oracle: op-vs-deno
+    -- seed: 42
+    p0 = a!0 -> p0
+    main = chan a; p0
+    v}
+
+    The [oracle] header names the {!Oracle} that must re-examine the
+    scenario on every replay — so disabling an oracle makes the
+    conformance suite fail loudly rather than silently skip its corpus.
+    The [seed] header is provenance only.  The process under test is
+    the definition named [main] (overridable with a [-- main:] header). *)
+
+type entry = {
+  path : string;
+  oracle : string;
+  seed : int option;
+  scenario : Scenario.t;
+}
+
+val write :
+  dir:string -> oracle:string -> ?seed:int -> ?stem:string -> Scenario.t ->
+  string
+(** Persist a scenario; returns the path written.  The file name is
+    [<stem>.csp] (default: derived from the oracle name and a content
+    hash, so re-saving the same counterexample is idempotent). *)
+
+val read : string -> (entry, string) result
+val read_exn : string -> entry
+
+val read_dir : string -> entry list
+(** Every [*.csp] entry of the directory, sorted by file name.
+    @raise Failure on the first unreadable entry — a corrupt corpus
+    must fail the suite, not shrink it. *)

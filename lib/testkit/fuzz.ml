@@ -1,0 +1,117 @@
+type config = {
+  seed : int;
+  max_cases : int;
+  budget : float option;
+  oracles : Oracle.t list;
+  max_shrink : int;
+}
+
+let default_config =
+  {
+    seed = 0;
+    max_cases = 200;
+    budget = None;
+    oracles = Oracle.all;
+    max_shrink = 500;
+  }
+
+type counterexample = {
+  case : int;
+  oracle : string;
+  detail : string;
+  scenario : Scenario.t;
+  original : Scenario.t;
+}
+
+type report = {
+  cases : int;
+  elapsed : float;
+  oracle_runs : (string * int) list;
+  counterexamples : counterexample list;
+}
+
+let shrink ~(oracle : Oracle.t) ~max_steps scenario detail =
+  let evals = ref 0 in
+  let fails sc =
+    incr evals;
+    match oracle.Oracle.check sc with
+    | Oracle.Fail d -> Some d
+    | Oracle.Pass -> None
+  in
+  let rec go sc detail =
+    let rec pick seq =
+      if !evals >= max_steps then None
+      else
+        match seq () with
+        | Seq.Nil -> None
+        | Seq.Cons (cand, rest) -> (
+          match fails cand with
+          | Some d -> Some (cand, d)
+          | None -> pick rest)
+    in
+    match pick (Shrink.scenario sc) with
+    | Some (sc', d') -> go sc' d'
+    | None -> (sc, detail)
+  in
+  go scenario detail
+
+let run ?(on_case = fun _ -> ()) cfg =
+  let rand = Random.State.make [| cfg.seed |] in
+  let t0 = Unix.gettimeofday () in
+  let over_budget () =
+    match cfg.budget with
+    | Some b -> Unix.gettimeofday () -. t0 >= b
+    | None -> false
+  in
+  let runs = List.map (fun (o : Oracle.t) -> (o.Oracle.name, ref 0)) cfg.oracles in
+  let rec loop case acc =
+    if case >= cfg.max_cases || over_budget () then (case, acc)
+    else begin
+      on_case case;
+      let sc = QCheck2.Gen.generate1 ~rand Gen.scenario in
+      let failures =
+        List.filter_map
+          (fun (o : Oracle.t) ->
+            incr (List.assoc o.Oracle.name runs);
+            match o.Oracle.check sc with
+            | Oracle.Pass -> None
+            | Oracle.Fail detail ->
+              let scenario, detail =
+                shrink ~oracle:o ~max_steps:cfg.max_shrink sc detail
+              in
+              Some
+                { case; oracle = o.Oracle.name; detail; scenario; original = sc })
+          cfg.oracles
+      in
+      loop (case + 1) (List.rev_append failures acc)
+    end
+  in
+  let cases, rev_cex = loop 0 [] in
+  {
+    cases;
+    elapsed = Unix.gettimeofday () -. t0;
+    oracle_runs = List.map (fun (n, r) -> (n, !r)) runs;
+    counterexamples = List.rev rev_cex;
+  }
+
+let pp_counterexample ppf c =
+  Format.fprintf ppf
+    "@[<v>FAIL [%s] case %d (%d nodes, shrunk from %d): %s@,%s@]" c.oracle
+    c.case (Scenario.size c.scenario)
+    (Scenario.size c.original)
+    c.detail
+    (Scenario.to_csp ~header:[ "oracle: " ^ c.oracle ] c.scenario)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%a%d case(s) in %.2fs; oracle runs: %s; %d \
+                      counterexample(s)@]"
+    (fun ppf -> function
+      | [] -> ignore ppf
+      | cex ->
+        List.iter (fun c -> Format.fprintf ppf "%a@," pp_counterexample c) cex)
+    r.counterexamples r.cases r.elapsed
+    (String.concat ", "
+       (List.map
+          (fun (n, k) -> Printf.sprintf "%s=%d" n k)
+          r.oracle_runs))
+    (List.length r.counterexamples)

@@ -1,0 +1,49 @@
+(** The differential fuzzing driver.
+
+    Seeded and budgeted: with a fixed [seed] and [max_cases] (and no
+    wall-clock budget) a run is fully deterministic — the generator
+    draws from a private [Random.State], and every oracle is a
+    deterministic function of the scenario.  The wall-clock [budget]
+    only ever stops the loop {e between} cases, so the verdict of every
+    case that did run is reproducible from the seed alone. *)
+
+type config = {
+  seed : int;
+  max_cases : int;            (** generated scenarios (default 200) *)
+  budget : float option;      (** wall-clock seconds, checked between cases *)
+  oracles : Oracle.t list;    (** default: {!Oracle.all} *)
+  max_shrink : int;           (** oracle re-evaluations per shrink (default 500) *)
+}
+
+val default_config : config
+
+type counterexample = {
+  case : int;                 (** index of the failing generated case *)
+  oracle : string;
+  detail : string;            (** the oracle's diagnosis, post-shrink *)
+  scenario : Scenario.t;      (** the shrunk scenario *)
+  original : Scenario.t;      (** the scenario as generated *)
+}
+
+type report = {
+  cases : int;
+  elapsed : float;
+  oracle_runs : (string * int) list;  (** checks executed, per oracle *)
+  counterexamples : counterexample list;
+}
+
+val shrink :
+  oracle:Oracle.t -> max_steps:int -> Scenario.t -> string ->
+  Scenario.t * string
+(** Greedy minimisation: repeatedly move to the first {!Shrink}
+    candidate on which the oracle still fails, until a local minimum or
+    the evaluation budget is reached.  Returns the smaller scenario and
+    its (possibly updated) failure detail. *)
+
+val run : ?on_case:(int -> unit) -> config -> report
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+(** Prints the diagnosis followed by the scenario as parseable [.csp]
+    text (the same text {!Corpus.write} persists). *)
+
+val pp_report : Format.formatter -> report -> unit

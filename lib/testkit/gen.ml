@@ -1,0 +1,182 @@
+module Value = Csp_trace.Value
+module Vset = Csp_lang.Vset
+module Expr = Csp_lang.Expr
+module Chan_set = Csp_lang.Chan_set
+module Process = Csp_lang.Process
+module Defs = Csp_lang.Defs
+module G = QCheck2.Gen
+
+(* The channel pool is deliberately tiny: collisions between
+   independently generated subterms are what make parallel
+   synchronisation, hiding and refinement interesting. *)
+let chan_names = [ "a"; "b"; "c" ]
+let chan = G.oneofl chan_names
+
+let value =
+  G.frequency
+    [
+      (4, G.map Value.int (G.int_range 0 1));
+      (1, G.oneofl [ Value.ack; Value.nack ]);
+    ]
+
+let vset =
+  G.frequency
+    [
+      (3, G.return (Vset.Range (0, 1)));
+      (2, G.return (Vset.Enum [ Value.Int 0; Value.Int 1 ]));
+      (2, G.return Vset.Nat);
+      (1, G.return (Vset.Enum [ Value.ack; Value.nack ]));
+    ]
+
+let expr ~vars =
+  let consts =
+    [
+      (5, G.map Expr.int (G.int_range 0 1));
+      (1, G.return (Expr.value Value.ack));
+    ]
+  in
+  match vars with
+  | [] -> G.frequency consts
+  | _ -> G.frequency ((3, G.map Expr.var (G.oneofl vars)) :: consts)
+
+let fresh_var vars =
+  if not (List.mem "x" vars) then "x"
+  else if not (List.mem "y" vars) then "y"
+  else "z"
+
+(* A reference to one of [names]; array names take a constant argument
+   from the parameter's domain so that [Defs.unfold] never rejects it. *)
+let ref_gen names =
+  match names with
+  | [] -> G.return Process.Stop
+  | _ ->
+    G.bind (G.oneofl names) (fun (n, has_param) ->
+        if has_param then
+          G.map (fun v -> Process.call n (Expr.int v)) (G.int_range 0 1)
+        else G.return (Process.ref_ n))
+
+(* ---- definition bodies ---------------------------------------------- *)
+
+(* Guarded by construction: a reference appears only as (part of) the
+   continuation of a communication prefix, and bodies contain neither
+   parallel composition nor hiding — both stay in [main], where the
+   denotational fixpoint's exactness conditions allow them. *)
+let def_body ~names ~param =
+  let vars0 = match param with Some (x, _) -> [ x ] | None -> [] in
+  let tail =
+    G.frequency [ (1, G.return Process.Stop); (2, ref_gen names) ]
+  in
+  let rec comm n vars =
+    G.frequency
+      [
+        ( 4,
+          G.bind chan (fun c ->
+              G.bind (expr ~vars) (fun e ->
+                  G.map (fun k -> Process.send c e k) (body (n - 1) vars))) );
+        ( 3,
+          G.bind chan (fun c ->
+              G.bind vset (fun m ->
+                  let x = fresh_var vars in
+                  G.map
+                    (fun k -> Process.recv c x m k)
+                    (body (n - 1) (x :: vars)))) );
+      ]
+  and body n vars =
+    if n <= 0 then tail
+    else
+      G.frequency
+        [
+          (4, comm n vars);
+          (1, tail);
+          ( 2,
+            G.map2
+              (fun p q -> Process.Choice (p, q))
+              (comm ((n / 2) + 1) vars)
+              (comm ((n / 2) + 1) vars) );
+        ]
+  in
+  G.sized_size (G.int_range 1 5) (fun size -> comm size vars0)
+
+let defs =
+  G.bind (G.int_range 0 2) (fun n_plain ->
+      G.bind G.bool (fun with_array ->
+          let plain = List.init n_plain (fun i -> Printf.sprintf "p%d" i) in
+          let names =
+            List.map (fun n -> (n, false)) plain
+            @ (if with_array then [ ("q0", true) ] else [])
+          in
+          let gen_def (name, has_param) =
+            let param =
+              if has_param then Some ("x", Vset.Range (0, 1)) else None
+            in
+            G.map
+              (fun body -> { Defs.name; param; body })
+              (def_body ~names ~param)
+          in
+          G.map Defs.of_list (G.flatten_l (List.map gen_def names))))
+
+(* ---- the process under test ----------------------------------------- *)
+
+(* [main] is never referenced back, so references may appear unguarded
+   here; hiding is restricted to reference-free subterms so that runs
+   of concealed events stay within both semantics' fuel budgets. *)
+let main_body ~defs:env =
+  let names =
+    List.map
+      (fun n ->
+        match Defs.lookup env n with
+        | Some { Defs.param = Some _; _ } -> (n, true)
+        | _ -> (n, false))
+      (Defs.names env)
+  in
+  let alphabet p = Chan_set.bases (Defs.channel_bases env p) in
+  let rec go n vars ~refs =
+    let leaves =
+      [ (1, G.return Process.Stop) ]
+      @ (if refs && names <> [] then [ (2, ref_gen names) ] else [])
+    in
+    if n <= 0 then G.frequency leaves
+    else
+      G.frequency
+        (leaves
+        @ [
+            ( 4,
+              G.bind chan (fun c ->
+                  G.bind (expr ~vars) (fun e ->
+                      G.map
+                        (fun k -> Process.send c e k)
+                        (go (n - 1) vars ~refs))) );
+            ( 3,
+              G.bind chan (fun c ->
+                  G.bind vset (fun m ->
+                      let x = fresh_var vars in
+                      G.map
+                        (fun k -> Process.recv c x m k)
+                        (go (n - 1) (x :: vars) ~refs))) );
+            ( 2,
+              G.map2
+                (fun p q -> Process.Choice (p, q))
+                (go (n / 2) vars ~refs)
+                (go (n / 2) vars ~refs) );
+            ( 2,
+              G.map2
+                (fun p q -> Process.Par (alphabet p, alphabet q, p, q))
+                (go (n / 2) vars ~refs)
+                (go (n / 2) vars ~refs) );
+            ( 1,
+              G.bind chan (fun c ->
+                  G.map
+                    (fun p -> Process.Hide (Chan_set.of_names [ c ], p))
+                    (go (n - 1) vars ~refs:false)) );
+          ])
+  in
+  G.sized_size (G.int_range 0 7) (fun size -> go size [] ~refs:true)
+
+let process = main_body ~defs:Defs.empty
+
+let scenario =
+  G.bind defs (fun env ->
+      G.map
+        (fun body ->
+          Scenario.make ~defs:(Defs.define "main" body env) ~main:"main")
+        (main_body ~defs:env))

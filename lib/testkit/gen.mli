@@ -1,0 +1,45 @@
+(** Sized, well-scoped QCheck2 generators for the process language.
+
+    Every generator stays inside the fragment on which the repository's
+    semantic pipelines are documented to agree exactly under the test
+    configuration ([Sampler.nat_bound 2], default fuel budgets):
+
+    - generated terms are {e closed}: input binders introduce variables,
+      and references only name definitions that exist;
+    - value domains are bounded ([{0,1}] plus the ACK/NACK signals), so
+      the sampler covers every value a communication partner may need;
+    - recursion is {e guarded}: inside definition bodies, a process
+      reference only ever appears as the continuation of a communication
+      prefix, so every generated environment passes
+      {!Csp_lang.Defs.well_guarded} by construction;
+    - hiding never occurs inside a recursive body, and never wraps a
+      reference — the documented exactness condition of the
+      denotational fixpoint's [hide_extra] look-ahead. *)
+
+val value : Csp_trace.Value.t QCheck2.Gen.t
+(** Integers in [{0,1}] and the ACK/NACK signals. *)
+
+val vset : Csp_lang.Vset.t QCheck2.Gen.t
+(** Small message types: [{0..1}], [{0,1}], [NAT], [{ACK,NACK}]. *)
+
+val expr : vars:string list -> Csp_lang.Expr.t QCheck2.Gen.t
+(** Output expressions: constants in the bounded domain, or one of the
+    in-scope input variables. *)
+
+val process : Csp_lang.Process.t QCheck2.Gen.t
+(** Closed, reference-free process terms over channels [a]/[b]/[c],
+    exercising every constructor (including parallel composition with
+    inferred alphabets, and hiding). *)
+
+val defs : Csp_lang.Defs.t QCheck2.Gen.t
+(** Guarded, possibly mutually recursive environments over the names
+    [p0], [p1] and (sometimes) a process array [q0[x:{0..1}]]. *)
+
+val main_body : defs:Csp_lang.Defs.t -> Csp_lang.Process.t QCheck2.Gen.t
+(** A body for the process under test: may reference any definition
+    (guarded or not — [main] is never referenced back), compose
+    references in parallel with alphabets inferred through [defs], and
+    hide channels of reference-free subterms. *)
+
+val scenario : Scenario.t QCheck2.Gen.t
+(** A full scenario: generated definitions plus a generated [main]. *)

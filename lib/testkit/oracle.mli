@@ -1,0 +1,53 @@
+(** Differential conformance oracles.
+
+    Each oracle is a {e deterministic} predicate on a scenario that
+    cross-checks two or more of the repository's semantic pipelines
+    against each other (the differential-model methodology: the paper's
+    inference rules, its denotational prefix-closure model and the
+    operational trace enumeration are three views of one process, and
+    any disagreement within the documented-exact fragment is a bug in
+    one of them).  Determinism is what makes the corpus replayable: a
+    corpus entry records only the scenario and the oracle name.
+
+    The registry {!all} currently holds four oracles:
+
+    - [closure-kernel]: every memoised operation of the hash-consed
+      {!Csp_semantics.Closure} agrees with the executable specification
+      {!Csp_semantics.Closure_ref}, and hash-consing is canonical
+      (pointer equality ⇔ set equality);
+    - [op-vs-deno]: {!Csp_semantics.Step.traces} and
+      {!Csp_semantics.Denote.denote} produce the same prefix closure up
+      to the depth bound, for the main process and every definition;
+    - [refinement]: trace, failures and bisimulation views cohere —
+      choice is trace union, failures refinement implies trace
+      refinement, strong bisimilarity implies trace equality, and the
+      §4 [STOP | P] identities hold where documented;
+    - [prover-sound]: any [P sat R] the proof system certifies is never
+      refuted by bounded trace enumeration, and every [Sat] refutation
+      is a genuine trace of [P] on which [R] evaluates false. *)
+
+type verdict = Pass | Fail of string
+
+type t = {
+  name : string;
+  doc : string;
+  check : Scenario.t -> verdict;  (** never raises; deterministic *)
+}
+
+val depth : int
+(** The trace depth bound every oracle uses (4). *)
+
+val step_config : Csp_lang.Defs.t -> Csp_semantics.Step.config
+val denote_config : Csp_lang.Defs.t -> Csp_semantics.Denote.config
+(** The shared test configuration: [Sampler.nat_bound 2], default fuel
+    budgets — the configuration under which the pipelines are
+    documented to agree exactly on the generated fragment. *)
+
+val closure_kernel : t
+val op_vs_deno : t
+val refinement : t
+val prover_sound : t
+
+val all : t list
+val find : string -> t option
+val names : unit -> string list

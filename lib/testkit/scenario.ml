@@ -1,0 +1,38 @@
+module Defs = Csp_lang.Defs
+module Process = Csp_lang.Process
+module Vset = Csp_lang.Vset
+
+type t = { defs : Defs.t; main : string }
+
+let make ~defs ~main =
+  match Defs.lookup defs main with
+  | Some _ -> { defs; main }
+  | None -> invalid_arg ("Scenario.make: process " ^ main ^ " is not defined")
+
+let process t = Process.ref_ t.main
+let def_list defs = List.filter_map (Defs.lookup defs) (Defs.names defs)
+
+let size t =
+  List.fold_left
+    (fun acc (d : Defs.def) -> acc + Process.size d.Defs.body)
+    0 (def_list t.defs)
+
+let def_equal (a : Defs.def) (b : Defs.def) =
+  String.equal a.Defs.name b.Defs.name
+  && (match (a.Defs.param, b.Defs.param) with
+     | None, None -> true
+     | Some (x, m), Some (y, n) -> String.equal x y && Vset.equal m n
+     | _ -> false)
+  && Process.equal a.Defs.body b.Defs.body
+
+let equal a b =
+  String.equal a.main b.main
+  &&
+  let da = def_list a.defs and db = def_list b.defs in
+  List.length da = List.length db && List.for_all2 def_equal da db
+
+let to_csp ?(header = []) t =
+  String.concat "\n"
+    (List.map (fun l -> "-- " ^ l) header @ [ Csp_syntax.Printer.defs t.defs ])
+
+let pp ppf t = Format.pp_print_string ppf (to_csp t)

@@ -1,0 +1,35 @@
+(** Fuzzing scenarios: a definition environment plus a distinguished
+    process under test.
+
+    A scenario is the unit every generator produces, every oracle
+    examines and every corpus file persists.  Keeping the process under
+    test as a {e name} in the environment (rather than a bare term)
+    means a scenario round-trips through the concrete syntax unchanged:
+    the corpus format is exactly a [.csp] definition file whose header
+    comments carry the oracle metadata. *)
+
+type t = {
+  defs : Csp_lang.Defs.t;  (** includes the definition of [main] *)
+  main : string;           (** the process under test, defined in [defs] *)
+}
+
+val make : defs:Csp_lang.Defs.t -> main:string -> t
+(** @raise Invalid_argument when [main] is not defined in [defs]. *)
+
+val process : t -> Csp_lang.Process.t
+(** The process under test, as a reference to its definition. *)
+
+val def_list : Csp_lang.Defs.t -> Csp_lang.Defs.def list
+(** The definitions of an environment, in declaration order. *)
+
+val size : t -> int
+(** Total AST size of every definition body — the measure the shrinker
+    drives down. *)
+
+val equal : t -> t -> bool
+
+val to_csp : ?header:string list -> t -> string
+(** The scenario as a parseable [.csp] definition file; each [header]
+    line is emitted as a leading [--] comment. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+module Value = Csp_trace.Value
+module Expr = Csp_lang.Expr
+module Process = Csp_lang.Process
+module Defs = Csp_lang.Defs
+
+let rec process p : Process.t Seq.t =
+  match p with
+  | Process.Stop -> Seq.empty
+  | Process.Ref _ -> Seq.return Process.Stop
+  | Process.Output (c, e, k) ->
+    Seq.append
+      (List.to_seq [ Process.Stop; k ])
+      (Seq.append
+         (if Expr.equal e (Expr.int 0) then Seq.empty
+          else Seq.return (Process.Output (c, Expr.int 0, k)))
+         (Seq.map (fun k' -> Process.Output (c, e, k')) (process k)))
+  | Process.Input (c, x, m, k) ->
+    (* dropping the prefix removes the binder: substitute so the
+       continuation stays closed *)
+    let k0 = Process.subst_value x (Value.Int 0) k in
+    Seq.append
+      (List.to_seq [ Process.Stop; k0 ])
+      (Seq.map (fun k' -> Process.Input (c, x, m, k')) (process k))
+  | Process.Choice (a, b) ->
+    Seq.append
+      (List.to_seq [ Process.Stop; a; b ])
+      (Seq.append
+         (Seq.map (fun a' -> Process.Choice (a', b)) (process a))
+         (Seq.map (fun b' -> Process.Choice (a, b')) (process b)))
+  | Process.Par (x, y, a, b) ->
+    Seq.append
+      (List.to_seq [ Process.Stop; a; b ])
+      (Seq.append
+         (Seq.map (fun a' -> Process.Par (x, y, a', b)) (process a))
+         (Seq.map (fun b' -> Process.Par (x, y, a, b')) (process b)))
+  | Process.Hide (l, q) ->
+    Seq.append
+      (List.to_seq [ Process.Stop; q ])
+      (Seq.map (fun q' -> Process.Hide (l, q')) (process q))
+
+(* A candidate environment is admissible when every reference of every
+   remaining body resolves and the whole environment is still well
+   guarded — shrinking must not change the failure into an [Undefined]
+   or [Unproductive] crash. *)
+let admissible defs =
+  let ds = Scenario.def_list defs in
+  List.for_all
+    (fun (d : Defs.def) ->
+      List.for_all
+        (fun r -> Defs.lookup defs r <> None)
+        (Process.refs d.Defs.body))
+    ds
+  && Result.is_ok (Defs.well_guarded defs)
+
+let scenario (s : Scenario.t) : Scenario.t Seq.t =
+  let ds = Scenario.def_list s.Scenario.defs in
+  let drops =
+    List.to_seq ds
+    |> Seq.filter_map (fun (d : Defs.def) ->
+           if String.equal d.Defs.name s.Scenario.main then None
+           else
+             let remaining =
+               List.filter
+                 (fun (d' : Defs.def) ->
+                   not (String.equal d'.Defs.name d.Defs.name))
+                 ds
+             in
+             let defs' = Defs.of_list remaining in
+             if admissible defs' then Some { s with Scenario.defs = defs' }
+             else None)
+  in
+  let body_shrinks =
+    List.to_seq ds
+    |> Seq.concat_map (fun (d : Defs.def) ->
+           process d.Defs.body
+           |> Seq.filter_map (fun body' ->
+                  let defs' =
+                    Defs.of_list
+                      (List.map
+                         (fun (d' : Defs.def) ->
+                           if String.equal d'.Defs.name d.Defs.name then
+                             { d' with Defs.body = body' }
+                           else d')
+                         ds)
+                  in
+                  if admissible defs' then
+                    Some { s with Scenario.defs = defs' }
+                  else None))
+  in
+  Seq.append drops body_shrinks

@@ -1,0 +1,18 @@
+(** Structural shrinkers for counterexample minimisation.
+
+    Candidates are produced lazily, smallest-step first; the fuzz
+    driver greedily takes the first candidate on which the failing
+    oracle still fails and iterates to a local minimum.  Scenario
+    candidates preserve the generators' invariants: every reference
+    still resolves and every environment stays well guarded (candidates
+    that would break either are filtered out, never offered). *)
+
+val process : Csp_lang.Process.t -> Csp_lang.Process.t Seq.t
+(** Structurally smaller variants: the whole term (or any subterm)
+    collapsed to [STOP], prefixes dropped (input binders substituted
+    away so terms stay closed), choice/parallel operands promoted, and
+    hidden sets unwrapped. *)
+
+val scenario : Scenario.t -> Scenario.t Seq.t
+(** Drop unreferenced definitions, then shrink each definition body in
+    place with {!process}. *)

@@ -312,6 +312,71 @@ let prop_first_difference_sound =
       | None -> Closure.equal a b
       | Some s -> Closure.mem s a <> Closure.mem s b)
 
+(* ---- stats: counters and memo-table observability -------------------- *)
+
+(* Two closures guaranteed distinct from each other (and from anything
+   hash-consing may share with other tests). *)
+let stats_left () = Closure.of_traces [ [ a1; b2 ]; [ a1; c3 ] ]
+let stats_right () = Closure.of_traces [ [ b2; a1 ]; [ c3 ] ]
+
+let test_stats_monotone () =
+  let s0 = Closure.stats () in
+  let l = stats_left () and r = stats_right () in
+  ignore (Closure.union l r);
+  ignore (Closure.inter l r);
+  ignore (Closure.truncate 1 l);
+  ignore (Closure.subset l r);
+  let s1 = Closure.stats () in
+  check_bool "nodes never decrease" true (s1.Closure.nodes >= s0.Closure.nodes);
+  check_bool "hits never decrease" true
+    (s1.Closure.memo_hits >= s0.Closure.memo_hits);
+  check_bool "misses never decrease" true
+    (s1.Closure.memo_misses >= s0.Closure.memo_misses);
+  check_bool "the operations left a footprint" true
+    (s1.Closure.memo_hits + s1.Closure.memo_misses
+    > s0.Closure.memo_hits + s0.Closure.memo_misses)
+
+(* On cold memo tables the first run of each operation records misses;
+   repeating the very same operations is pure hits — and creates no new
+   nodes, because every result is already interned. *)
+let test_stats_memo_observable () =
+  let l = stats_left () and r = stats_right () in
+  let ops () =
+    ignore (Closure.union l r);
+    ignore (Closure.inter l r);
+    ignore (Closure.truncate 1 l)
+  in
+  Closure.clear_caches ();
+  let s0 = Closure.stats () in
+  ops ();
+  let s1 = Closure.stats () in
+  check_bool "cold tables: misses recorded" true
+    (s1.Closure.memo_misses > s0.Closure.memo_misses);
+  ops ();
+  let s2 = Closure.stats () in
+  check_bool "warm tables: hits recorded" true
+    (s2.Closure.memo_hits > s1.Closure.memo_hits);
+  check_int "warm tables: no new misses" s1.Closure.memo_misses
+    s2.Closure.memo_misses;
+  check_int "warm tables: no new nodes" s1.Closure.nodes s2.Closure.nodes
+
+let test_stats_clear_caches () =
+  let l = stats_left () and r = stats_right () in
+  ignore (Closure.union l r);
+  (* warm up, then clear: the same union must miss again — the memo
+     tables were really emptied — while the unique table survives, so
+     no new nodes are created for an already-interned result *)
+  Closure.clear_caches ();
+  ignore (Closure.union l r);
+  let s1 = Closure.stats () in
+  Closure.clear_caches ();
+  ignore (Closure.union l r);
+  let s2 = Closure.stats () in
+  check_bool "misses recorded again after clear" true
+    (s2.Closure.memo_misses > s1.Closure.memo_misses);
+  check_int "interned results survive the clear" s1.Closure.nodes
+    s2.Closure.nodes
+
 let () =
   Alcotest.run "closure"
     [
@@ -343,6 +408,14 @@ let () =
           prop_union_laws;
           prop_subset_union;
           prop_mem_to_traces_agree;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters monotone" `Quick test_stats_monotone;
+          Alcotest.test_case "memoisation observable" `Quick
+            test_stats_memo_observable;
+          Alcotest.test_case "clear_caches resets memo tables" `Quick
+            test_stats_clear_caches;
         ] );
       ( "hash-consing agreement",
         [

@@ -76,6 +76,37 @@ let test_run_determinism () =
   in
   check trace_testable "reproducible" (run ()) (run ())
 
+(* the runner's ~seed threads to the default scheduler: a run is
+   reproducible from its arguments alone, and the seed actually steers
+   the exploration *)
+let test_run_seed_threads () =
+  let defs = defs_copier in
+  let run seed =
+    (Runner.run ~seed ~max_steps:40 (cfg ~defs ()) (Process.ref_ "copier"))
+      .Runner.trace
+  in
+  check trace_testable "same seed, same run" (run 7) (run 7);
+  check trace_testable "default seed is 1"
+    (Runner.run ~max_steps:40 (cfg ~defs ()) (Process.ref_ "copier"))
+      .Runner.trace (run 1);
+  check_bool "some seed pair diverges" true
+    (List.exists (fun s -> not (Trace.equal (run 1) (run s))) [ 2; 3; 4; 5 ])
+
+let test_sampler_shuffled () =
+  let base = Sampler.nat_bound 6 in
+  let sample seed = Sampler.sample (Sampler.shuffled ~seed base) Vset.Nat in
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list string))
+    "same seed, same order"
+    (List.map Value.to_string (sample 3))
+    (List.map Value.to_string (sample 3));
+  Alcotest.(check (list string))
+    "a permutation of the base sample"
+    (List.map Value.to_string (sorted (Sampler.sample base Vset.Nat)))
+    (List.map Value.to_string (sorted (sample 3)));
+  check_bool "some seed pair permutes differently" true
+    (List.exists (fun s -> sample 0 <> sample s) [ 1; 2; 3; 4; 5 ])
+
 let test_run_hidden_not_in_trace () =
   let p = Process.Hide (Chan_set.of_names [ "a" ], out "a" 1 (out "b" 2 Process.Stop)) in
   let r = Runner.run (cfg ()) p in
@@ -174,6 +205,9 @@ let () =
           Alcotest.test_case "deadlock stop" `Quick test_run_deadlock;
           Alcotest.test_case "step limit" `Quick test_run_max_steps;
           Alcotest.test_case "determinism per seed" `Quick test_run_determinism;
+          Alcotest.test_case "~seed threads to scheduler" `Quick
+            test_run_seed_threads;
+          Alcotest.test_case "shuffled sampler" `Quick test_sampler_shuffled;
           Alcotest.test_case "hidden events" `Quick test_run_hidden_not_in_trace;
           prop_trace_is_visible_projection;
           prop_run_trace_is_legal;
