@@ -39,9 +39,11 @@ let tables_of file =
   in
   Tactic.tables ~invariants ~array_invariants ()
 
-let step_config file ~nat_bound ~hide_fuel =
-  Step.config ~sampler:(Sampler.nat_bound nat_bound) ~hide_fuel
-    file.Parser.defs
+(* Every semantic subcommand runs off one unified engine: the sampler,
+   fuel budgets, depth and seed all come from this single value, and
+   the operational/denotational caches are shared within a command. *)
+let engine ?depth ?seed file ~nat_bound =
+  Engine.create ?depth ?seed ~nat_bound file.Parser.defs
 
 (* ---- parse ---------------------------------------------------------- *)
 
@@ -63,12 +65,10 @@ let cmd_parse path =
 let cmd_traces path name depth nat_bound denotational =
   let file = load path in
   let p = find_process file name in
+  let eng = engine ~depth file ~nat_bound in
   let closure =
-    if denotational then
-      Denote.denote
-        (Denote.config ~sampler:(Sampler.nat_bound nat_bound) file.Parser.defs)
-        ~depth p
-    else Step.traces (step_config file ~nat_bound ~hide_fuel:16) ~depth p
+    if denotational then Denote.denote (Engine.denote_config eng) ~depth p
+    else Step.traces (Engine.step_config eng) ~depth p
   in
   Printf.printf "%d traces (maximal shown):\n" (Closure.cardinal closure);
   List.iter
@@ -88,8 +88,8 @@ let cmd_simulate path name steps seed nat_bound =
         | _ -> None)
       file.Parser.decls
   in
-  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
-  let r = Csp_sim.Runner.run ~seed ~monitors ~max_steps:steps cfg p in
+  let eng = engine ~seed file ~nat_bound in
+  let r = Csp_sim.Runner.run_engine ~monitors ~max_steps:steps eng p in
   Format.printf "%a@." Csp_sim.Runner.pp_result r;
   List.iter
     (fun v ->
@@ -111,14 +111,14 @@ let target_process file = function
 
 let cmd_check path depth nat_bound =
   let file = load path in
-  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let eng = engine ~depth file ~nat_bound in
   let failures = ref 0 in
   List.iter
     (fun decl ->
       match decl with
       | Parser.Assert_plain (n, a) ->
         let p = find_process file n in
-        let out = Sat.check ~depth cfg p a in
+        let out = Sat.check_engine eng p a in
         Format.printf "%s sat %s: %a@." n (Printer.assertion a) Sat.pp_outcome
           out;
         (match out with Sat.Fails _ -> incr failures | Sat.Holds _ -> ())
@@ -129,11 +129,11 @@ let cmd_check path depth nat_bound =
             let a' =
               Assertion.subst_var x (Term.Const v) a
             in
-            let out = Sat.check ~depth cfg p a' in
+            let out = Sat.check_engine eng p a' in
             Format.printf "%s[%s] sat %s: %a@." q (Value.to_string v)
               (Printer.assertion a') Sat.pp_outcome out;
             match out with Sat.Fails _ -> incr failures | Sat.Holds _ -> ())
-          (Sampler.sample (Sampler.nat_bound nat_bound) m))
+          (Sampler.sample eng.Engine.sampler m))
     file.Parser.decls;
   ignore target_process;
   if !failures > 0 then die "%d assertion(s) failed" !failures
@@ -207,10 +207,10 @@ let cmd_check_cert path cert_path =
 let cmd_deadlock path name steps runs nat_bound seed =
   let file = load path in
   let p = find_process file name in
-  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let eng = engine ~seed file ~nat_bound in
   let deadlocks = ref 0 in
   for i = 0 to runs - 1 do
-    let r = Csp_sim.Runner.run ~seed:(seed + i) ~max_steps:steps cfg p in
+    let r = Csp_sim.Runner.run_engine ~seed:(seed + i) ~max_steps:steps eng p in
     if r.Csp_sim.Runner.stop = Csp_sim.Runner.Deadlock then incr deadlocks
   done;
   Printf.printf "%d/%d runs deadlocked within %d steps\n" !deadlocks runs steps;
@@ -221,8 +221,8 @@ let cmd_deadlock path name steps runs nat_bound seed =
 let cmd_graph path name max_states nat_bound output =
   let file = load path in
   let p = find_process file name in
-  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
-  let lts = Lts.explore ~max_states cfg p in
+  let eng = engine file ~nat_bound in
+  let lts = Lts.explore ~max_states (Engine.step_config eng) p in
   Printf.printf
     "%d states, %d transitions%s; deterministic=%b; deadlock states: %d\n"
     (Lts.num_states lts) (Lts.num_transitions lts)
@@ -243,7 +243,7 @@ let cmd_graph path name max_states nat_bound output =
 let cmd_refusals path name depth nat_bound =
   let file = load path in
   let p = find_process file name in
-  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let cfg = Engine.step_config (engine ~depth file ~nat_bound) in
   let fs = Failures.failures cfg ~depth p in
   Format.printf "%a@." Failures.pp fs;
   (match Failures.can_deadlock cfg ~depth p with
@@ -259,7 +259,7 @@ let cmd_refusals path name depth nat_bound =
 let cmd_refine path impl spec depth nat_bound weak =
   let file = load path in
   let p = find_process file impl and q = find_process file spec in
-  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let cfg = Engine.step_config (engine ~depth file ~nat_bound) in
   if weak then
     Printf.printf "%s and %s weakly bisimilar (bounded): %b\n" impl spec
       (Bisim.weak_equivalent cfg p q)
@@ -278,10 +278,9 @@ let cmd_refine path impl spec depth nat_bound weak =
 let cmd_infer path name nat_bound seed =
   let file = load path in
   let p = find_process file name in
-  let cfg = step_config file ~nat_bound ~hide_fuel:16 in
+  let eng = engine ~seed file ~nat_bound in
   let tables = tables_of file in
-  let config = { Infer.default_config with Infer.seed } in
-  let results = Infer.infer ~config ~tables cfg ~name p in
+  let results = Infer.infer_engine ~tables eng ~name p in
   if results = [] then print_endline "no invariants conjectured"
   else
     List.iter

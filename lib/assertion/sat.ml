@@ -27,6 +27,13 @@ let check_closure ?rho ?funs ?nat_bound closure assertion =
 let check ?rho ?funs ?nat_bound ?(depth = 6) cfg p assertion =
   check_closure ?rho ?funs ?nat_bound (Step.traces cfg ~depth p) assertion
 
+let check_engine ?rho ?funs ?nat_bound ?depth eng p assertion =
+  let depth =
+    match depth with Some d -> d | None -> eng.Csp_semantics.Engine.depth
+  in
+  check ?rho ?funs ?nat_bound ~depth (Csp_semantics.Engine.step_config eng) p
+    assertion
+
 let pp_outcome ppf = function
   | Holds { traces; depth } ->
     Format.fprintf ppf "holds on all %d traces up to depth %d" traces depth

@@ -23,6 +23,18 @@ val check :
 (** Enumerate the process's visible traces operationally (default depth
     6) and evaluate the assertion on each. *)
 
+val check_engine :
+  ?rho:Csp_lang.Valuation.t ->
+  ?funs:Afun.env ->
+  ?nat_bound:int ->
+  ?depth:int ->
+  Csp_semantics.Engine.t ->
+  Csp_lang.Process.t ->
+  Assertion.t ->
+  outcome
+(** {!check} driven by a unified engine: the depth bound defaults to
+    the engine's, and the enumeration shares the engine's caches. *)
+
 val check_closure :
   ?rho:Csp_lang.Valuation.t ->
   ?funs:Afun.env ->

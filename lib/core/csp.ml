@@ -24,10 +24,14 @@ module Process = Csp_lang.Process
 module Defs = Csp_lang.Defs
 module Mutate = Csp_lang.Mutate
 
+(* Process IR *)
+module Proc = Csp_lang.Proc
+
 (* Semantics (§3) *)
 module Closure = Csp_semantics.Closure
 module Closure_ref = Csp_semantics.Closure_ref
 module Sampler = Csp_semantics.Sampler
+module Engine = Csp_semantics.Engine
 module Step = Csp_semantics.Step
 module Denote = Csp_semantics.Denote
 module Equiv = Csp_semantics.Equiv

@@ -18,6 +18,15 @@ let hash_item = function
 
 let hash cs =
   List.fold_left (fun h i -> ((h * 31) + hash_item i) land max_int) 17 cs
+
+let item_equal a b =
+  match a, b with
+  | Chan c1, Chan c2 -> Chan_expr.equal c1 c2
+  | Family (n1, m1), Family (n2, m2) -> String.equal n1 n2 && Vset.equal m1 m2
+  | Base n1, Base n2 -> String.equal n1 n2
+  | (Chan _ | Family _ | Base _), _ -> false
+
+let equal a b = List.length a = List.length b && List.for_all2 item_equal a b
 let of_channels cs = List.map (fun c -> Chan (Chan_expr.of_channel c)) cs
 let of_names ns = List.map (fun n -> Chan (Chan_expr.simple n)) ns
 let bases ns = List.map (fun n -> Base n) ns

@@ -24,6 +24,10 @@ val family : string -> Vset.t -> item
 val hash : t -> int
 (** Deep structural hash, consistent with structural equality. *)
 
+val equal : t -> t -> bool
+(** Structural equality, item by item (no reordering or semantic
+    normalisation: [{a, b}] and [{b, a}] are different sets). *)
+
 val mem : ?rho:Valuation.t -> t -> Csp_trace.Channel.t -> bool
 (** [mem cs c]: does [c] belong to the set?  Items whose subscripts
     cannot be evaluated under [rho] are matched conservatively by base

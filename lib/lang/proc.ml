@@ -1,0 +1,180 @@
+(* Hash-consed process IR (the process-side analogue of the closure
+   kernel's unique table).
+
+   Every node is interned in a global weak unique table, so structurally
+   equal process terms — in the sense of [Process.equal] — are
+   *physically* equal.  Consequences exploited by the semantic
+   pipelines:
+
+   - [equal] is pointer equality (O(1)), [hash]/[id] are precomputed
+     per node (O(1));
+   - state-keyed memo tables (derivatives, LTS exploration, partition
+     refinement, denotational approximation) key on node ids instead of
+     rehashing deep terms on every probe;
+   - rebuilding a network state that differs only in one inner
+     continuation (the common case for [Par] spines) interns each fresh
+     spine node in O(1) — children are already interned, so the shallow
+     hash combines their ids with the small leaf components;
+   - every node carries its [Process.t] view, built incrementally from
+     the children's views, so projecting back to the plain AST is a
+     field read and shares subterms maximally.
+
+   Node ids are allocated from a monotonic counter and never reused.
+   The unique table is weak: nodes unreachable from the program may be
+   collected and later re-interned under a fresh id. *)
+
+type t = { id : int; hkey : int; node : node; repr : Process.t }
+
+and node =
+  | Stop
+  | Output of Chan_expr.t * Expr.t * t
+  | Input of Chan_expr.t * string * Vset.t * t
+  | Choice of t * t
+  | Par of Chan_set.t * Chan_set.t * t * t
+  | Hide of Chan_set.t * t
+  | Ref of string * Expr.t option
+
+let id t = t.id
+let hash t = t.hkey
+let node t = t.node
+let equal a b = a == b
+let compare a b = Int.compare a.id b.id
+let to_process t = t.repr
+
+(* Shallow equality: children by pointer, leaf components by the same
+   structural equalities [Process.equal] uses — so interning
+   canonicalises exactly [Process.equal]. *)
+let node_equal a b =
+  match a, b with
+  | Stop, Stop -> true
+  | Output (c1, e1, k1), Output (c2, e2, k2) ->
+    k1 == k2 && Chan_expr.equal c1 c2 && Expr.equal e1 e2
+  | Input (c1, x1, m1, k1), Input (c2, x2, m2, k2) ->
+    k1 == k2 && String.equal x1 x2 && Chan_expr.equal c1 c2 && Vset.equal m1 m2
+  | Choice (p1, q1), Choice (p2, q2) -> p1 == p2 && q1 == q2
+  | Par (xa1, ya1, p1, q1), Par (xa2, ya2, p2, q2) ->
+    p1 == p2 && q1 == q2 && Chan_set.equal xa1 xa2 && Chan_set.equal ya1 ya2
+  | Hide (l1, p1), Hide (l2, p2) -> p1 == p2 && Chan_set.equal l1 l2
+  | Ref (n1, a1), Ref (n2, a2) ->
+    String.equal n1 n2 && Option.equal Expr.equal a1 a2
+  | (Stop | Output _ | Input _ | Choice _ | Par _ | Hide _ | Ref _), _ -> false
+
+let comb h k = ((h * 31) + k) land max_int
+
+let node_hash = function
+  | Stop -> 1
+  | Output (c, e, k) ->
+    comb (comb (comb 2 (Chan_expr.hash c)) (Expr.hash e)) k.id
+  | Input (c, x, m, k) ->
+    comb
+      (comb (comb (comb 3 (Chan_expr.hash c)) (Hashtbl.hash x)) (Vset.hash m))
+      k.id
+  | Choice (p, q) -> comb (comb 4 p.id) q.id
+  | Par (xa, ya, p, q) ->
+    comb (comb (comb (comb 5 (Chan_set.hash xa)) (Chan_set.hash ya)) p.id) q.id
+  | Hide (l, p) -> comb (comb 6 (Chan_set.hash l)) p.id
+  | Ref (n, a) ->
+    comb
+      (comb 7 (Hashtbl.hash n))
+      (match a with None -> 0 | Some e -> Expr.hash e)
+
+module Unique = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = node_equal a.node b.node
+  let hash a = a.hkey
+end)
+
+(* One lock guards the unique table and the statistics counters, making
+   interning safe under OCaml 5 domains; the critical section is a
+   single hash lookup / insert, recursive descent happens outside. *)
+let lock = Mutex.create ()
+
+let[@inline] locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
+let unique = Unique.create 4096
+let next_id = ref 0
+let nodes_created = ref 0
+let intern_hits = ref 0
+let intern_misses = ref 0
+
+type stats = { nodes : int; hits : int; misses : int; table_len : int }
+
+let stats () =
+  locked (fun () ->
+      {
+        nodes = !nodes_created;
+        hits = !intern_hits;
+        misses = !intern_misses;
+        table_len = Unique.count unique;
+      })
+
+(* [repr] must be structurally equal to the node's unfolding; callers
+   below either pass the original term being interned or rebuild the
+   view in O(1) from the children's views. *)
+let mk node repr =
+  locked (fun () ->
+      let candidate = { id = !next_id; hkey = node_hash node; node; repr } in
+      let interned = Unique.merge unique candidate in
+      if interned == candidate then begin
+        incr next_id;
+        incr nodes_created;
+        incr intern_misses
+      end
+      else incr intern_hits;
+      interned)
+
+let stop = mk Stop Process.Stop
+
+let output c e k = mk (Output (c, e, k)) (Process.Output (c, e, k.repr))
+let input c x m k = mk (Input (c, x, m, k)) (Process.Input (c, x, m, k.repr))
+let choice p q = mk (Choice (p, q)) (Process.Choice (p.repr, q.repr))
+
+let par xa ya p q =
+  mk (Par (xa, ya, p, q)) (Process.Par (xa, ya, p.repr, q.repr))
+
+let hide l p = mk (Hide (l, p)) (Process.Hide (l, p.repr))
+let ref_ n arg = mk (Ref (n, arg)) (Process.Ref (n, arg))
+
+let rec intern (p : Process.t) =
+  match p with
+  | Process.Stop -> stop
+  | Process.Output (c, e, k) -> mk (Output (c, e, intern k)) p
+  | Process.Input (c, x, m, k) -> mk (Input (c, x, m, intern k)) p
+  | Process.Choice (a, b) -> mk (Choice (intern a, intern b)) p
+  | Process.Par (xa, ya, a, b) -> mk (Par (xa, ya, intern a, intern b)) p
+  | Process.Hide (l, a) -> mk (Hide (l, intern a)) p
+  | Process.Ref (n, arg) -> mk (Ref (n, arg)) p
+
+(* Substitution mirrors [Process.subst_value]: [Input] rebinding stops
+   the descent; channel-set items substitute through [Chan] items only.
+   No memo: the same physical subterm may sit both under and outside a
+   shadowing binder, so a key on the node id alone would be unsound. *)
+let rec subst_value x v t =
+  match t.node with
+  | Stop -> t
+  | Output (c, e, k) ->
+    output (Chan_expr.subst_value x v c) (Expr.subst_value x v e)
+      (subst_value x v k)
+  | Input (c, y, m, k) ->
+    let c = Chan_expr.subst_value x v c in
+    if String.equal x y then input c y m k else input c y m (subst_value x v k)
+  | Choice (p, q) -> choice (subst_value x v p) (subst_value x v q)
+  | Par (xa, ya, p, q) ->
+    par
+      (Chan_set.subst_value x v xa)
+      (Chan_set.subst_value x v ya)
+      (subst_value x v p) (subst_value x v q)
+  | Hide (l, p) -> hide (Chan_set.subst_value x v l) (subst_value x v p)
+  | Ref (n, arg) -> ref_ n (Option.map (Expr.subst_value x v) arg)
+
+let pp ppf t = Process.pp ppf t.repr
+let to_string t = Process.to_string t.repr

@@ -1,0 +1,79 @@
+(** Hash-consed process IR — the process-side analogue of the closure
+    kernel's unique table.
+
+    Interning canonicalises {!Process.equal}: two process terms intern
+    to the same (physically equal) node exactly when they are equal, so
+    {!equal} is pointer comparison and {!hash}/{!id} are precomputed
+    field reads.  Semantic pipelines key their state tables on {!id}
+    instead of rehashing deep terms, and rebuild successor states with
+    the smart constructors, which intern in O(1) given interned
+    children.
+
+    Node ids are allocated monotonically and never reused.  The unique
+    table holds nodes weakly: an unreachable node may be collected and
+    a later re-interning of the same term yields a fresh id — ids are
+    stable for as long as the node is held alive (e.g. by a memo table
+    mapping [id → ...] whose entries keep the node reachable, or by the
+    states of an {!Lts.t}). *)
+
+type t
+(** An interned process node.  Abstract: obtain one via {!intern} or
+    the smart constructors, never by direct construction. *)
+
+type node =
+  | Stop
+  | Output of Chan_expr.t * Expr.t * t
+  | Input of Chan_expr.t * string * Vset.t * t
+  | Choice of t * t
+  | Par of Chan_set.t * Chan_set.t * t * t
+  | Hide of Chan_set.t * t
+  | Ref of string * Expr.t option
+      (** One-level view: constructors mirror {!Process.t} with interned
+          children. *)
+
+val node : t -> node
+(** One-level pattern-matching view of the node. *)
+
+val id : t -> int
+(** Unique id, O(1).  Distinct live nodes have distinct ids. *)
+
+val hash : t -> int
+(** Precomputed structural hash, O(1); equal nodes hash equally. *)
+
+val equal : t -> t -> bool
+(** Pointer equality — sound and complete for structural equality
+    thanks to interning. *)
+
+val compare : t -> t -> int
+(** Total order by {!id} (arbitrary but fixed while nodes are live). *)
+
+val intern : Process.t -> t
+(** Bottom-up interning of a plain AST.  [intern p == intern q] iff
+    [Process.equal p q]. *)
+
+val to_process : t -> Process.t
+(** The plain-AST view, O(1): every node carries its [Process.t]
+    representation, built incrementally with maximal sharing. *)
+
+(** {1 Smart constructors} — intern in O(1) given interned children. *)
+
+val stop : t
+val output : Chan_expr.t -> Expr.t -> t -> t
+val input : Chan_expr.t -> string -> Vset.t -> t -> t
+val choice : t -> t -> t
+val par : Chan_set.t -> Chan_set.t -> t -> t -> t
+val hide : Chan_set.t -> t -> t
+val ref_ : string -> Expr.t option -> t
+
+val subst_value : string -> Csp_trace.Value.t -> t -> t
+(** Substitution of a value for a free variable, mirroring
+    {!Process.subst_value}: [Input] rebinding stops the descent. *)
+
+type stats = { nodes : int; hits : int; misses : int; table_len : int }
+
+val stats : unit -> stats
+(** Interning statistics since program start: nodes created, unique-
+    table hits/misses, and current live table size. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

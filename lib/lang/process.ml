@@ -134,8 +134,10 @@ let rec equal a b =
     Chan_expr.equal c1 c2 && String.equal x1 x2 && Vset.equal m1 m2
     && equal p1 p2
   | Choice (p1, q1), Choice (p2, q2) -> equal p1 p2 && equal q1 q2
-  | Par (_, _, p1, q1), Par (_, _, p2, q2) -> equal p1 p2 && equal q1 q2
-  | Hide (_, p1), Hide (_, p2) -> equal p1 p2
+  | Par (xa1, ya1, p1, q1), Par (xa2, ya2, p2, q2) ->
+    Chan_set.equal xa1 xa2 && Chan_set.equal ya1 ya2 && equal p1 p2
+    && equal q1 q2
+  | Hide (l1, p1), Hide (l2, p2) -> Chan_set.equal l1 l2 && equal p1 p2
   | Ref (n1, a1), Ref (n2, a2) -> (
     String.equal n1 n2
     &&

@@ -54,6 +54,10 @@ val size : t -> int
 (** Number of AST constructors — used for fuel accounting in tests. *)
 
 val equal : t -> t -> bool
+(** Structural equality, including the channel-set annotations of
+    [Par] and [Hide] — consistent with {!hash}, so either can key a
+    table.  This is the equality {!Proc.intern} canonicalises: two
+    terms intern to the same node exactly when they are [equal]. *)
 
 val hash : t -> int
 (** Deep structural hash, consistent with [Stdlib.( = )] on process

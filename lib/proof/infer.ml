@@ -23,6 +23,11 @@ type config = {
 let default_config =
   { runs = 5; steps = 200; max_len_diff = 2; seed = 1; funs = Afun.default_env }
 
+(* The walk/conjecture knobs seeded from a unified engine: the engine's
+   seed drives the random walks, everything else keeps its default. *)
+let engine_config eng =
+  { default_config with seed = eng.Csp_semantics.Engine.seed }
+
 (* Random walks over the transition relation, recording the channel
    history after every communication (hidden ones included — invariants
    may constrain concealed wires, as the protocol's do). *)
@@ -199,4 +204,8 @@ let infer ?(config = default_config) ?(tables = Tactic.no_tables) scfg ~name p =
           | None -> c)
       first_pass
   in
-  List.stable_sort (fun a b -> compare b.proved a.proved) second_pass
+  List.stable_sort (fun a b -> Bool.compare b.proved a.proved) second_pass
+
+let infer_engine ?config ?tables eng ~name p =
+  let config = match config with Some c -> c | None -> engine_config eng in
+  infer ~config ?tables (Csp_semantics.Engine.step_config eng) ~name p

@@ -43,6 +43,9 @@ type config = {
 
 val default_config : config
 
+val engine_config : Csp_semantics.Engine.t -> config
+(** {!default_config} with the seed taken from the engine. *)
+
 val observe :
   ?config:config ->
   Csp_semantics.Step.config ->
@@ -71,3 +74,14 @@ val infer :
     register the candidate as its own loop invariant).  Conjectures
     subsumed by an already-proved one are still reported, proved or
     not. *)
+
+val infer_engine :
+  ?config:config ->
+  ?tables:Tactic.tables ->
+  Csp_semantics.Engine.t ->
+  name:string ->
+  Csp_lang.Process.t ->
+  conjecture list
+(** {!infer} driven by a unified engine: observation walks are seeded
+    from the engine's seed (unless [config] overrides it) and the
+    enumeration shares the engine's caches. *)

@@ -3,42 +3,92 @@ module Event = Csp_trace.Event
 type partition = int array
 (* class number per state *)
 
-(* A transition label: the event plus its visibility.  Events are pure
-   data, so polymorphic equality/hashing agree with [Event.equal] — no
-   need to go through the printed form. *)
+(* A transition label: the event plus its visibility.  Labels are
+   compared with [Event.equal]/[Event.hash] and explicit bool equality
+   — never polymorphic compare — and interned to dense ints before
+   partition refinement, so the refinement loop works on integer
+   signatures only. *)
 let label (tr : Lts.transition) = (tr.Lts.event, tr.Lts.visible)
 
-let signatures (t : Lts.t) (classes : int array) =
+let label_equal (e1, v1) (e2, v2) = Event.equal e1 e2 && Bool.equal v1 v2
+
+module Label_tbl = Hashtbl.Make (struct
+  type t = Event.t * bool
+
+  let equal = label_equal
+  let hash (e, v) = ((Event.hash e * 2) + Bool.to_int v) land max_int
+end)
+
+(* Dense label ids, assigned in transition-list order (deterministic:
+   the transition list is itself in BFS discovery order). *)
+let label_ids (t : Lts.t) =
+  let tbl = Label_tbl.create 64 in
+  let next = ref 0 in
+  List.iter
+    (fun tr ->
+      let l = label tr in
+      if not (Label_tbl.mem tbl l) then begin
+        Label_tbl.add tbl l !next;
+        incr next
+      end)
+    t.Lts.transitions;
+  tbl
+
+let pair_compare (l1, c1) (l2, c2) =
+  let c = Int.compare l1 l2 in
+  if c <> 0 then c else Int.compare c1 c2
+
+let signatures (t : Lts.t) label_of (classes : int array) =
   let n = Array.length t.Lts.states in
   let sigs = Array.make n [] in
   List.iter
     (fun tr ->
       sigs.(tr.Lts.source) <-
-        (label tr, classes.(tr.Lts.target)) :: sigs.(tr.Lts.source))
+        (label_of tr, classes.(tr.Lts.target)) :: sigs.(tr.Lts.source))
     t.Lts.transitions;
-  Array.map (List.sort_uniq compare) sigs
+  Array.map (List.sort_uniq pair_compare) sigs
+
+(* (current class, outgoing signature) keys for the regrouping table —
+   pure integer data with explicit equality and hashing. *)
+module Sig_tbl = Hashtbl.Make (struct
+  type t = int * (int * int) list
+
+  let equal (c1, s1) (c2, s2) =
+    Int.equal c1 c2
+    && List.equal
+         (fun (a1, b1) (a2, b2) -> Int.equal a1 a2 && Int.equal b1 b2)
+         s1 s2
+
+  let hash (c, s) =
+    List.fold_left
+      (fun h (a, b) -> ((((h * 31) + a) * 31) + b) land max_int)
+      ((c * 31) + 17)
+      s
+end)
 
 (* Kanellakis–Smolka style refinement: regroup states by
    (current class, outgoing signature) until the number of classes is
    stable. *)
 let classes_of (t : Lts.t) : partition =
+  let labels = label_ids t in
+  let label_of tr = Label_tbl.find labels (label tr) in
   let n = Array.length t.Lts.states in
   let classes = Array.make n 0 in
   let num = ref (if n = 0 then 0 else 1) in
   let changed = ref true in
   while !changed do
-    let sigs = signatures t classes in
-    let table = Hashtbl.create 16 in
+    let sigs = signatures t label_of classes in
+    let table = Sig_tbl.create 16 in
     let next = ref 0 in
     let classes' =
       Array.init n (fun i ->
           let key = (classes.(i), sigs.(i)) in
-          match Hashtbl.find_opt table key with
+          match Sig_tbl.find_opt table key with
           | Some c -> c
           | None ->
             let c = !next in
             incr next;
-            Hashtbl.add table key c;
+            Sig_tbl.add table key c;
             c)
     in
     changed := !next <> !num;
@@ -52,6 +102,17 @@ let num_classes (p : partition) =
 
 let class_of (p : partition) s = p.(s)
 
+(* (source, label, target) dedup keys for quotient and saturation. *)
+module Edge_tbl = Hashtbl.Make (struct
+  type t = int * (Event.t * bool) * int
+
+  let equal (s1, l1, t1) (s2, l2, t2) =
+    Int.equal s1 s2 && Int.equal t1 t2 && label_equal l1 l2
+
+  let hash (s, (e, v), t) =
+    ((((((s * 31) + Event.hash e) * 2) + Bool.to_int v) * 31) + t) land max_int
+end)
+
 let quotient (t : Lts.t) (p : partition) : Lts.t =
   let k = num_classes p in
   (* representative = lowest-numbered state of each class *)
@@ -60,14 +121,14 @@ let quotient (t : Lts.t) (p : partition) : Lts.t =
     (fun s c -> if repr.(c) = -1 then repr.(c) <- s)
     p;
   let states = Array.map (fun s -> t.Lts.states.(s)) repr in
-  let seen = Hashtbl.create 64 in
+  let seen = Edge_tbl.create 64 in
   let transitions =
     List.filter
       (fun (tr : Lts.transition) ->
         let key = (p.(tr.Lts.source), label tr, p.(tr.Lts.target)) in
-        if Hashtbl.mem seen key then false
+        if Edge_tbl.mem seen key then false
         else begin
-          Hashtbl.add seen key ();
+          Edge_tbl.add seen key ();
           true
         end)
       t.Lts.transitions
@@ -115,12 +176,12 @@ let tau_closure (t : Lts.t) =
 
 let saturate (t : Lts.t) : Lts.t =
   let closure = tau_closure t in
-  let seen = Hashtbl.create 64 in
+  let seen = Edge_tbl.create 64 in
   let add acc (tr : Lts.transition) =
     let key = (tr.Lts.source, label tr, tr.Lts.target) in
-    if Hashtbl.mem seen key then acc
+    if Edge_tbl.mem seen key then acc
     else begin
-      Hashtbl.add seen key ();
+      Edge_tbl.add seen key ();
       tr :: acc
     end
   in

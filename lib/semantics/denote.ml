@@ -1,11 +1,24 @@
 module Value = Csp_trace.Value
 module Event = Csp_trace.Event
 module Process = Csp_lang.Process
+module Proc = Csp_lang.Proc
 module Chan_expr = Csp_lang.Chan_expr
 module Chan_set = Csp_lang.Chan_set
 module Expr = Csp_lang.Expr
 module Defs = Csp_lang.Defs
 module Valuation = Csp_lang.Valuation
+
+(* (environment generation, depth, node id) — sound because generations
+   are never reused within a config (gen 0 is the constant bottom
+   environment) and node ids are never reused globally. *)
+module Eval_tbl = Hashtbl.Make (struct
+  type t = int * int * int
+
+  let equal (g1, d1, i1) (g2, d2, i2) =
+    Int.equal g1 g2 && Int.equal d1 d2 && Int.equal i1 i2
+
+  let hash (g, d, i) = ((((g * 31) + d) * 31) + i) land max_int
+end)
 
 type config = {
   defs : Csp_lang.Defs.t;
@@ -14,13 +27,36 @@ type config = {
   ref_memo : (string * string option * int * int, Closure.t) Hashtbl.t;
       (* (name, arg, depth, env generation) → truncated approximation:
          recursive references hit cache across the chain *)
+  eval_memo : Closure.t Eval_tbl.t;
+      (* (env generation, depth, node id) → evaluation: hash-consed
+         states shared across approximation levels and samples
+         evaluate once per level *)
   mutable generation : int;
       (* generation counter: each environment level built by [next]
-         gets a fresh generation, so [ref_memo] keys are unambiguous *)
+         gets a fresh generation, so memo keys are unambiguous *)
 }
 
 let config ?(sampler = Sampler.default) ?(hide_extra = 8) defs =
-  { defs; sampler; hide_extra; ref_memo = Hashtbl.create 64; generation = 0 }
+  {
+    defs;
+    sampler;
+    hide_extra;
+    ref_memo = Hashtbl.create 64;
+    eval_memo = Eval_tbl.create 256;
+    generation = 0;
+  }
+
+(* Cache counters, aggregated by [Engine.stats]. *)
+let eval_hits = ref 0
+let eval_misses = ref 0
+
+type stats = { eval_hits : int; eval_misses : int }
+
+let stats () = { eval_hits = !eval_hits; eval_misses = !eval_misses }
+
+let reset_stats () =
+  eval_hits := 0;
+  eval_misses := 0
 
 (* A semantic environment maps a (possibly subscripted) process name to
    its current approximation, already truncated at the environment
@@ -30,45 +66,63 @@ type senv = { gen : int; find : string -> Value.t option -> Closure.t }
 let eval_chan c = Chan_expr.eval Valuation.empty c
 let eval_expr e = Expr.eval Valuation.empty e
 
-let rec eval cfg (senv : senv) depth p =
+(* Evaluation on interned nodes, memoised per (generation, depth,
+   node): the states produced by input substitution recur across
+   approximation levels and across sampled values, and hash-consing
+   makes the recurrence detectable in O(1). *)
+let rec eval_i cfg (senv : senv) depth p =
   if depth <= 0 then Closure.empty
   else
-    match p with
-    | Process.Stop -> Closure.empty
-    | Process.Output (c, e, k) ->
-      Closure.prefix
-        (Event.make (eval_chan c) (eval_expr e))
-        (eval cfg senv (depth - 1) k)
-    | Process.Input (c, x, m, k) ->
-      let chan = eval_chan c in
-      Closure.union_all
-        (List.map
-           (fun v ->
-             Closure.prefix (Event.make chan v)
-               (eval cfg senv (depth - 1) (Process.subst_value x v k)))
-           (Sampler.sample cfg.sampler m))
-    | Process.Choice (p1, p2) ->
-      Closure.union (eval cfg senv depth p1) (eval cfg senv depth p2)
-    | Process.Par (xa, ya, p1, p2) ->
-      Closure.truncate depth
-        (Closure.par
-           ~in_x:(fun c -> Chan_set.mem xa c)
-           ~in_y:(fun c -> Chan_set.mem ya c)
-           (eval cfg senv depth p1) (eval cfg senv depth p2))
-    | Process.Hide (l, p1) ->
-      Closure.truncate depth
-        (Closure.hide
-           (fun c -> Chan_set.mem l c)
-           (eval cfg senv (depth + cfg.hide_extra) p1))
-    | Process.Ref (n, arg) ->
-      let argv = Option.map eval_expr arg in
-      let key = (n, Option.map Value.to_string argv, depth, senv.gen) in
-      (match Hashtbl.find_opt cfg.ref_memo key with
-      | Some c -> c
-      | None ->
-        let c = Closure.truncate depth (senv.find n argv) in
-        Hashtbl.add cfg.ref_memo key c;
-        c)
+    let key = (senv.gen, depth, Proc.id p) in
+    match Eval_tbl.find_opt cfg.eval_memo key with
+    | Some c ->
+      incr eval_hits;
+      c
+    | None ->
+      incr eval_misses;
+      let c = eval_node cfg senv depth p in
+      Eval_tbl.add cfg.eval_memo key c;
+      c
+
+and eval_node cfg (senv : senv) depth p =
+  match Proc.node p with
+  | Proc.Stop -> Closure.empty
+  | Proc.Output (c, e, k) ->
+    Closure.prefix
+      (Event.make (eval_chan c) (eval_expr e))
+      (eval_i cfg senv (depth - 1) k)
+  | Proc.Input (c, x, m, k) ->
+    let chan = eval_chan c in
+    Closure.union_all
+      (List.map
+         (fun v ->
+           Closure.prefix (Event.make chan v)
+             (eval_i cfg senv (depth - 1) (Proc.subst_value x v k)))
+         (Sampler.sample cfg.sampler m))
+  | Proc.Choice (p1, p2) ->
+    Closure.union (eval_i cfg senv depth p1) (eval_i cfg senv depth p2)
+  | Proc.Par (xa, ya, p1, p2) ->
+    Closure.truncate depth
+      (Closure.par
+         ~in_x:(fun c -> Chan_set.mem xa c)
+         ~in_y:(fun c -> Chan_set.mem ya c)
+         (eval_i cfg senv depth p1) (eval_i cfg senv depth p2))
+  | Proc.Hide (l, p1) ->
+    Closure.truncate depth
+      (Closure.hide
+         (fun c -> Chan_set.mem l c)
+         (eval_i cfg senv (depth + cfg.hide_extra) p1))
+  | Proc.Ref (n, arg) ->
+    let argv = Option.map eval_expr arg in
+    let key = (n, Option.map Value.to_string argv, depth, senv.gen) in
+    (match Hashtbl.find_opt cfg.ref_memo key with
+    | Some c -> c
+    | None ->
+      let c = Closure.truncate depth (senv.find n argv) in
+      Hashtbl.add cfg.ref_memo key c;
+      c)
+
+let eval cfg senv depth p = eval_i cfg senv depth (Proc.intern p)
 
 (* The per-level table: every (name, arg) demanded of this environment,
    with its approximation.  Comparing consecutive tables — physical
@@ -138,12 +192,13 @@ let denote ?iterations cfg ~depth p =
      deterministic function of the approximations it demands. *)
   let early_stop = iterations = None in
   let limit = match iterations with Some n -> n | None -> env_depth + 1 in
-  if limit <= 0 then eval cfg bottom depth p
+  let p = Proc.intern p in
+  if limit <= 0 then eval_i cfg bottom depth p
   else begin
     let demanded = Hashtbl.create 16 in
     let rec go prev_env prev_table i =
       let env, table = next ~record:demanded cfg env_depth prev_env in
-      let r = eval cfg env depth p in
+      let r = eval_i cfg env depth p in
       force env demanded;
       let converged =
         early_stop
@@ -160,7 +215,8 @@ let denote ?iterations cfg ~depth p =
 let approximations cfg ~depth ~n p =
   let env_depth = depth + cfg.hide_extra in
   let demanded = Hashtbl.create 16 in
-  let a0 = eval cfg bottom depth p in
+  let p = Proc.intern p in
+  let a0 = eval_i cfg bottom depth p in
   (* [state] is [`Growing (env, table option)] while the chain still
      moves, [`Stable a] once a level reproduced its predecessor — from
      then on every approximation is [a], no re-evaluation needed. *)
@@ -171,7 +227,7 @@ let approximations cfg ~depth ~n p =
       | `Stable a -> go state (a :: acc) (i + 1)
       | `Growing (prev_env, prev_table) ->
         let env, table = next ~record:demanded cfg env_depth prev_env in
-        let a = eval cfg env depth p in
+        let a = eval_i cfg env depth p in
         force env demanded;
         let stable =
           match prev_table with

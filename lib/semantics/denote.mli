@@ -23,6 +23,8 @@
     approximation in this model (a retransmission protocol can perform
     arbitrarily many hidden events per visible one). *)
 
+module Eval_tbl : Hashtbl.S with type key = int * int * int
+
 type config = {
   defs : Csp_lang.Defs.t;
   sampler : Sampler.t;
@@ -31,8 +33,12 @@ type config = {
       (** [(name, arg, depth, env generation) → approximation]: process
           references hit cache across the chain and across repeated
           denotations under the same config. *)
+  eval_memo : Closure.t Eval_tbl.t;
+      (** [(env generation, depth, node id) → evaluation]: hash-consed
+          ({!Csp_lang.Proc}) states recurring across approximation
+          levels and sampled input values evaluate once per level. *)
   mutable generation : int;
-      (** Fresh generation per environment level; keys [ref_memo]. *)
+      (** Fresh generation per environment level; keys both memos. *)
 }
 
 val config :
@@ -52,3 +58,11 @@ val approximations :
 (** The chain [⟦P⟧ under a₀, …, ⟦P⟧ under aₙ] — an ascending chain of
     closures whose union {!denote} computes.  Levels past convergence
     are shared physically rather than recomputed. *)
+
+type stats = { eval_hits : int; eval_misses : int }
+
+val stats : unit -> stats
+(** Global [eval_memo] counters since program start (or the last
+    {!reset_stats}), summed over every configuration. *)
+
+val reset_stats : unit -> unit

@@ -1,0 +1,85 @@
+module Defs = Csp_lang.Defs
+module Proc = Csp_lang.Proc
+
+type t = {
+  defs : Defs.t;
+  depth : int;
+  seed : int;
+  sampler : Sampler.t;
+  unfold_fuel : int;
+  hide_fuel : int;
+  hide_extra : int;
+  step : Step.config;
+  denote : Denote.config;
+}
+
+let create ?(depth = 6) ?(seed = 1) ?nat_bound ?sampler ?(unfold_fuel = 64)
+    ?(hide_fuel = 16) ?(hide_extra = 8) defs =
+  let sampler =
+    match nat_bound, sampler with
+    | Some n, _ -> Sampler.nat_bound n
+    | None, Some s -> s
+    | None, None -> Sampler.default
+  in
+  {
+    defs;
+    depth;
+    seed;
+    sampler;
+    unfold_fuel;
+    hide_fuel;
+    hide_extra;
+    step = Step.config ~sampler ~unfold_fuel ~hide_fuel defs;
+    denote = Denote.config ~sampler ~hide_extra defs;
+  }
+
+let step_config t = t.step
+let denote_config t = t.denote
+
+(* Depth and seed are not baked into the derived configurations, so the
+   caches survive the change; anything affecting the transition
+   relation or the denotation (sampler, fuels, definitions) rebuilds
+   both configurations — and hence their caches — from scratch. *)
+let with_depth t depth = { t with depth }
+let with_seed t seed = { t with seed }
+
+let with_sampler t sampler =
+  create ~depth:t.depth ~seed:t.seed ~sampler ~unfold_fuel:t.unfold_fuel
+    ~hide_fuel:t.hide_fuel ~hide_extra:t.hide_extra t.defs
+
+type stats = {
+  intern : Proc.stats;
+  closure : Closure.stats;
+  step : Step.stats;
+  denote : Denote.stats;
+}
+
+let stats () =
+  {
+    intern = Proc.stats ();
+    closure = Closure.stats ();
+    step = Step.stats ();
+    denote = Denote.stats ();
+  }
+
+let reset_stats () =
+  Step.reset_stats ();
+  Denote.reset_stats ()
+
+let hit_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "@[<v>intern: %d nodes, %d live, hit-rate %.2f@,\
+     closure: %d nodes, memo hit-rate %.2f@,\
+     step: trans hit-rate %.2f, unfold hit-rate %.2f@,\
+     denote: eval hit-rate %.2f@]"
+    s.intern.Proc.nodes s.intern.Proc.table_len
+    (hit_rate s.intern.Proc.hits s.intern.Proc.misses)
+    s.closure.Closure.nodes
+    (hit_rate s.closure.Closure.memo_hits s.closure.Closure.memo_misses)
+    (hit_rate s.step.Step.trans_hits s.step.Step.trans_misses)
+    (hit_rate s.step.Step.unfold_hits s.step.Step.unfold_misses)
+    (hit_rate s.denote.Denote.eval_hits s.denote.Denote.eval_misses)

@@ -1,0 +1,78 @@
+(** One configuration for every semantic pipeline.
+
+    Historically each pipeline carried its own knobs: {!Step.config}
+    (defs, sampler, unfold/hide fuel), {!Denote.config} (defs, sampler,
+    hide_extra), plus ad-hoc [depth]/[seed]/[nat_bound] parameters in
+    the assertion checker, the invariant miner, the simulator and the
+    CLI.  An engine bundles them once: build it from the definition
+    environment, pass it everywhere, and the derived {!Step.config} and
+    {!Denote.config} — with their unfold/transition/evaluation caches —
+    are shared by every query made through it.
+
+    The per-module [config] constructors remain for backward
+    compatibility, but new code should create an engine and hand out
+    its views. *)
+
+type t = {
+  defs : Csp_lang.Defs.t;
+  depth : int;  (** default trace/assertion depth bound *)
+  seed : int;  (** seed for randomised schedulers and walks *)
+  sampler : Sampler.t;
+  unfold_fuel : int;
+  hide_fuel : int;
+  hide_extra : int;
+  step : Step.config;  (** derived view: shares defs/sampler/fuels *)
+  denote : Denote.config;  (** derived view: shares defs/sampler *)
+}
+
+val create :
+  ?depth:int ->
+  ?seed:int ->
+  ?nat_bound:int ->
+  ?sampler:Sampler.t ->
+  ?unfold_fuel:int ->
+  ?hide_fuel:int ->
+  ?hide_extra:int ->
+  Csp_lang.Defs.t ->
+  t
+(** Defaults: [depth = 6], [seed = 1], {!Sampler.default},
+    [unfold_fuel = 64], [hide_fuel = 16], [hide_extra = 8].
+    [nat_bound n] is shorthand for [~sampler:(Sampler.nat_bound n)]
+    and wins over an explicit [sampler]. *)
+
+val step_config : t -> Step.config
+val denote_config : t -> Denote.config
+
+val with_depth : t -> int -> t
+(** Change the depth bound; the derived configurations (and their
+    caches) are kept — depth is a per-query bound, not a semantic
+    parameter. *)
+
+val with_seed : t -> int -> t
+(** Change the randomisation seed; caches are kept. *)
+
+val with_sampler : t -> Sampler.t -> t
+(** Change the sampler.  This changes the transition relation, so the
+    derived configurations are rebuilt with fresh caches. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  intern : Csp_lang.Proc.stats;  (** process interning (unique table) *)
+  closure : Closure.stats;  (** closure kernel nodes and memos *)
+  step : Step.stats;  (** transition / unfolding caches *)
+  denote : Denote.stats;  (** denotational evaluation memo *)
+}
+
+val stats : unit -> stats
+(** Aggregated counters across every kernel cache (process interning,
+    closure kernel, operational and denotational memos).  Counters are
+    global: they sum over all engines since program start or the last
+    {!reset_stats}. *)
+
+val reset_stats : unit -> unit
+(** Reset the operational and denotational counters.  The interning and
+    closure-kernel counters are monotone (their tables are global weak
+    structures) and are not reset. *)
+
+val pp_stats : Format.formatter -> stats -> unit

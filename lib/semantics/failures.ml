@@ -1,6 +1,7 @@
 module Event = Csp_trace.Event
 module Trace = Csp_trace.Trace
 module Process = Csp_lang.Process
+module Proc = Csp_lang.Proc
 
 type acceptance = Event.t list
 
@@ -21,33 +22,32 @@ type choice_reading = [ `External | `Internal ]
 
 (* Stable states reachable by resolving choices (under the [`Internal]
    reading), unfolding names, and letting bounded runs of concealed
-   communications happen. *)
-let commitments ?(choice = `External) cfg p =
+   communications happen.  Works on interned nodes throughout: rebuilt
+   [Par]/[Hide] states intern in O(1), and the hidden-transition probes
+   in [settle] hit [Step]'s per-state transition cache. *)
+let commitments_i ?(choice = `External) cfg p =
   let rec go unfold_budget tau_budget p =
-    match p with
-    | Process.Stop | Process.Output _ | Process.Input _ -> [ p ]
-    | Process.Choice (a, b) -> (
+    match Proc.node p with
+    | Proc.Stop | Proc.Output _ | Proc.Input _ -> [ p ]
+    | Proc.Choice (a, b) -> (
       match choice with
       | `Internal -> go unfold_budget tau_budget a @ go unfold_budget tau_budget b
       | `External -> settle tau_budget p)
-    | Process.Ref (n, arg) ->
+    | Proc.Ref (n, arg) ->
       if unfold_budget <= 0 then raise (Step.Unproductive n)
-      else
-        go (unfold_budget - 1) tau_budget
-          (Csp_lang.Defs.unfold_ref cfg.Step.defs Csp_lang.Valuation.empty n arg)
-    | Process.Par (xa, ya, a, b) ->
+      else go (unfold_budget - 1) tau_budget (Step.unfold_i cfg n arg)
+    | Proc.Par (xa, ya, a, b) ->
       let cas = go unfold_budget tau_budget a
       and cbs = go unfold_budget tau_budget b in
       List.concat_map
-        (fun ca ->
-          List.map (fun cb -> Process.Par (xa, ya, ca, cb)) cbs)
+        (fun ca -> List.map (fun cb -> Proc.par xa ya ca cb) cbs)
         cas
       |> List.concat_map (settle tau_budget)
-    | Process.Hide (l, q) ->
+    | Proc.Hide (l, q) ->
       (* resolve internal choices below the concealment first, then let
          the concealed communications run *)
       go unfold_budget tau_budget q
-      |> List.map (fun c -> Process.Hide (l, c))
+      |> List.map (fun c -> Proc.hide l c)
       |> List.concat_map (settle tau_budget)
   (* [settle] lets concealed communications of an otherwise-committed
      state run until stability.  A state still unstable when the budget
@@ -60,7 +60,7 @@ let commitments ?(choice = `External) cfg p =
       List.filter_map
         (fun (_, vis, p') ->
           match vis with Step.Hidden -> Some p' | Step.Visible -> None)
-        (Step.transitions cfg p)
+        (Step.transitions_i cfg p)
     in
     match hidden with
     | [] -> [ p ]
@@ -72,15 +72,19 @@ let commitments ?(choice = `External) cfg p =
   in
   go cfg.Step.unfold_fuel cfg.Step.hide_fuel p
 
-let visible_initials cfg p =
+let commitments ?choice cfg p =
+  List.map Proc.to_process (commitments_i ?choice cfg (Proc.intern p))
+
+let visible_initials_i cfg p =
   sort_events
     (List.filter_map
        (fun (e, vis, _) ->
          match vis with Step.Visible -> Some e | Step.Hidden -> None)
-       (Step.transitions cfg p))
+       (Step.transitions_i cfg p))
 
 let acceptances_now ?choice cfg p =
-  dedup_acceptances (List.map (visible_initials cfg) (commitments ?choice cfg p))
+  dedup_acceptances
+    (List.map (visible_initials_i cfg) (commitments_i ?choice cfg (Proc.intern p)))
 
 type t = (Trace.t * acceptance list) list
 
@@ -91,23 +95,23 @@ let failures ?choice cfg ~depth p =
      demands. *)
   let out = ref [] in
   let rec go d rev_trace states =
-    let stable = List.concat_map (commitments ?choice cfg) states in
-    let accs = dedup_acceptances (List.map (visible_initials cfg) stable) in
+    let stable = List.concat_map (commitments_i ?choice cfg) states in
+    let accs = dedup_acceptances (List.map (visible_initials_i cfg) stable) in
     out := (List.rev rev_trace, accs) :: !out;
     if d > 0 then begin
       let events =
         sort_events
-          (List.concat_map (visible_initials cfg)
-             (List.concat_map (Step.tau_reachable cfg) states))
+          (List.concat_map (visible_initials_i cfg)
+             (List.concat_map (Step.tau_reachable_i cfg) states))
       in
       List.iter
         (fun e ->
-          let next = List.concat_map (fun s -> Step.after cfg s e) states in
+          let next = List.concat_map (fun s -> Step.after_i cfg s e) states in
           if next <> [] then go (d - 1) (e :: rev_trace) next)
         events
     end
   in
-  go depth [] [ p ];
+  go depth [] [ Proc.intern p ];
   List.rev !out
 
 module Trace_tbl = Hashtbl.Make (struct
@@ -143,11 +147,13 @@ let can_deadlock ?choice cfg ~depth p =
   let deadlocked =
     List.filter_map
       (fun (s, accs) ->
-        if List.exists (fun a -> a = []) accs then Some s else None)
+        if List.exists (fun a -> match a with [] -> true | _ :: _ -> false) accs
+        then Some s
+        else None)
       (failures ?choice cfg ~depth p)
   in
   match
-    List.sort (fun a b -> compare (List.length a) (List.length b)) deadlocked
+    List.sort (fun a b -> Int.compare (List.length a) (List.length b)) deadlocked
   with
   | [] -> None
   | s :: _ -> Some s

@@ -1,6 +1,7 @@
 module Event = Csp_trace.Event
 module Channel = Csp_trace.Channel
 module Process = Csp_lang.Process
+module Proc = Csp_lang.Proc
 
 type state = int
 
@@ -18,63 +19,60 @@ type t = {
   complete : bool;
 }
 
-(* Canonicalise states structurally: the AST is pure data, so the
-   polymorphic hash agrees with structural equality — and interning
-   skips the printed-form detour (building a string per visit was a
-   large constant on big state spaces such as E11's chains).
-   [Process.hash] rather than [Hashtbl.hash]: chain states differ only
-   in an inner continuation, beyond the polymorphic hash's node cap,
-   which would put thousands of states in one bucket. *)
-module Proc_tbl = Hashtbl.Make (struct
-  type t = Process.t
-
-  let equal = Stdlib.( = )
-  let hash = Process.hash
-end)
+module Int_tbl = Hashtbl.Make (Int)
 
 let explore ?(max_states = 2000) cfg p =
-  let ids : int Proc_tbl.t = Proc_tbl.create 64 in
-  let states = ref [] and n_states = ref 0 in
-  let intern q =
-    match Proc_tbl.find_opt ids q with
+  (* States are hash-consed nodes, so canonicalisation is a lookup on
+     the node id — no per-state rehash of a deep term — and the
+     transition relation is shared with every other pipeline through
+     [cfg.Step.trans_cache].  The [procs] list keeps every numbered
+     node alive, so ids are stable for the whole exploration. *)
+  let ids : int Int_tbl.t = Int_tbl.create 64 in
+  let procs = ref [] and n_states = ref 0 in
+  let intern (q : Proc.t) =
+    match Int_tbl.find_opt ids (Proc.id q) with
     | Some i -> (i, false)
     | None ->
       let i = !n_states in
-      Proc_tbl.add ids q i;
-      states := q :: !states;
+      Int_tbl.add ids (Proc.id q) i;
+      procs := q :: !procs;
       incr n_states;
       (i, true)
   in
   let transitions = ref [] in
   let queue = Queue.create () in
   let complete = ref true in
+  let p = Proc.intern p in
   let initial, _ = intern p in
   Queue.add (initial, p) queue;
   while not (Queue.is_empty queue) do
     let i, q = Queue.pop queue in
     List.iter
       (fun (e, vis, q') ->
+        let visible =
+          match (vis : Step.visibility) with
+          | Step.Visible -> true
+          | Step.Hidden -> false
+        in
         if !n_states >= max_states then begin
           (* record the transition only if the target is already known *)
-          match Proc_tbl.find_opt ids q' with
+          match Int_tbl.find_opt ids (Proc.id q') with
           | Some j ->
             transitions :=
-              { source = i; event = e; visible = vis = Step.Visible; target = j }
-              :: !transitions
+              { source = i; event = e; visible; target = j } :: !transitions
           | None -> complete := false
         end
         else begin
           let j, fresh = intern q' in
           transitions :=
-            { source = i; event = e; visible = vis = Step.Visible; target = j }
-            :: !transitions;
+            { source = i; event = e; visible; target = j } :: !transitions;
           if fresh then Queue.add (j, q') queue
         end)
-      (Step.transitions cfg q)
+      (Step.transitions_i cfg q)
   done;
   {
     initial;
-    states = Array.of_list (List.rev !states);
+    states = Array.of_list (List.rev_map Proc.to_process !procs);
     transitions = List.rev !transitions;
     complete = !complete;
   }
@@ -89,17 +87,24 @@ let deadlock_states t =
     (fun i -> not has_out.(i))
     (List.init (num_states t) Fun.id)
 
+module Src_event_tbl = Hashtbl.Make (struct
+  type t = state * Event.t
+
+  let equal (s1, e1) (s2, e2) = Int.equal s1 s2 && Event.equal e1 e2
+  let hash (s, e) = ((s * 31) + Event.hash e) land max_int
+end)
+
 let is_deterministic t =
-  let seen = Hashtbl.create 64 in
+  let seen = Src_event_tbl.create 64 in
   List.for_all
     (fun tr ->
       (not tr.visible)
       ||
       let key = (tr.source, tr.event) in
-      match Hashtbl.find_opt seen key with
-      | Some target -> target = tr.target
+      match Src_event_tbl.find_opt seen key with
+      | Some target -> Int.equal target tr.target
       | None ->
-        Hashtbl.add seen key tr.target;
+        Src_event_tbl.add seen key tr.target;
         true)
     t.transitions
 
@@ -116,6 +121,19 @@ let reachable_channels t =
   List.rev !out
 
 let dot_escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+(* Deterministic ordering for DOT output: BFS numbering is already a
+   function of the process alone, and edges are emitted sorted — so
+   the same process yields byte-identical graphs across runs. *)
+let transition_compare a b =
+  let c = Int.compare a.source b.source in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.target b.target in
+    if c <> 0 then c
+    else
+      let c = Event.compare a.event b.event in
+      if c <> 0 then c else Bool.compare a.visible b.visible
 
 let to_dot ?(name = "lts") t =
   let buf = Buffer.create 1024 in
@@ -137,6 +155,6 @@ let to_dot ?(name = "lts") t =
         (Printf.sprintf "  n%d -> n%d [label=\"%s\"%s];\n" tr.source tr.target
            (dot_escape (Event.to_string tr.event))
            (if tr.visible then "" else ", style=dashed")))
-    t.transitions;
+    (List.sort transition_compare t.transitions);
   Buffer.add_string buf "}\n";
   Buffer.contents buf

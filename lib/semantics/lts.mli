@@ -1,7 +1,9 @@
 (** Explicit labelled transition systems.
 
     Bounded exploration of a process's state space, with states
-    canonicalised by their printed form.  Useful for state-space
+    canonicalised by hash-consing ({!Csp_lang.Proc}): state numbering
+    is by BFS discovery order, a function of the process and the
+    configuration alone.  Useful for state-space
     statistics, reachability questions, and for drawing the paper's
     network diagrams as graphs (Graphviz DOT output, used by
     [cspc graph]). *)
@@ -43,4 +45,6 @@ val reachable_channels : t -> Csp_trace.Channel.t list
 
 val to_dot : ?name:string -> t -> string
 (** Graphviz source; hidden events are drawn dashed, deadlock states
-    doubly circled. *)
+    doubly circled.  Output is deterministic: node numbers come from
+    the BFS discovery order and edges are emitted sorted by
+    (source, target, event, visibility). *)

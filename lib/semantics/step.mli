@@ -4,13 +4,34 @@
     infinite input sets, and fuel bounds.  [unfold_fuel] bounds chains
     of name unfoldings between communications (it only runs out on
     unguarded recursion); [hide_fuel] bounds runs of consecutive hidden
-    events considered during trace enumeration and visible derivatives. *)
+    events considered during trace enumeration and visible derivatives.
+
+    States are hash-consed ({!Csp_lang.Proc}): the [_i]-suffixed
+    functions work directly on interned nodes, and the plain-AST
+    entry points intern on the way in and project back on the way out.
+    Both the reference-unfolding and the transition relation are cached
+    in the configuration, so repeated queries on a shared state space
+    (trace enumeration, LTS exploration, refinement checking) derive
+    each distinct state once. *)
+
+type visibility = Visible | Hidden
+
+val vis_equal : visibility -> visibility -> bool
+(** Explicit variant equality (no polymorphic compare). *)
+
+module Unfold_tbl : Hashtbl.S with type key = string * Csp_lang.Expr.t option
+module Trans_tbl : Hashtbl.S with type key = int
 
 type config = {
   defs : Csp_lang.Defs.t;
   sampler : Sampler.t;
   unfold_fuel : int;
   hide_fuel : int;
+  unfold_cache : Csp_lang.Proc.t Unfold_tbl.t;
+      (** (name, argument) → interned unfolding, filled on demand *)
+  trans_cache :
+    (Csp_trace.Event.t * visibility * Csp_lang.Proc.t) list Trans_tbl.t;
+      (** node id → full-fuel transitions, filled on demand *)
 }
 
 val config :
@@ -19,13 +40,37 @@ val config :
   ?hide_fuel:int ->
   Csp_lang.Defs.t ->
   config
-(** Defaults: {!Sampler.default}, [unfold_fuel = 64], [hide_fuel = 16]. *)
+(** Defaults: {!Sampler.default}, [unfold_fuel = 64], [hide_fuel = 16].
+    Creates fresh (empty) caches. *)
 
 exception Unproductive of string
 (** Raised when [unfold_fuel] runs out: the definitions contain an
     unguarded recursion (cf. {!Csp_lang.Defs.well_guarded}). *)
 
-type visibility = Visible | Hidden
+(** {1 On interned states} *)
+
+val unfold_i :
+  config -> string -> Csp_lang.Expr.t option -> Csp_lang.Proc.t
+(** One reference unfolding, interned and cached in [unfold_cache].
+    @raise Csp_lang.Defs.Undefined on unknown names. *)
+
+val transitions_i :
+  config -> Csp_lang.Proc.t ->
+  (Csp_trace.Event.t * visibility * Csp_lang.Proc.t) list
+(** All single-communication transitions, memoised per state in
+    [trans_cache].  Events on channels declared local by an enclosing
+    [chan L] are [Hidden]; input events enumerate sampler-chosen
+    values. *)
+
+val tau_reachable_i : config -> Csp_lang.Proc.t -> Csp_lang.Proc.t list
+val after_i :
+  config -> Csp_lang.Proc.t -> Csp_trace.Event.t -> Csp_lang.Proc.t list
+
+val accepts_trace_i : config -> Csp_lang.Proc.t -> Csp_trace.Trace.t -> bool
+val is_deadlocked_i : config -> Csp_lang.Proc.t -> bool
+val traces_i : config -> depth:int -> Csp_lang.Proc.t -> Closure.t
+
+(** {1 On the plain AST} — intern, compute, project back *)
 
 val transitions :
   config -> Csp_lang.Process.t ->
@@ -54,3 +99,18 @@ val traces : config -> depth:int -> Csp_lang.Process.t -> Closure.t
 (** All visible traces of length ≤ [depth], enumerated from
     transitions (each visible event resets the hidden-run budget to
     [hide_fuel]). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  unfold_hits : int;
+  unfold_misses : int;
+  trans_hits : int;
+  trans_misses : int;
+}
+
+val stats : unit -> stats
+(** Global cache counters since program start (or the last
+    {!reset_stats}), summed over every configuration. *)
+
+val reset_stats : unit -> unit

@@ -83,6 +83,12 @@ let run ?scheduler ?(seed = 1) ?(monitors = []) ?(max_steps = 1000)
   in
   go 0 p History.empty [] [] Stats.empty []
 
+let run_engine ?scheduler ?seed ?monitors ?max_steps ?funs eng p =
+  let seed = match seed with Some s -> s | None -> eng.Csp_semantics.Engine.seed in
+  run ?scheduler ~seed ?monitors ?max_steps ?funs
+    (Csp_semantics.Engine.step_config eng)
+    p
+
 let pp_stop ppf = function
   | Deadlock -> Format.pp_print_string ppf "deadlock"
   | Max_steps -> Format.pp_print_string ppf "step limit reached"

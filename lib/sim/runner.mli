@@ -49,4 +49,16 @@ val run :
     arguments alone — no scheduler self-initialises from hidden
     state. *)
 
+val run_engine :
+  ?scheduler:Scheduler.t ->
+  ?seed:int ->
+  ?monitors:monitor list ->
+  ?max_steps:int ->
+  ?funs:Csp_assertion.Afun.env ->
+  Csp_semantics.Engine.t ->
+  Csp_lang.Process.t ->
+  result
+(** {!run} driven by a unified engine: the scheduler seed defaults to
+    the engine's, and stepping shares the engine's transition cache. *)
+
 val pp_result : Format.formatter -> result -> unit

@@ -25,10 +25,16 @@ module Tactic = Csp_proof.Tactic
 type verdict = Pass | Fail of string
 type t = { name : string; doc : string; check : Scenario.t -> verdict }
 
+(* One engine per scenario: every oracle query below (operational
+   traces, denotations, failures, LTS exploration, bisimulation) runs
+   off the same configuration pair and shares its caches. *)
 let depth = 4
-let sampler = Sampler.nat_bound 2
-let step_config defs = Step.config ~sampler defs
-let denote_config defs = Denote.config ~sampler defs
+
+let engine defs =
+  Csp_semantics.Engine.create ~depth ~nat_bound:2 defs
+
+let step_config defs = Csp_semantics.Engine.step_config (engine defs)
+let denote_config defs = Csp_semantics.Engine.denote_config (engine defs)
 let failf fmt = Format.kasprintf (fun m -> Fail m) fmt
 
 let protect check s =
@@ -207,8 +213,9 @@ let closure_kernel_check (s : Scenario.t) =
 (* ---- oracle 2: operational vs denotational --------------------------- *)
 
 let op_vs_deno_check (s : Scenario.t) =
-  let scfg = step_config s.Scenario.defs
-  and dcfg = denote_config s.Scenario.defs in
+  let eng = engine s.Scenario.defs in
+  let scfg = Csp_semantics.Engine.step_config eng
+  and dcfg = Csp_semantics.Engine.denote_config eng in
   sequence
     (List.map
        (fun (label, p) () ->
@@ -230,8 +237,9 @@ let op_vs_deno_check (s : Scenario.t) =
 (* ---- oracle 3: trace / failures / bisimulation coherence ------------- *)
 
 let refinement_check (s : Scenario.t) =
-  let cfg = step_config s.Scenario.defs in
-  let dcfg = denote_config s.Scenario.defs in
+  let eng = engine s.Scenario.defs in
+  let cfg = Csp_semantics.Engine.step_config eng in
+  let dcfg = Csp_semantics.Engine.denote_config eng in
   let p = Scenario.process s in
   let alt =
     match

@@ -1,0 +1,131 @@
+(* Hash-consed process IR: interning canonicity, hash agreement across
+   re-interning, printer/parser round-trips at the Proc level, and the
+   deterministic DOT rendering of explored transition systems. *)
+
+open Csp
+module Parser = Csp_syntax.Parser
+module Printer = Csp_syntax.Printer
+module Tgen = Csp_testkit.Gen
+module Scenario = Csp_testkit.Scenario
+open Test_support
+
+(* ---- interning canonicity ------------------------------------------- *)
+
+(* physical equality of interned nodes decides structural equality of
+   the underlying terms — the defining property of the unique table *)
+let prop_intern_canonical =
+  qcheck_case ~count:500 "intern p == intern q iff Process.equal p q"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (p, q) ->
+      Bool.equal
+        (Proc.equal (Proc.intern p) (Proc.intern q))
+        (Process.equal p q))
+
+let prop_intern_reflexive =
+  qcheck_case ~count:300 "intern p == intern p" process_gen (fun p ->
+      Proc.equal (Proc.intern p) (Proc.intern p))
+
+let prop_to_process_roundtrip =
+  qcheck_case ~count:300 "to_process (intern p) = p" process_gen (fun p ->
+      Process.equal (Proc.to_process (Proc.intern p)) p)
+
+(* re-interning the projected view lands on the very same node: ids and
+   hashes agree across interning rounds *)
+let prop_hash_stable =
+  qcheck_case ~count:300 "re-interning preserves id and hash" process_gen
+    (fun p ->
+      let n = Proc.intern p in
+      let n' = Proc.intern (Proc.to_process n) in
+      Proc.equal n n' && Proc.id n = Proc.id n' && Proc.hash n = Proc.hash n')
+
+let prop_hash_agrees_on_equal =
+  qcheck_case ~count:500 "Process.equal p q implies hash agreement"
+    QCheck2.Gen.(pair process_gen process_gen)
+    (fun (p, q) ->
+      (not (Process.equal p q))
+      || Proc.hash (Proc.intern p) = Proc.hash (Proc.intern q))
+
+(* ---- printer/parser round trips -------------------------------------- *)
+
+let prop_print_parse_same_node =
+  qcheck_case ~count:300 "parse (print p) interns to the same node"
+    process_gen (fun p ->
+      match Parser.parse_process (Printer.process p) with
+      | Ok p' -> Proc.equal (Proc.intern p) (Proc.intern p')
+      | Error m ->
+        QCheck2.Test.fail_reportf "did not reparse: %s\n%s"
+          (Printer.process p) m)
+
+(* whole scenarios survive the corpus format: every definition body of
+   a generated scenario re-interns to its original node after a trip
+   through [Scenario.to_csp] and the file parser *)
+let prop_scenario_roundtrip =
+  qcheck_case ~count:150 "scenario to_csp/parse_file re-interns unchanged"
+    Tgen.scenario (fun s ->
+      match Parser.parse_file (Scenario.to_csp s) with
+      | Error m ->
+        QCheck2.Test.fail_reportf "scenario did not reparse: %s" m
+      | Ok file ->
+        List.for_all
+          (fun (d : Defs.def) ->
+            match Defs.lookup file.Parser.defs d.Defs.name with
+            | None -> false
+            | Some d' ->
+              Proc.equal (Proc.intern d.Defs.body) (Proc.intern d'.Defs.body))
+          (Scenario.def_list s.Scenario.defs))
+
+(* ---- deterministic DOT output ---------------------------------------- *)
+
+let tick_defs =
+  Defs.empty
+  |> Defs.define "tick"
+       (Process.send "a" (Expr.int 0)
+          (Process.Choice
+             ( Process.send "b" (Expr.int 1) (Process.ref_ "tick"),
+               Process.Hide
+                 (Chan_set.of_names [ "c" ],
+                  Process.send "c" (Expr.int 2) Process.Stop) )))
+
+let expected_dot = "digraph tick {\n\
+                   \  rankdir=LR;\n\
+                   \  n0 [style=bold];\n\
+                   \  n2 [shape=doublecircle];\n\
+                   \  n1 [shape=circle];\n\
+                   \  n0 -> n1 [label=\"a.0\"];\n\
+                   \  n1 -> n0 [label=\"b.1\"];\n\
+                   \  n1 -> n2 [label=\"c.2\", style=dashed];\n\
+                   }\n"
+
+let test_dot_expected () =
+  let cfg = Step.config tick_defs in
+  let lts = Lts.explore cfg (Process.ref_ "tick") in
+  Alcotest.(check string) "DOT output" expected_dot (Lts.to_dot ~name:"tick" lts)
+
+(* exploring twice — and exploring a differently-constructed but
+   structurally equal copy — renders the very same bytes *)
+let test_dot_stable () =
+  let render () =
+    let cfg = Step.config tick_defs in
+    Lts.to_dot (Lts.explore cfg (Process.ref_ "tick"))
+  in
+  Alcotest.(check string) "stable across runs" (render ()) (render ())
+
+let () =
+  Alcotest.run "proc"
+    [
+      ( "interning",
+        [
+          prop_intern_canonical;
+          prop_intern_reflexive;
+          prop_to_process_roundtrip;
+          prop_hash_stable;
+          prop_hash_agrees_on_equal;
+        ] );
+      ( "round-trips",
+        [ prop_print_parse_same_node; prop_scenario_roundtrip ] );
+      ( "dot",
+        [
+          Alcotest.test_case "expected output" `Quick test_dot_expected;
+          Alcotest.test_case "deterministic" `Quick test_dot_stable;
+        ] );
+    ]
