@@ -16,8 +16,9 @@
              dune exec bench/main.exe -- quick   (part 1 only)
              dune exec bench/main.exe -- p8      (P8 comparison only)
              dune exec bench/main.exe -- p10     (P10 comparison only)
-             dune exec bench/main.exe -- smoke   (E11 + P8 + P10, tiny
-                                                  sizes; @bench-smoke) *)
+             dune exec bench/main.exe -- p11     (parallel scaling only)
+             dune exec bench/main.exe -- smoke   (E11 + P8 + P10 + P11,
+                                                  tiny sizes; @bench-smoke) *)
 
 open Csp
 module Runner = Csp_sim.Runner
@@ -1033,12 +1034,9 @@ module Plain_pipeline = struct
           end)
         (transitions cfg q)
     done;
-    {
-      Lts.initial;
-      states = Array.of_list (List.rev !states);
-      transitions = List.rev !trans;
-      complete = !complete;
-    }
+    Lts.make ~initial
+      ~states:(Array.of_list (List.rev !states))
+      ~transitions:(List.rev !trans) ~complete:!complete ()
 
   (* the pre-IR [Bisim.classes_of]: signatures deduplicated and keyed
      with polymorphic compare/hash on (event, visibility, class) *)
@@ -1195,6 +1193,117 @@ let p10_procir ?(smoke = false) () =
     0;
   write_p10_json "BENCH_procir.json" (List.rev !rows);
   result "  wrote BENCH_procir.json\n"
+
+(* ---------------------------------------------------------------------- *)
+(* P11: parallel LTS exploration — scaling over domain counts              *)
+(* ---------------------------------------------------------------------- *)
+
+type p11_row = {
+  p11_workload : string;
+  p11_domains : int;
+  p11_ms : float;
+  p11_states : int;
+  p11_transitions : int;
+  p11_speedup : float;  (* vs the 1-domain run of the same workload *)
+  p11_identical : bool;  (* DOT output byte-identical to sequential *)
+}
+
+let write_p11_json path ~host_domains rows =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"p11_parallel\",\n  \"host_domains\": %d,\n  \
+     \"results\": [\n"
+    host_domains;
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"workload\": \"%s\", \"domains\": %d, \"ms\": %.3f, \
+         \"states\": %d, \"transitions\": %d, \"speedup_vs_seq\": %.2f, \
+         \"identical_to_seq\": %b }%s\n"
+        r.p11_workload r.p11_domains r.p11_ms r.p11_states r.p11_transitions
+        r.p11_speedup r.p11_identical
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let p11_parallel ?(smoke = false) () =
+  section "P11: parallel LTS exploration (layer-synchronous frontier BFS)";
+  let host = Domain.recommended_domain_count () in
+  result "  host reports %d available core(s)%s\n" host
+    (if host = 1 then " — speedups are bounded by 1.0 on this machine" else "");
+  (* Each timing runs on a fresh configuration (cold per-config caches):
+     layer expansion is the work being sharded, and a warm trans_cache
+     would reduce every run to table lookups. *)
+  let workloads =
+    let chain n =
+      ( Printf.sprintf "copier-chain-%d" n,
+        fun () ->
+          let defs, net = Paper.Copier.chain_defs n in
+          (Step.config ~sampler:(Sampler.nat_bound 2) defs, net) )
+    and philosophers n =
+      ( Printf.sprintf "philosophers-%d" n,
+        fun () ->
+          let ph = Paper.Philosophers.make ~n ~left_handed_last:true () in
+          ( Step.config ~sampler:(Sampler.nat_bound n) ph.Paper.Philosophers.defs,
+            ph.Paper.Philosophers.network ) )
+    in
+    if smoke then [ chain 4; philosophers 3 ] else [ chain 8; philosophers 4 ]
+  in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let max_states = 50_000 in
+  let rows = ref [] in
+  result "  %-20s %8s %10s %8s %8s %10s %10s\n" "workload" "domains" "ms"
+    "states" "trans" "speedup" "identical";
+  List.iter
+    (fun (label, mk) ->
+      let reference =
+        let cfg, net = mk () in
+        Lts.explore ~max_states cfg net
+      in
+      let ref_dot = Lts.to_dot reference in
+      let seq_ms = ref 0.0 in
+      List.iter
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              let run () =
+                let cfg, net = mk () in
+                Lts.explore ~max_states ~pool cfg net
+              in
+              (* warm-up, then best-of-2 on cold configurations *)
+              let lts = run () in
+              let ms =
+                let best = ref infinity in
+                for _ = 1 to 2 do
+                  let t0 = Unix.gettimeofday () in
+                  ignore (Sys.opaque_identity (run ()));
+                  let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+                  if dt < !best then best := dt
+                done;
+                !best
+              in
+              if domains = 1 then seq_ms := ms;
+              let identical = String.equal (Lts.to_dot lts) ref_dot in
+              let speedup = if ms > 0.0 then !seq_ms /. ms else 1.0 in
+              result "  %-20s %8d %10.1f %8d %8d %9.2fx %10b\n" label domains
+                ms (Lts.num_states lts) (Lts.num_transitions lts) speedup
+                identical;
+              rows :=
+                {
+                  p11_workload = label;
+                  p11_domains = domains;
+                  p11_ms = ms;
+                  p11_states = Lts.num_states lts;
+                  p11_transitions = Lts.num_transitions lts;
+                  p11_speedup = speedup;
+                  p11_identical = identical;
+                }
+                :: !rows))
+        domain_counts)
+    workloads;
+  write_p11_json "BENCH_parallel.json" ~host_domains:host (List.rev !rows);
+  result "  wrote BENCH_parallel.json\n"
 
 (* ---------------------------------------------------------------------- *)
 (* Part 2: Bechamel timing suites (P1–P6)                                  *)
@@ -1384,6 +1493,7 @@ let () =
     e11_compositionality ~sizes:[ 1; 2; 3 ] ();
     p8_hashcons ~smoke:true ();
     p10_procir ~smoke:true ();
+    p11_parallel ~smoke:true ();
     p9_fuzz_throughput ~cases:100 ();
     print_newline ()
   | "p8" ->
@@ -1391,6 +1501,9 @@ let () =
     print_newline ()
   | "p10" ->
     p10_procir ();
+    print_newline ()
+  | "p11" ->
+    p11_parallel ();
     print_newline ()
   | _ ->
     let quick = mode = "quick" in
@@ -1410,6 +1523,7 @@ let () =
       a2_closure_ablation ();
       p8_hashcons ();
       p10_procir ();
+      p11_parallel ();
       p9_fuzz_throughput ();
       run_timings ()
     end;

@@ -40,10 +40,16 @@ let tables_of file =
   Tactic.tables ~invariants ~array_invariants ()
 
 (* Every semantic subcommand runs off one unified engine: the sampler,
-   fuel budgets, depth and seed all come from this single value, and
-   the operational/denotational caches are shared within a command. *)
-let engine ?depth ?seed file ~nat_bound =
-  Engine.create ?depth ?seed ~nat_bound file.Parser.defs
+   fuel budgets, depth, seed and domain count all come from this single
+   value, and the operational/denotational caches are shared within a
+   command. *)
+let engine ?depth ?seed ?(domains = 1) file ~nat_bound =
+  Engine.create ?depth ?seed ~domains ~nat_bound file.Parser.defs
+
+(* --stats: kernel cache and domain-pool counters, on stderr so they
+   compose with redirected command output. *)
+let print_stats stats =
+  if stats then Format.eprintf "%a@." Engine.pp_stats (Engine.stats ())
 
 (* ---- parse ---------------------------------------------------------- *)
 
@@ -109,7 +115,7 @@ let target_process file = function
     let _ = (x, m) in
     Process.ref_ q
 
-let cmd_check path depth nat_bound =
+let cmd_check path depth nat_bound stats =
   let file = load path in
   let eng = engine ~depth file ~nat_bound in
   let failures = ref 0 in
@@ -136,6 +142,7 @@ let cmd_check path depth nat_bound =
           (Sampler.sample eng.Engine.sampler m))
     file.Parser.decls;
   ignore target_process;
+  print_stats stats;
   if !failures > 0 then die "%d assertion(s) failed" !failures
 
 (* ---- prove ---------------------------------------------------------- *)
@@ -218,18 +225,24 @@ let cmd_deadlock path name steps runs nat_bound seed =
 
 (* ---- graph ----------------------------------------------------------- *)
 
-let cmd_graph path name max_states nat_bound output =
+let cmd_graph path name max_states nat_bound output jobs stats =
   let file = load path in
   let p = find_process file name in
-  let eng = engine file ~nat_bound in
-  let lts = Lts.explore ~max_states (Engine.step_config eng) p in
+  let eng = engine ~domains:jobs file ~nat_bound in
+  let lts =
+    Lts.explore ~max_states ?pool:(Engine.pool eng) (Engine.step_config eng) p
+  in
   Printf.printf
     "%d states, %d transitions%s; deterministic=%b; deadlock states: %d\n"
     (Lts.num_states lts) (Lts.num_transitions lts)
-    (if lts.Lts.complete then "" else " (truncated)")
+    (if lts.Lts.complete then ""
+     else
+       Printf.sprintf " (truncated; %d states with dropped moves)"
+         (List.length (Lts.truncated_states lts)))
     (Lts.is_deterministic lts)
     (List.length (Lts.deadlock_states lts));
   let dot = Lts.to_dot ~name lts in
+  print_stats stats;
   match output with
   | None -> print_string dot
   | Some f ->
@@ -256,20 +269,25 @@ let cmd_refusals path name depth nat_bound =
 
 (* ---- refine ------------------------------------------------------------ *)
 
-let cmd_refine path impl spec depth nat_bound weak =
+let cmd_refine path impl spec depth nat_bound weak jobs stats =
   let file = load path in
   let p = find_process file impl and q = find_process file spec in
-  let cfg = Engine.step_config (engine ~depth file ~nat_bound) in
-  if weak then
+  let eng = engine ~depth ~domains:jobs file ~nat_bound in
+  let cfg = Engine.step_config eng in
+  if weak then begin
     Printf.printf "%s and %s weakly bisimilar (bounded): %b\n" impl spec
-      (Bisim.weak_equivalent cfg p q)
+      (Bisim.weak_equivalent ?pool:(Engine.pool eng) cfg p q);
+    print_stats stats
+  end
   else begin
     match Equiv.trace_refines ~depth cfg ~impl:p ~spec:q with
     | Ok () ->
-      Printf.printf "%s trace-refines %s up to depth %d\n" impl spec depth
+      Printf.printf "%s trace-refines %s up to depth %d\n" impl spec depth;
+      print_stats stats
     | Error s ->
       Printf.printf "NOT a refinement: %s allows %s, %s does not\n" impl
         (Trace.to_string s) spec;
+      print_stats stats;
       exit 1
   end
 
@@ -308,7 +326,7 @@ let resolve_oracles = function
             (String.concat ", " (Oracle.names ())))
       names
 
-let cmd_fuzz seed cases budget oracle_names save replay =
+let cmd_fuzz seed cases budget oracle_names save replay jobs stats =
   let oracles = resolve_oracles oracle_names in
   let replay_failures =
     match replay with
@@ -344,9 +362,11 @@ let cmd_fuzz seed cases budget oracle_names save replay =
         max_cases = cases;
         budget;
         oracles;
+        jobs;
       }
   in
   Format.printf "%a@." Fuzz.pp_report report;
+  print_stats stats;
   (match save with
   | Some dir ->
     List.iter
@@ -389,6 +409,19 @@ let runs_arg = Arg.(value & opt int 20 & info [ "runs" ] ~doc:"Number of runs")
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full proof tables")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for parallel exploration/fuzzing (results are \
+              identical to -j 1; only wall-clock changes)")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print kernel cache and domain-pool statistics to stderr")
+
 let parse_cmd =
   Cmd.v (Cmd.info "parse" ~doc:"Parse and pretty-print a .csp file")
     Term.(const cmd_parse $ path_arg)
@@ -416,7 +449,7 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Bounded model check of every declared assertion (exact up to \
              the depth and sample)")
-    Term.(const cmd_check $ path_arg $ depth_arg 6 $ nat_arg)
+    Term.(const cmd_check $ path_arg $ depth_arg 6 $ nat_arg $ stats_arg)
 
 let prove_cmd =
   let emit =
@@ -457,7 +490,9 @@ let graph_cmd =
   Cmd.v
     (Cmd.info "graph"
        ~doc:"Explore the labelled transition system and emit Graphviz DOT")
-    Term.(const cmd_graph $ path_arg $ name_arg $ max_states $ nat_arg $ out)
+    Term.(
+      const cmd_graph $ path_arg $ name_arg $ max_states $ nat_arg $ out
+      $ jobs_arg $ stats_arg)
 
 let refusals_cmd =
   Cmd.v
@@ -484,7 +519,9 @@ let refine_cmd =
     (Cmd.info "refine"
        ~doc:"Check that one process trace-refines another (or is weakly \
              bisimilar to it)")
-    Term.(const cmd_refine $ path_arg $ name_arg $ spec $ depth_arg 5 $ nat_arg $ weak)
+    Term.(
+      const cmd_refine $ path_arg $ name_arg $ spec $ depth_arg 5 $ nat_arg
+      $ weak $ jobs_arg $ stats_arg)
 
 let infer_cmd =
   Cmd.v
@@ -538,7 +575,9 @@ let fuzz_cmd =
              and cross-check the closure kernel, the two semantics, the \
              refinement models and the prover against each other; failures \
              are shrunk and printed as parseable .csp text")
-    Term.(const cmd_fuzz $ seed $ cases $ budget $ oracles $ save $ replay)
+    Term.(
+      const cmd_fuzz $ seed $ cases $ budget $ oracles $ save $ replay
+      $ jobs_arg $ stats_arg)
 
 let deadlock_cmd =
   Cmd.v

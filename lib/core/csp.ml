@@ -54,6 +54,9 @@ module Tactic = Csp_proof.Tactic
 module Infer = Csp_proof.Infer
 module Cert = Csp_proof.Cert
 
+(* Parallel execution substrate *)
+module Pool = Csp_parallel.Pool
+
 (* Execution *)
 module Scheduler = Csp_sim.Scheduler
 module Runner = Csp_sim.Runner

@@ -264,3 +264,126 @@ module Multiplier = struct
 
   let default = make ~v:[ 1; 2; 3 ]
 end
+
+(* §4's cautionary example: the dining philosophers.  The per-fork
+   safety invariant is provable for the symmetric table and the
+   left-handed one alike — sat-assertions are partial-correctness
+   claims and say nothing about deadlock, which only the state-space
+   exploration (or the §4 refusals extension) can tell apart.  The
+   network's BFS layers grow combinatorially in [n], which also makes
+   it the scaling workload of the parallel-exploration bench. *)
+module Philosophers = struct
+  type t = {
+    n : int;
+    left_handed_last : bool;
+    defs : Defs.t;
+    network : Process.t;
+    fork_ids : Vset.t;
+    fork_invariant : Assertion.t;
+    tables : Tactic.tables;
+  }
+
+  let make ?(left_handed_last = true) ~n () =
+    if n < 2 then invalid_arg "Philosophers.make: need at least two seats";
+    let ids = Vset.Range (0, n - 1) in
+    let ch name i = Chan_expr.indexed name i in
+    let modn e = Expr.Mod (e, Expr.int n) in
+    let i = Expr.Var "i" in
+    (* fork[i] = left[i]?p -> lput[i]?q -> fork[i]
+               | right[i]?p -> rput[i]?q -> fork[i] *)
+    let fork_body =
+      Process.Choice
+        ( Process.Input
+            ( ch "left" i,
+              "p",
+              ids,
+              Process.Input (ch "lput" i, "q", ids, Process.call "fork" i) ),
+          Process.Input
+            ( ch "right" i,
+              "p",
+              ids,
+              Process.Input (ch "rput" i, "q", ids, Process.call "fork" i) ) )
+    in
+    (* grab the two forks through the given ports, eat, put them back *)
+    let phil_body (port1, f1) (port2, f2) =
+      Process.Output
+        ( ch port1 f1,
+          i,
+          Process.Output
+            ( ch port2 f2,
+              i,
+              Process.Output
+                ( ch "eat" i,
+                  i,
+                  Process.Output
+                    ( ch (if String.equal port1 "left" then "lput" else "rput") f1,
+                      i,
+                      Process.Output
+                        ( ch (if String.equal port2 "right" then "rput" else "lput")
+                            f2,
+                          i,
+                          Process.call "phil" i ) ) ) ) )
+    in
+    let own = ("left", i)
+    and next = ("right", modn (Expr.Add (i, Expr.int 1))) in
+    let base = Defs.empty |> Defs.define_array "fork" "i" ids fork_body in
+    let defs =
+      if left_handed_last then
+        (* the left-handed philosopher loops back to itself *)
+        let rec to_lefty = function
+          | Process.Ref ("phil", _) -> Process.ref_ "lefty"
+          | Process.Output (c, e, k) -> Process.Output (c, e, to_lefty k)
+          | Process.Input (c, x, m, k) -> Process.Input (c, x, m, to_lefty k)
+          | Process.Choice (a, b) -> Process.Choice (to_lefty a, to_lefty b)
+          | Process.Par (xa, ya, a, b) ->
+            Process.Par (xa, ya, to_lefty a, to_lefty b)
+          | Process.Hide (l, p) -> Process.Hide (l, to_lefty p)
+          | (Process.Stop | Process.Ref _) as p -> p
+        in
+        base
+        |> Defs.define_array "phil" "i"
+             (Vset.Range (0, n - 2))
+             (phil_body own next)
+        |> Defs.define "lefty"
+             (to_lefty
+                (Process.subst_expr "i" (Expr.int (n - 1)) (phil_body next own)))
+      else base |> Defs.define_array "phil" "i" ids (phil_body own next)
+    in
+    let c name i = Csp_trace.Channel.indexed name i in
+    let fork_alpha i =
+      Chan_set.of_channels [ c "left" i; c "right" i; c "lput" i; c "rput" i ]
+    in
+    let phil_alpha i =
+      let j = (i + 1) mod n in
+      Chan_set.of_channels
+        [ c "left" i; c "lput" i; c "right" j; c "rput" j; c "eat" i ]
+    in
+    let forks =
+      List.init n (fun i -> (Process.call "fork" (Expr.int i), fork_alpha i))
+    in
+    let phils =
+      List.init n (fun i ->
+          let p =
+            if left_handed_last && i = n - 1 then Process.ref_ "lefty"
+            else Process.call "phil" (Expr.int i)
+          in
+          (p, phil_alpha i))
+    in
+    let network = par_chain (forks @ phils) in
+    (* ∀i. #lput[i] + #rput[i] ≤ #left[i] + #right[i]
+          ≤ #lput[i] + #rput[i] + 1 *)
+    let fork_invariant =
+      let len name = Term.Len (Term.Chan (ch name (Expr.Var "i"))) in
+      let grabs = Term.Add (len "left", len "right")
+      and puts = Term.Add (len "lput", len "rput") in
+      Assertion.And
+        ( Assertion.Cmp (Assertion.Le, puts, grabs),
+          Assertion.Cmp (Assertion.Le, grabs, Term.Add (puts, Term.int 1)) )
+    in
+    let tables =
+      Tactic.tables ~array_invariants:[ ("fork", ("i", ids, fork_invariant)) ] ()
+    in
+    { n; left_handed_last; defs; network; fork_ids = ids; fork_invariant; tables }
+
+  let default = make ~n:3 ()
+end

@@ -97,3 +97,29 @@ module Multiplier : sig
   val default : t
   (** [v = [1; 2; 3]], the paper's 3-stage network. *)
 end
+
+(** §4: the dining philosophers — safety provable, deadlock not.
+    The per-fork invariant holds for both seatings (partial
+    correctness!); only exploration tells the symmetric table's
+    deadlock from the left-handed table's absence of one.  Also the
+    scaling workload of the parallel bench: layer widths grow
+    combinatorially with [n]. *)
+module Philosophers : sig
+  type t = {
+    n : int;  (** seats (= forks = philosophers), ≥ 2 *)
+    left_handed_last : bool;
+    defs : Defs.t;  (** [fork[i]], [phil[i]] (and [lefty] if asymmetric) *)
+    network : Process.t;  (** all 2n processes in alphabetised parallel *)
+    fork_ids : Vset.t;  (** [{0..n-1}] *)
+    fork_invariant : Assertion.t;
+        (** ∀i. #lput[i]+#rput[i] ≤ #left[i]+#right[i]
+              ≤ #lput[i]+#rput[i]+1 *)
+    tables : Tactic.tables;  (** lets {!Tactic.auto} prove the invariant *)
+  }
+
+  val make : ?left_handed_last:bool -> n:int -> unit -> t
+  (** Default [left_handed_last = true] (the deadlock-free seating). *)
+
+  val default : t
+  (** Three seats, left-handed last. *)
+end

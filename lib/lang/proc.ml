@@ -90,8 +90,16 @@ end)
    single hash lookup / insert, recursive descent happens outside. *)
 let lock = Mutex.create ()
 
+(* Contended acquisitions of [lock]: a cheap probe first, so the
+   counter costs one atomic bump only when another domain holds the
+   table.  Reported via [stats] and surfaced by [Engine.pp_stats]. *)
+let lock_waits = Atomic.make 0
+
 let[@inline] locked f =
-  Mutex.lock lock;
+  if not (Mutex.try_lock lock) then begin
+    Atomic.incr lock_waits;
+    Mutex.lock lock
+  end;
   match f () with
   | v ->
     Mutex.unlock lock;
@@ -106,7 +114,13 @@ let nodes_created = ref 0
 let intern_hits = ref 0
 let intern_misses = ref 0
 
-type stats = { nodes : int; hits : int; misses : int; table_len : int }
+type stats = {
+  nodes : int;
+  hits : int;
+  misses : int;
+  table_len : int;
+  lock_waits : int;
+}
 
 let stats () =
   locked (fun () ->
@@ -115,6 +129,7 @@ let stats () =
         hits = !intern_hits;
         misses = !intern_misses;
         table_len = Unique.count unique;
+        lock_waits = Atomic.get lock_waits;
       })
 
 (* [repr] must be structurally equal to the node's unfolding; callers

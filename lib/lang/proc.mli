@@ -69,11 +69,19 @@ val subst_value : string -> Csp_trace.Value.t -> t -> t
 (** Substitution of a value for a free variable, mirroring
     {!Process.subst_value}: [Input] rebinding stops the descent. *)
 
-type stats = { nodes : int; hits : int; misses : int; table_len : int }
+type stats = {
+  nodes : int;
+  hits : int;
+  misses : int;
+  table_len : int;
+  lock_waits : int;
+      (** contended acquisitions of the unique-table mutex (only ever
+          non-zero when several domains intern concurrently) *)
+}
 
 val stats : unit -> stats
 (** Interning statistics since program start: nodes created, unique-
-    table hits/misses, and current live table size. *)
+    table hits/misses, current live table size, and lock contention. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

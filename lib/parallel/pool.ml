@@ -1,0 +1,198 @@
+(* Fixed-size domain pool: n workers = (n-1) spawned domains + the
+   submitting domain.  A batch is an array of tasks claimed through an
+   atomic cursor; the submitting domain publishes the batch under the
+   pool mutex (bumping a generation counter so sleeping workers can
+   tell a new batch from a spurious wakeup), helps drain it, and then
+   blocks on the join condition until the completion counter reaches
+   the task count.  Workers go back to sleep between batches, so an
+   idle pool costs nothing. *)
+
+(* Global counters (aggregated by [Engine.stats]).  [Atomic]: tasks
+   complete on arbitrary domains. *)
+let pools_created = Atomic.make 0
+let workers_spawned = Atomic.make 0
+let batches_run = Atomic.make 0
+let tasks_run = Atomic.make 0
+let caller_tasks_run = Atomic.make 0
+
+type stats = {
+  pools : int;
+  workers : int;
+  batches : int;
+  tasks : int;
+  caller_tasks : int;
+}
+
+let stats () =
+  {
+    pools = Atomic.get pools_created;
+    workers = Atomic.get workers_spawned;
+    batches = Atomic.get batches_run;
+    tasks = Atomic.get tasks_run;
+    caller_tasks = Atomic.get caller_tasks_run;
+  }
+
+type batch = {
+  tasks : (int -> unit) array;
+      (* each task writes its own result slot; the int is the index *)
+  cursor : int Atomic.t;     (* next unclaimed task *)
+  completed : int Atomic.t;  (* tasks finished, across all workers *)
+}
+
+type t = {
+  n : int;  (* worker count including the submitting domain *)
+  mutex : Mutex.t;
+  wake : Condition.t;   (* workers: a new batch (or shutdown) is here *)
+  join : Condition.t;   (* submitter: the batch may be complete *)
+  mutable current : batch option;
+  mutable generation : int;  (* bumped per batch; identifies wakeups *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Drain the batch: claim tasks until the cursor runs off the end.
+   The worker that completes the last task signals the join. *)
+let drain t ~as_caller (b : batch) =
+  let len = Array.length b.tasks in
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.cursor 1 in
+    if i < len then begin
+      b.tasks.(i) i;
+      Atomic.incr tasks_run;
+      if as_caller then Atomic.incr caller_tasks_run;
+      if Atomic.fetch_and_add b.completed 1 + 1 = len then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.join;
+        Mutex.unlock t.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_loop t =
+  let rec wait_for_work my_gen =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = my_gen do
+      Condition.wait t.wake t.mutex
+    done;
+    let gen = t.generation and b = t.current and stop = t.stop in
+    Mutex.unlock t.mutex;
+    if not stop then begin
+      (match b with Some b -> drain t ~as_caller:false b | None -> ());
+      wait_for_work gen
+    end
+  in
+  wait_for_work 0
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  let ws = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ws
+
+let create ~domains =
+  let n = max 1 domains in
+  let t =
+    {
+      n;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      join = Condition.create ();
+      current = None;
+      generation = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  Atomic.incr pools_created;
+  t.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  ignore (Atomic.fetch_and_add workers_spawned (n - 1));
+  (* Safety net: a pool the program forgot to shut down must not keep
+     blocked worker domains alive across process exit. *)
+  if n > 1 then at_exit (fun () -> shutdown t);
+  t
+
+let domains t = t.n
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Execute [ntasks] tasks, each writing its own slot.  Tasks that raise
+   record their exception; the batch always runs to completion (the
+   join counter must reach the task count), then the lowest-indexed
+   exception is re-raised in the submitting domain. *)
+let exec_batch t ntasks (task : int -> unit) =
+  if ntasks > 0 then begin
+    Atomic.incr batches_run;
+    let failures : exn option array = Array.make ntasks None in
+    let guarded i =
+      try task i with e -> failures.(i) <- Some e
+    in
+    if t.n = 1 || ntasks = 1 then
+      for i = 0 to ntasks - 1 do
+        guarded i;
+        Atomic.incr tasks_run;
+        Atomic.incr caller_tasks_run
+      done
+    else begin
+      let b =
+        {
+          tasks = Array.make ntasks guarded;
+          cursor = Atomic.make 0;
+          completed = Atomic.make 0;
+        }
+      in
+      Mutex.lock t.mutex;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool: batch submitted after shutdown"
+      end;
+      t.current <- Some b;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex;
+      drain t ~as_caller:true b;
+      Mutex.lock t.mutex;
+      while Atomic.get b.completed < ntasks do
+        Condition.wait t.join t.mutex
+      done;
+      t.current <- None;
+      Mutex.unlock t.mutex
+    end;
+    Array.iter (function Some e -> raise e | None -> ()) failures
+  end
+
+let parallel_map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    exec_batch t n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let map_chunks t ?chunk_size f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk_size with
+      | Some c when c > 0 -> c
+      | Some _ | None -> max 1 (n / (4 * t.n))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let out = Array.make nchunks None in
+    exec_batch t nchunks (fun c ->
+        let lo = c * chunk in
+        let len = min chunk (n - lo) in
+        out.(c) <- Some (f (Array.sub xs lo len)));
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let run t thunks =
+  Array.to_list (parallel_map t (fun f -> f ()) (Array.of_list thunks))

@@ -140,12 +140,9 @@ let quotient (t : Lts.t) (p : partition) : Lts.t =
              target = p.(tr.Lts.target);
            })
   in
-  {
-    Lts.initial = p.(t.Lts.initial);
-    states;
-    transitions;
-    complete = t.Lts.complete;
-  }
+  Lts.make
+    ~initial:p.(t.Lts.initial)
+    ~states ~transitions ~complete:t.Lts.complete ()
 
 let minimise t = quotient t (classes_of t)
 
@@ -220,11 +217,9 @@ let saturate (t : Lts.t) : Lts.t =
           closure.(src))
       (List.init (Array.length t.Lts.states) Fun.id)
   in
-  {
-    t with
-    Lts.transitions =
-      List.rev (List.fold_left add [] (weak_visible @ weak_tau));
-  }
+  Lts.make ~initial:t.Lts.initial ~states:t.Lts.states
+    ~transitions:(List.rev (List.fold_left add [] (weak_visible @ weak_tau)))
+    ~complete:t.Lts.complete ()
 
 let weak_classes t = classes_of (saturate t)
 
@@ -238,15 +233,14 @@ let combine tp tq =
       target = tr.Lts.target + np;
     }
   in
-  {
-    Lts.initial = tp.Lts.initial;
-    states = Array.append tp.Lts.states tq.Lts.states;
-    transitions = tp.Lts.transitions @ List.map shift tq.Lts.transitions;
-    complete = true;
-  }
+  Lts.make ~initial:tp.Lts.initial
+    ~states:(Array.append tp.Lts.states tq.Lts.states)
+    ~transitions:(tp.Lts.transitions @ List.map shift tq.Lts.transitions)
+    ~complete:true ()
 
-let weak_equivalent ?(max_states = 2000) cfg p q =
-  let tp = Lts.explore ~max_states cfg p and tq = Lts.explore ~max_states cfg q in
+let weak_equivalent ?(max_states = 2000) ?pool cfg p q =
+  let tp = Lts.explore ~max_states ?pool cfg p
+  and tq = Lts.explore ~max_states ?pool cfg q in
   if not (tp.Lts.complete && tq.Lts.complete) then false
   else begin
     let np = Array.length tp.Lts.states in
@@ -254,8 +248,9 @@ let weak_equivalent ?(max_states = 2000) cfg p q =
     classes.(tp.Lts.initial) = classes.(tq.Lts.initial + np)
   end
 
-let equivalent ?(max_states = 2000) cfg p q =
-  let tp = Lts.explore ~max_states cfg p and tq = Lts.explore ~max_states cfg q in
+let equivalent ?(max_states = 2000) ?pool cfg p q =
+  let tp = Lts.explore ~max_states ?pool cfg p
+  and tq = Lts.explore ~max_states ?pool cfg q in
   if not (tp.Lts.complete && tq.Lts.complete) then false
   else begin
     let np = Array.length tp.Lts.states in

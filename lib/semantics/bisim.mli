@@ -30,6 +30,7 @@ val minimise : Lts.t -> Lts.t
 
 val equivalent :
   ?max_states:int ->
+  ?pool:Csp_parallel.Pool.t ->
   Step.config ->
   Csp_lang.Process.t ->
   Csp_lang.Process.t ->
@@ -38,7 +39,8 @@ val equivalent :
     exploration?  Computed by exploring the disjoint union and asking
     whether the two initial states fall into the same class.  (Both
     explorations must be complete for the answer to be meaningful; the
-    function returns [false] when either is truncated.) *)
+    function returns [false] when either is truncated.)  A multi-domain
+    [pool] parallelises the two explorations' layer expansions. *)
 
 val saturate : Lts.t -> Lts.t
 (** τ-saturation: concealed transitions become silent moves.  The
@@ -53,6 +55,7 @@ val weak_classes : Lts.t -> partition
 
 val weak_equivalent :
   ?max_states:int ->
+  ?pool:Csp_parallel.Pool.t ->
   Step.config ->
   Csp_lang.Process.t ->
   Csp_lang.Process.t ->

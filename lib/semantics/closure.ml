@@ -66,8 +66,15 @@ end)
    descent happens outside the lock. *)
 let lock = Mutex.create ()
 
+(* Contended acquisitions of [lock] (see [Proc.lock_waits]): probed
+   with [try_lock] so the sequential fast path pays nothing. *)
+let lock_waits = Atomic.make 0
+
 let[@inline] locked f =
-  Mutex.lock lock;
+  if not (Mutex.try_lock lock) then begin
+    Atomic.incr lock_waits;
+    Mutex.lock lock
+  end;
   match f () with
   | v ->
     Mutex.unlock lock;
@@ -133,11 +140,21 @@ let inter_tbl : t Memo.t = Memo.create 1024
 let truncate_tbl : t Memo.t = Memo.create 1024
 let subset_tbl : bool Memo.t = Memo.create 1024
 
-type stats = { nodes : int; memo_hits : int; memo_misses : int }
+type stats = {
+  nodes : int;
+  memo_hits : int;
+  memo_misses : int;
+  lock_waits : int;
+}
 
 let stats () =
   locked (fun () ->
-      { nodes = !nodes_created; memo_hits = !memo_hits; memo_misses = !memo_misses })
+      {
+        nodes = !nodes_created;
+        memo_hits = !memo_hits;
+        memo_misses = !memo_misses;
+        lock_waits = Atomic.get lock_waits;
+      })
 
 let clear_caches () =
   locked (fun () ->

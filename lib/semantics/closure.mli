@@ -97,11 +97,19 @@ val id : t -> int
 val hash : t -> int
 (** Hash consistent with {!equal} (derived from {!id}); O(1). *)
 
-type stats = { nodes : int; memo_hits : int; memo_misses : int }
+type stats = {
+  nodes : int;
+  memo_hits : int;
+  memo_misses : int;
+  lock_waits : int;
+      (** contended acquisitions of the unique/compute-table mutex
+          (only ever non-zero under multi-domain execution) *)
+}
 
 val stats : unit -> stats
-(** Global counters: nodes interned, compute-table hits/misses — for
-    the bench's memoisation hit-rate report. *)
+(** Global counters: nodes interned, compute-table hits/misses, lock
+    contention — for the bench's memoisation hit-rate report and the
+    engine's parallel statistics. *)
 
 val clear_caches : unit -> unit
 (** Drop the compute tables (unique table entries become collectable

@@ -46,17 +46,19 @@ let config ?(sampler = Sampler.default) ?(hide_extra = 8) defs =
     generation = 0;
   }
 
-(* Cache counters, aggregated by [Engine.stats]. *)
-let eval_hits = ref 0
-let eval_misses = ref 0
+(* Cache counters, aggregated by [Engine.stats].  Atomic: sharded
+   fuzzing evaluates denotations on several domains concurrently. *)
+let eval_hits = Atomic.make 0
+let eval_misses = Atomic.make 0
 
 type stats = { eval_hits : int; eval_misses : int }
 
-let stats () = { eval_hits = !eval_hits; eval_misses = !eval_misses }
+let stats () =
+  { eval_hits = Atomic.get eval_hits; eval_misses = Atomic.get eval_misses }
 
 let reset_stats () =
-  eval_hits := 0;
-  eval_misses := 0
+  Atomic.set eval_hits 0;
+  Atomic.set eval_misses 0
 
 (* A semantic environment maps a (possibly subscripted) process name to
    its current approximation, already truncated at the environment
@@ -76,10 +78,10 @@ let rec eval_i cfg (senv : senv) depth p =
     let key = (senv.gen, depth, Proc.id p) in
     match Eval_tbl.find_opt cfg.eval_memo key with
     | Some c ->
-      incr eval_hits;
+      Atomic.incr eval_hits;
       c
     | None ->
-      incr eval_misses;
+      Atomic.incr eval_misses;
       let c = eval_node cfg senv depth p in
       Eval_tbl.add cfg.eval_memo key c;
       c

@@ -1,57 +1,68 @@
 module Defs = Csp_lang.Defs
 module Proc = Csp_lang.Proc
+module Pool = Csp_parallel.Pool
 
 type t = {
   defs : Defs.t;
   depth : int;
   seed : int;
+  domains : int;
   sampler : Sampler.t;
   unfold_fuel : int;
   hide_fuel : int;
   hide_extra : int;
   step : Step.config;
   denote : Denote.config;
+  pool : Pool.t Lazy.t;
 }
 
-let create ?(depth = 6) ?(seed = 1) ?nat_bound ?sampler ?(unfold_fuel = 64)
-    ?(hide_fuel = 16) ?(hide_extra = 8) defs =
+let create ?(depth = 6) ?(seed = 1) ?(domains = 1) ?nat_bound ?sampler
+    ?(unfold_fuel = 64) ?(hide_fuel = 16) ?(hide_extra = 8) defs =
   let sampler =
     match nat_bound, sampler with
     | Some n, _ -> Sampler.nat_bound n
     | None, Some s -> s
     | None, None -> Sampler.default
   in
+  let domains = max 1 domains in
   {
     defs;
     depth;
     seed;
+    domains;
     sampler;
     unfold_fuel;
     hide_fuel;
     hide_extra;
     step = Step.config ~sampler ~unfold_fuel ~hide_fuel defs;
     denote = Denote.config ~sampler ~hide_extra defs;
+    pool = lazy (Pool.create ~domains);
   }
 
 let step_config t = t.step
 let denote_config t = t.denote
+let pool t = if t.domains <= 1 then None else Some (Lazy.force t.pool)
 
 (* Depth and seed are not baked into the derived configurations, so the
    caches survive the change; anything affecting the transition
    relation or the denotation (sampler, fuels, definitions) rebuilds
-   both configurations — and hence their caches — from scratch. *)
+   both configurations — and hence their caches — from scratch.  The
+   [pool] lazy cell is shared by the [with_*] copies, so at most one
+   set of worker domains is spawned per [create]. *)
 let with_depth t depth = { t with depth }
 let with_seed t seed = { t with seed }
 
 let with_sampler t sampler =
-  create ~depth:t.depth ~seed:t.seed ~sampler ~unfold_fuel:t.unfold_fuel
-    ~hide_fuel:t.hide_fuel ~hide_extra:t.hide_extra t.defs
+  create ~depth:t.depth ~seed:t.seed ~domains:t.domains ~sampler
+    ~unfold_fuel:t.unfold_fuel ~hide_fuel:t.hide_fuel ~hide_extra:t.hide_extra
+    t.defs
 
 type stats = {
   intern : Proc.stats;
   closure : Closure.stats;
   step : Step.stats;
   denote : Denote.stats;
+  pool : Pool.stats;
 }
 
 let stats () =
@@ -60,6 +71,7 @@ let stats () =
     closure = Closure.stats ();
     step = Step.stats ();
     denote = Denote.stats ();
+    pool = Pool.stats ();
   }
 
 let reset_stats () =
@@ -72,14 +84,18 @@ let hit_rate hits misses =
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "@[<v>intern: %d nodes, %d live, hit-rate %.2f@,\
-     closure: %d nodes, memo hit-rate %.2f@,\
+    "@[<v>intern: %d nodes, %d live, hit-rate %.2f, lock-waits %d@,\
+     closure: %d nodes, memo hit-rate %.2f, lock-waits %d@,\
      step: trans hit-rate %.2f, unfold hit-rate %.2f@,\
-     denote: eval hit-rate %.2f@]"
+     denote: eval hit-rate %.2f@,\
+     pool: %d pools, %d workers, %d batches, %d tasks (%d on caller)@]"
     s.intern.Proc.nodes s.intern.Proc.table_len
     (hit_rate s.intern.Proc.hits s.intern.Proc.misses)
-    s.closure.Closure.nodes
+    s.intern.Proc.lock_waits s.closure.Closure.nodes
     (hit_rate s.closure.Closure.memo_hits s.closure.Closure.memo_misses)
+    s.closure.Closure.lock_waits
     (hit_rate s.step.Step.trans_hits s.step.Step.trans_misses)
     (hit_rate s.step.Step.unfold_hits s.step.Step.unfold_misses)
     (hit_rate s.denote.Denote.eval_hits s.denote.Denote.eval_misses)
+    s.pool.Pool.pools s.pool.Pool.workers s.pool.Pool.batches
+    s.pool.Pool.tasks s.pool.Pool.caller_tasks

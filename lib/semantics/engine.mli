@@ -17,17 +17,23 @@ type t = {
   defs : Csp_lang.Defs.t;
   depth : int;  (** default trace/assertion depth bound *)
   seed : int;  (** seed for randomised schedulers and walks *)
+  domains : int;  (** worker-domain count for parallel pipelines (≥ 1) *)
   sampler : Sampler.t;
   unfold_fuel : int;
   hide_fuel : int;
   hide_extra : int;
   step : Step.config;  (** derived view: shares defs/sampler/fuels *)
   denote : Denote.config;  (** derived view: shares defs/sampler *)
+  pool : Csp_parallel.Pool.t Lazy.t;
+      (** domain pool, spawned on first parallel query; access it
+          through {!pool}, which short-circuits the single-domain
+          case *)
 }
 
 val create :
   ?depth:int ->
   ?seed:int ->
+  ?domains:int ->
   ?nat_bound:int ->
   ?sampler:Sampler.t ->
   ?unfold_fuel:int ->
@@ -35,13 +41,24 @@ val create :
   ?hide_extra:int ->
   Csp_lang.Defs.t ->
   t
-(** Defaults: [depth = 6], [seed = 1], {!Sampler.default},
-    [unfold_fuel = 64], [hide_fuel = 16], [hide_extra = 8].
-    [nat_bound n] is shorthand for [~sampler:(Sampler.nat_bound n)]
-    and wins over an explicit [sampler]. *)
+(** Defaults: [depth = 6], [seed = 1], [domains = 1],
+    {!Sampler.default}, [unfold_fuel = 64], [hide_fuel = 16],
+    [hide_extra = 8].  [nat_bound n] is shorthand for
+    [~sampler:(Sampler.nat_bound n)] and wins over an explicit
+    [sampler].  [domains] > 1 makes {!pool} hand out a shared domain
+    pool for parallel exploration and sharded fuzzing; results are
+    unaffected (parallel pipelines are deterministic), only wall-clock
+    changes. *)
 
 val step_config : t -> Step.config
 val denote_config : t -> Denote.config
+
+val pool : t -> Csp_parallel.Pool.t option
+(** The engine's domain pool, for threading into [?pool] parameters
+    ({!Lts.explore}, {!Bisim.equivalent}, …).  [None] when the engine
+    was created with [domains = 1]; otherwise the pool, spawning its
+    worker domains on first use and shared across every query (and
+    every {!with_depth}/{!with_seed} copy) of this engine. *)
 
 val with_depth : t -> int -> t
 (** Change the depth bound; the derived configurations (and their
@@ -62,6 +79,9 @@ type stats = {
   closure : Closure.stats;  (** closure kernel nodes and memos *)
   step : Step.stats;  (** transition / unfolding caches *)
   denote : Denote.stats;  (** denotational evaluation memo *)
+  pool : Csp_parallel.Pool.stats;
+      (** domain pools: batches, tasks and worker counts — all zero
+          until a parallel query runs *)
 }
 
 val stats : unit -> stats

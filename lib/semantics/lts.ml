@@ -2,6 +2,7 @@ module Event = Csp_trace.Event
 module Channel = Csp_trace.Channel
 module Process = Csp_lang.Process
 module Proc = Csp_lang.Proc
+module Pool = Csp_parallel.Pool
 
 type state = int
 
@@ -17,16 +18,72 @@ type t = {
   states : Process.t array;
   transitions : transition list;
   complete : bool;
+  n_transitions : int;
+  truncated : bool array;
 }
+
+let make ?truncated ~initial ~states ~transitions ~complete () =
+  let truncated =
+    match truncated with
+    | Some a -> a
+    | None -> Array.make (Array.length states) false
+  in
+  {
+    initial;
+    states;
+    transitions;
+    complete;
+    n_transitions = List.length transitions;
+    truncated;
+  }
 
 module Int_tbl = Hashtbl.Make (Int)
 
-let explore ?(max_states = 2000) cfg p =
+(* Number of frontier states below which a parallel layer expansion is
+   not worth the barrier: derivations this cheap finish before the
+   workers wake up. *)
+let min_parallel_frontier = 8
+
+(* Expand one BFS layer: the transition list of each frontier state, in
+   frontier order.  The parallel path hands contiguous chunks of the
+   frontier to the domain pool; each chunk derives through a domain-
+   local {!Step.view} (the shared per-config caches stay read-only for
+   the whole phase), and the views are folded back into the shared
+   caches at the barrier so hits survive into the next layer.  Both
+   paths return the same lists in the same order: the per-state
+   transition relation is a pure function of the interned state and the
+   configuration (samplers are pure), so only the wall-clock differs. *)
+let expand_layer cfg pool (layer : Proc.t array) =
+  match pool with
+  | Some pool
+    when Pool.domains pool > 1 && Array.length layer >= min_parallel_frontier
+    ->
+    let chunk_results =
+      Pool.map_chunks pool
+        (fun chunk ->
+          let v = Step.view cfg in
+          let ts = Array.map (Step.transitions_view v) chunk in
+          (v, ts))
+        layer
+    in
+    Array.iter (fun (v, _) -> Step.merge_view v) chunk_results;
+    Array.concat (Array.to_list (Array.map snd chunk_results))
+  | _ -> Array.map (Step.transitions_i cfg) layer
+
+let explore ?(max_states = 2000) ?pool cfg p =
   (* States are hash-consed nodes, so canonicalisation is a lookup on
      the node id — no per-state rehash of a deep term — and the
      transition relation is shared with every other pipeline through
      [cfg.Step.trans_cache].  The [procs] list keeps every numbered
-     node alive, so ids are stable for the whole exploration. *)
+     node alive, so ids are stable for the whole exploration.
+
+     The traversal is layer-synchronous: the frontier (one BFS layer)
+     is expanded as a batch — in parallel when a multi-domain [pool] is
+     given — and the discoveries are merged sequentially in frontier
+     order.  A FIFO work-queue dequeues states in exactly layer order,
+     so the merge replays the sequential algorithm step for step:
+     state numbering, transition order, truncation at [max_states] and
+     the [complete] flag are identical whatever the domain count. *)
   let ids : int Int_tbl.t = Int_tbl.create 64 in
   let procs = ref [] and n_states = ref 0 in
   let intern (q : Proc.t) =
@@ -39,52 +96,75 @@ let explore ?(max_states = 2000) cfg p =
       incr n_states;
       (i, true)
   in
-  let transitions = ref [] in
-  let queue = Queue.create () in
+  let transitions = ref [] and n_transitions = ref 0 in
   let complete = ref true in
+  (* state indices that had outgoing transitions dropped at the bound *)
+  let truncated_ids = ref [] in
   let p = Proc.intern p in
   let initial, _ = intern p in
-  Queue.add (initial, p) queue;
-  while not (Queue.is_empty queue) do
-    let i, q = Queue.pop queue in
-    List.iter
-      (fun (e, vis, q') ->
-        let visible =
-          match (vis : Step.visibility) with
-          | Step.Visible -> true
-          | Step.Hidden -> false
-        in
-        if !n_states >= max_states then begin
-          (* record the transition only if the target is already known *)
-          match Int_tbl.find_opt ids (Proc.id q') with
-          | Some j ->
-            transitions :=
-              { source = i; event = e; visible; target = j } :: !transitions
-          | None -> complete := false
-        end
-        else begin
-          let j, fresh = intern q' in
-          transitions :=
-            { source = i; event = e; visible; target = j } :: !transitions;
-          if fresh then Queue.add (j, q') queue
-        end)
-      (Step.transitions_i cfg q)
+  let frontier = ref [| (initial, p) |] in
+  while Array.length !frontier > 0 do
+    let layer = !frontier in
+    let layer_ts = expand_layer cfg pool (Array.map snd layer) in
+    let next = ref [] in
+    Array.iteri
+      (fun k (i, _) ->
+        let dropped = ref false in
+        List.iter
+          (fun (e, vis, q') ->
+            let visible =
+              match (vis : Step.visibility) with
+              | Step.Visible -> true
+              | Step.Hidden -> false
+            in
+            if !n_states >= max_states then begin
+              (* record the transition only if the target is already
+                 known; otherwise the source keeps an unrecorded way
+                 out and must not read as a deadlock *)
+              match Int_tbl.find_opt ids (Proc.id q') with
+              | Some j ->
+                transitions :=
+                  { source = i; event = e; visible; target = j }
+                  :: !transitions;
+                incr n_transitions
+              | None ->
+                complete := false;
+                dropped := true
+            end
+            else begin
+              let j, fresh = intern q' in
+              transitions :=
+                { source = i; event = e; visible; target = j } :: !transitions;
+              incr n_transitions;
+              if fresh then next := (j, q') :: !next
+            end)
+          layer_ts.(k);
+        if !dropped then truncated_ids := i :: !truncated_ids)
+      layer;
+    frontier := Array.of_list (List.rev !next)
   done;
+  let truncated = Array.make !n_states false in
+  List.iter (fun i -> truncated.(i) <- true) !truncated_ids;
   {
     initial;
     states = Array.of_list (List.rev_map Proc.to_process !procs);
     transitions = List.rev !transitions;
     complete = !complete;
+    n_transitions = !n_transitions;
+    truncated;
   }
 
 let num_states t = Array.length t.states
-let num_transitions t = List.length t.transitions
+let num_transitions t = t.n_transitions
+let truncated_states t = List.filter (fun i -> t.truncated.(i)) (List.init (num_states t) Fun.id)
 
 let deadlock_states t =
   let has_out = Array.make (num_states t) false in
   List.iter (fun tr -> has_out.(tr.source) <- true) t.transitions;
+  (* a state whose outgoing transitions were dropped at the state bound
+     is not deadlocked — it has moves the exploration did not record *)
   List.filter
-    (fun i -> not has_out.(i))
+    (fun i -> (not has_out.(i)) && not t.truncated.(i))
     (List.init (num_states t) Fun.id)
 
 module Src_event_tbl = Hashtbl.Make (struct
@@ -137,16 +217,26 @@ let transition_compare a b =
 
 let to_dot ?(name = "lts") t =
   let buf = Buffer.create 1024 in
-  let dead = deadlock_states t in
+  let n = num_states t in
+  let dead = Array.make n false in
+  List.iter (fun i -> dead.(i) <- true) (deadlock_states t);
   Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
   Buffer.add_string buf
     (Printf.sprintf "  n%d [style=bold];\n" t.initial);
-  List.iter
-    (fun i -> Buffer.add_string buf (Printf.sprintf "  n%d [shape=doublecircle];\n" i))
-    dead;
+  for i = 0 to n - 1 do
+    if dead.(i) then
+      Buffer.add_string buf (Printf.sprintf "  n%d [shape=doublecircle];\n" i)
+  done;
+  (* truncated states are drawn dashed: their outgoing edges were cut
+     at the state bound, so the picture under-reports their moves *)
+  for i = 0 to n - 1 do
+    if t.truncated.(i) then
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=circle, style=dashed];\n" i)
+  done;
   Array.iteri
     (fun i _ ->
-      if (not (List.mem i dead)) && i <> t.initial then
+      if (not dead.(i)) && (not t.truncated.(i)) && i <> t.initial then
         Buffer.add_string buf (Printf.sprintf "  n%d [shape=circle];\n" i))
     t.states;
   List.iter

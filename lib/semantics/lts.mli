@@ -6,7 +6,15 @@
     configuration alone.  Useful for state-space
     statistics, reachability questions, and for drawing the paper's
     network diagrams as graphs (Graphviz DOT output, used by
-    [cspc graph]). *)
+    [cspc graph]).
+
+    Exploration is layer-synchronous: each BFS layer is expanded as a
+    batch and merged in frontier order.  Handing {!explore} a
+    multi-domain {!Csp_parallel.Pool.t} expands the layers in parallel
+    chunks; because the merge replays the sequential dequeue order and
+    per-state transition lists are pure functions of the configuration,
+    the resulting system — state numbering, transition list, truncation
+    and DOT output — is identical whatever the domain count. *)
 
 type state = int
 
@@ -24,19 +32,53 @@ type t = {
   complete : bool;
       (** false when exploration stopped at the state bound with
           unexplored frontier states remaining *)
+  n_transitions : int;
+      (** [List.length transitions], computed once at construction *)
+  truncated : bool array;
+      (** per state: an outgoing transition was dropped because its
+          target fell beyond the state bound.  Such states are not
+          reported by {!deadlock_states} and are drawn dashed by
+          {!to_dot}.  All-[false] when [complete]. *)
 }
 
-val explore : ?max_states:int -> Step.config -> Csp_lang.Process.t -> t
+val make :
+  ?truncated:bool array ->
+  initial:state ->
+  states:Csp_lang.Process.t array ->
+  transitions:transition list ->
+  complete:bool ->
+  unit ->
+  t
+(** Smart constructor for derived systems (quotients, saturations,
+    products): computes [n_transitions] and defaults [truncated] to
+    all-[false]. *)
+
+val explore :
+  ?max_states:int ->
+  ?pool:Csp_parallel.Pool.t ->
+  Step.config ->
+  Csp_lang.Process.t ->
+  t
 (** Breadth-first exploration (default bound: 2000 states).  States are
     identified up to syntactic equality of the process term, so a
     recursive definition that returns to its defining equation yields a
-    finite cyclic graph. *)
+    finite cyclic graph.  With a multi-domain [pool], frontier layers
+    are expanded in parallel; the result is identical to the
+    sequential exploration (see the module description). *)
 
 val num_states : t -> int
+
 val num_transitions : t -> int
+(** O(1): stored at construction. *)
 
 val deadlock_states : t -> state list
-(** States with no outgoing transitions at all. *)
+(** States with no outgoing transitions at all — excluding states whose
+    outgoing transitions were dropped at the state bound (those are
+    unknowns, not deadlocks; see [truncated]). *)
+
+val truncated_states : t -> state list
+(** States with dropped outgoing transitions, in ascending order.
+    Empty iff the exploration ran to completion. *)
 
 val is_deterministic : t -> bool
 (** No state has two distinct successors on the same visible event. *)
@@ -45,6 +87,6 @@ val reachable_channels : t -> Csp_trace.Channel.t list
 
 val to_dot : ?name:string -> t -> string
 (** Graphviz source; hidden events are drawn dashed, deadlock states
-    doubly circled.  Output is deterministic: node numbers come from
-    the BFS discovery order and edges are emitted sorted by
-    (source, target, event, visibility). *)
+    doubly circled, truncation-affected states dashed.  Output is
+    deterministic: node numbers come from the BFS discovery order and
+    edges are emitted sorted by (source, target, event, visibility). *)

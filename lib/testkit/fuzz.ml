@@ -1,9 +1,12 @@
+module Pool = Csp_parallel.Pool
+
 type config = {
   seed : int;
   max_cases : int;
   budget : float option;
   oracles : Oracle.t list;
   max_shrink : int;
+  jobs : int;
 }
 
 let default_config =
@@ -13,6 +16,7 @@ let default_config =
     budget = None;
     oracles = Oracle.all;
     max_shrink = 500;
+    jobs = 1;
   }
 
 type counterexample = {
@@ -55,44 +59,89 @@ let shrink ~(oracle : Oracle.t) ~max_steps scenario detail =
   in
   go scenario detail
 
-let run ?(on_case = fun _ -> ()) cfg =
-  let rand = Random.State.make [| cfg.seed |] in
+(* One case, self-contained: the generator draws from a private state
+   seeded by (run seed, case index), so a case's scenario and verdict
+   depend on nothing but the configuration and its own index — the
+   property that makes the sharded runner agree with the sequential
+   one corpus-for-corpus.  [runs] counters are atomic because cases
+   execute concurrently under [jobs > 1]. *)
+let check_case cfg runs case =
+  let rand = Random.State.make [| cfg.seed; case |] in
+  let sc = QCheck2.Gen.generate1 ~rand Gen.scenario in
+  List.filter_map
+    (fun (o : Oracle.t) ->
+      Atomic.incr (List.assoc o.Oracle.name runs);
+      match o.Oracle.check sc with
+      | Oracle.Pass -> None
+      | Oracle.Fail detail ->
+        let scenario, detail =
+          shrink ~oracle:o ~max_steps:cfg.max_shrink sc detail
+        in
+        Some { case; oracle = o.Oracle.name; detail; scenario; original = sc })
+    cfg.oracles
+
+let run ?(on_case = fun _ -> ()) ?pool cfg =
   let t0 = Unix.gettimeofday () in
   let over_budget () =
     match cfg.budget with
     | Some b -> Unix.gettimeofday () -. t0 >= b
     | None -> false
   in
-  let runs = List.map (fun (o : Oracle.t) -> (o.Oracle.name, ref 0)) cfg.oracles in
-  let rec loop case acc =
-    if case >= cfg.max_cases || over_budget () then (case, acc)
-    else begin
-      on_case case;
-      let sc = QCheck2.Gen.generate1 ~rand Gen.scenario in
-      let failures =
-        List.filter_map
-          (fun (o : Oracle.t) ->
-            incr (List.assoc o.Oracle.name runs);
-            match o.Oracle.check sc with
-            | Oracle.Pass -> None
-            | Oracle.Fail detail ->
-              let scenario, detail =
-                shrink ~oracle:o ~max_steps:cfg.max_shrink sc detail
-              in
-              Some
-                { case; oracle = o.Oracle.name; detail; scenario; original = sc })
-          cfg.oracles
-      in
-      loop (case + 1) (List.rev_append failures acc)
-    end
+  let runs =
+    List.map (fun (o : Oracle.t) -> (o.Oracle.name, Atomic.make 0)) cfg.oracles
   in
-  let cases, rev_cex = loop 0 [] in
-  {
-    cases;
-    elapsed = Unix.gettimeofday () -. t0;
-    oracle_runs = List.map (fun (n, r) -> (n, !r)) runs;
-    counterexamples = List.rev rev_cex;
-  }
+  let finish cases rev_groups =
+    {
+      cases;
+      elapsed = Unix.gettimeofday () -. t0;
+      oracle_runs = List.map (fun (n, r) -> (n, Atomic.get r)) runs;
+      counterexamples = List.concat (List.rev rev_groups);
+    }
+  in
+  let sequential () =
+    let rec loop case acc =
+      if case >= cfg.max_cases || over_budget () then finish case acc
+      else begin
+        on_case case;
+        loop (case + 1) (check_case cfg runs case :: acc)
+      end
+    in
+    loop 0 []
+  in
+  let sharded pool =
+    (* every case is an independent task; the pool's domains claim them
+       dynamically.  With no wall-clock budget the outcome is the
+       sequential one exactly; a budget stops whichever cases have not
+       started yet (a different subset than sequentially, since cases
+       finish out of order — the per-case verdicts still reproduce). *)
+    let results =
+      Pool.parallel_map pool
+        (fun case ->
+          if over_budget () then None
+          else begin
+            on_case case;
+            Some (check_case cfg runs case)
+          end)
+        (Array.init cfg.max_cases Fun.id)
+    in
+    let cases =
+      Array.fold_left
+        (fun n -> function Some _ -> n + 1 | None -> n)
+        0 results
+    in
+    let groups =
+      Array.fold_left
+        (fun acc -> function Some cex -> cex :: acc | None -> acc)
+        [] results
+    in
+    finish cases groups
+  in
+  match pool with
+  | Some p when Pool.domains p > 1 -> sharded p
+  | Some _ -> sequential ()
+  | None ->
+    if cfg.jobs > 1 then Pool.with_pool ~domains:cfg.jobs sharded
+    else sequential ()
 
 let pp_counterexample ppf c =
   Format.fprintf ppf

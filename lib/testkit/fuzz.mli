@@ -1,11 +1,17 @@
 (** The differential fuzzing driver.
 
     Seeded and budgeted: with a fixed [seed] and [max_cases] (and no
-    wall-clock budget) a run is fully deterministic — the generator
-    draws from a private [Random.State], and every oracle is a
-    deterministic function of the scenario.  The wall-clock [budget]
-    only ever stops the loop {e between} cases, so the verdict of every
-    case that did run is reproducible from the seed alone. *)
+    wall-clock budget) a run is fully deterministic — every case [i]
+    draws its scenario from a private [Random.State] seeded by
+    [(seed, i)], and every oracle is a deterministic function of the
+    scenario.  Because cases are mutually independent, sharding them
+    across domains ([jobs > 1]) yields the exact same corpus, verdicts
+    and counterexamples as the sequential run — only wall-clock
+    changes.  The wall-clock [budget] only ever stops cases that have
+    not started (checked between cases sequentially, at task start when
+    sharded), so the verdict of every case that did run is reproducible
+    from the seed alone; under a budget the {e set} of cases that ran
+    may differ between job counts. *)
 
 type config = {
   seed : int;
@@ -13,6 +19,7 @@ type config = {
   budget : float option;      (** wall-clock seconds, checked between cases *)
   oracles : Oracle.t list;    (** default: {!Oracle.all} *)
   max_shrink : int;           (** oracle re-evaluations per shrink (default 500) *)
+  jobs : int;                 (** worker domains sharding the cases (default 1) *)
 }
 
 val default_config : config
@@ -29,7 +36,7 @@ type report = {
   cases : int;
   elapsed : float;
   oracle_runs : (string * int) list;  (** checks executed, per oracle *)
-  counterexamples : counterexample list;
+  counterexamples : counterexample list;  (** sorted by case index *)
 }
 
 val shrink :
@@ -40,7 +47,12 @@ val shrink :
     the evaluation budget is reached.  Returns the smaller scenario and
     its (possibly updated) failure detail. *)
 
-val run : ?on_case:(int -> unit) -> config -> report
+val run : ?on_case:(int -> unit) -> ?pool:Csp_parallel.Pool.t -> config -> report
+(** Runs the campaign.  With [jobs > 1] (or a multi-domain [pool],
+    which takes precedence over [jobs] and is not shut down), cases
+    are claimed dynamically by worker domains; [on_case] then fires
+    from whichever domain runs the case, concurrently with others —
+    keep it reentrant (the default progress printers are). *)
 
 val pp_counterexample : Format.formatter -> counterexample -> unit
 (** Prints the diagnosis followed by the scenario as parseable [.csp]
