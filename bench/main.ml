@@ -726,7 +726,7 @@ let write_bench_json path rows =
         r.p8_nodes r.p8_hit_rate
         (if i = last then "" else ","))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"snapshot\": %s\n}\n" (Obs.snapshot_json ());
   close_out oc
 
 let p8_hashcons ?(smoke = false) () =
@@ -1103,7 +1103,7 @@ let write_p10_json path rows =
         r.p10_intern_nodes r.p10_table_len r.p10_hit_rate
         (if i = last then "" else ","))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"snapshot\": %s\n}\n" (Obs.snapshot_json ());
   close_out oc
 
 let p10_procir ?(smoke = false) () =
@@ -1225,7 +1225,7 @@ let write_p11_json path ~host_domains rows =
         r.p11_speedup r.p11_identical
         (if i = last then "" else ","))
     rows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"snapshot\": %s\n}\n" (Obs.snapshot_json ());
   close_out oc
 
 let p11_parallel ?(smoke = false) () =
@@ -1304,6 +1304,158 @@ let p11_parallel ?(smoke = false) () =
     workloads;
   write_p11_json "BENCH_parallel.json" ~host_domains:host (List.rev !rows);
   result "  wrote BENCH_parallel.json\n"
+
+(* ---------------------------------------------------------------------- *)
+(* P12: observability overhead — the disabled path must be free            *)
+(* ---------------------------------------------------------------------- *)
+
+(* Two measurements, written to BENCH_obs.json:
+
+   - micro: the per-call cost of a dormant [Obs.span] and a live
+     [Obs.Counter.incr] (one atomic load / one atomic RMW), measured
+     directly;
+   - macro: representative workloads (LTS exploration, the denotational
+     fixpoint, a bounded sat check) timed with telemetry off and on.
+     The off-mode run IS the shipping configuration, so its estimated
+     instrumentation cost — span sites crossed × dormant span cost,
+     relative to the run time — is the "overhead vs the uninstrumented
+     baseline" number the roadmap's ≤2% budget constrains.  The
+     enabled-mode column prices the clock reads and event records a
+     profiled run pays. *)
+
+type p12_row = {
+  p12_name : string;
+  p12_disabled_ms : float;
+  p12_enabled_ms : float;
+  p12_events : int; (* span events one enabled run records *)
+  p12_disabled_overhead_pct : float; (* estimated, vs uninstrumented *)
+  p12_enabled_overhead_pct : float; (* measured, enabled vs disabled *)
+}
+
+let time_ns_per_op ?(iters = 1_000_000) f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let write_p12_json path ~span_ns ~counter_ns rows =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"p12_obs_overhead\",\n  \
+     \"span_disabled_ns_per_call\": %.2f,\n  \
+     \"counter_incr_ns_per_call\": %.2f,\n  \"results\": [\n"
+    span_ns counter_ns;
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"disabled_ms\": %.3f, \"enabled_ms\": \
+         %.3f, \"span_events\": %d, \"disabled_overhead_pct\": %.4f, \
+         \"enabled_overhead_pct\": %.2f }%s\n"
+        r.p12_name r.p12_disabled_ms r.p12_enabled_ms r.p12_events
+        r.p12_disabled_overhead_pct r.p12_enabled_overhead_pct
+        (if i = last then "" else ","))
+    rows;
+  let worst =
+    List.fold_left (fun m r -> Float.max m r.p12_disabled_overhead_pct) 0.0 rows
+  in
+  Printf.fprintf oc
+    "  ],\n  \"max_disabled_overhead_pct\": %.4f,\n  \
+     \"budget_pct\": 2.0,\n  \"within_budget\": %b\n}\n"
+    worst (worst <= 2.0);
+  close_out oc;
+  worst
+
+let p12_obs_overhead ?(smoke = false) () =
+  section "P12: observability overhead (dormant instruments vs profiled runs)";
+  let was_enabled = Obs.enabled () in
+  Obs.set_enabled false;
+  (* micro: dormant span vs live counter *)
+  let probe_counter = Obs.Counter.make "bench.p12.probe" in
+  let baseline_ns = time_ns_per_op (fun () -> Sys.opaque_identity 0) in
+  let span_ns =
+    time_ns_per_op (fun () -> Obs.span ~cat:"bench" "noop" (fun () -> 0))
+    -. baseline_ns
+  in
+  let counter_ns =
+    time_ns_per_op (fun () -> Obs.Counter.incr probe_counter) -. baseline_ns
+  in
+  result "  dormant span:     %6.2f ns/call (one atomic load)\n" span_ns;
+  result "  counter incr:     %6.2f ns/call (one atomic RMW)\n" counter_ns;
+  (* macro workloads: telemetry off (shipping mode) vs on (profiling) *)
+  let sampler = Sampler.nat_bound 2 in
+  let chain_n = if smoke then 3 else 6 in
+  let defs, chain = Paper.Copier.chain_defs chain_n in
+  let network = match chain with Process.Hide (_, net) -> net | p -> p in
+  let workloads =
+    [
+      ( Printf.sprintf "chain%d-explore" chain_n,
+        fun () ->
+          ignore
+            (Sys.opaque_identity
+               (Lts.explore ~max_states:100_000
+                  (Step.config ~sampler defs)
+                  network)) );
+      ( "protocol-denote",
+        fun () ->
+          ignore
+            (Sys.opaque_identity
+               (Denote.denote
+                  (Denote.config ~sampler Paper.Protocol.defs)
+                  ~depth:(if smoke then 3 else 4)
+                  Paper.Protocol.network)) );
+      ( Printf.sprintf "chain%d-sat" chain_n,
+        fun () ->
+          ignore
+            (Sys.opaque_identity
+               (Sat.check ~depth:6
+                  (Step.config ~sampler defs)
+                  chain
+                  (Paper.Copier.chain_spec chain_n))) );
+    ]
+  in
+  result "  %-18s %12s %12s %10s %12s %12s\n" "workload" "off(ms)" "on(ms)"
+    "events" "off-ovh(%)" "on-ovh(%)";
+  let rows =
+    List.map
+      (fun (label, run) ->
+        Obs.set_enabled false;
+        let disabled_ms = time_ms ~repeats:3 ~cold:true run in
+        Obs.set_enabled true;
+        Obs.clear_events ();
+        Closure.clear_caches ();
+        run ();
+        let events = Obs.event_count () in
+        let enabled_ms = time_ms ~repeats:3 ~cold:true run in
+        Obs.set_enabled false;
+        Obs.clear_events ();
+        (* what the dormant instruments cost the off-mode run: every
+           span site crossed still pays one atomic load *)
+        let disabled_overhead_pct =
+          float_of_int events *. span_ns /. (disabled_ms *. 1e6) *. 100.0
+        in
+        let enabled_overhead_pct =
+          (enabled_ms -. disabled_ms) /. disabled_ms *. 100.0
+        in
+        result "  %-18s %12.1f %12.1f %10d %12.4f %12.2f\n" label disabled_ms
+          enabled_ms events disabled_overhead_pct enabled_overhead_pct;
+        {
+          p12_name = label;
+          p12_disabled_ms = disabled_ms;
+          p12_enabled_ms = enabled_ms;
+          p12_events = events;
+          p12_disabled_overhead_pct = disabled_overhead_pct;
+          p12_enabled_overhead_pct = enabled_overhead_pct;
+        })
+      workloads
+  in
+  let worst = write_p12_json "BENCH_obs.json" ~span_ns ~counter_ns rows in
+  Obs.set_enabled was_enabled;
+  result "  wrote BENCH_obs.json (max disabled-mode overhead %.4f%%, budget \
+          2%%: %s)\n"
+    worst
+    (ok (worst <= 2.0))
 
 (* ---------------------------------------------------------------------- *)
 (* Part 2: Bechamel timing suites (P1–P6)                                  *)
@@ -1494,6 +1646,7 @@ let () =
     p8_hashcons ~smoke:true ();
     p10_procir ~smoke:true ();
     p11_parallel ~smoke:true ();
+    p12_obs_overhead ~smoke:true ();
     p9_fuzz_throughput ~cases:100 ();
     print_newline ()
   | "p8" ->
@@ -1504,6 +1657,9 @@ let () =
     print_newline ()
   | "p11" ->
     p11_parallel ();
+    print_newline ()
+  | "p12" | "obs" ->
+    p12_obs_overhead ();
     print_newline ()
   | _ ->
     let quick = mode = "quick" in
@@ -1524,6 +1680,7 @@ let () =
       p8_hashcons ();
       p10_procir ();
       p11_parallel ();
+      p12_obs_overhead ();
       p9_fuzz_throughput ();
       run_timings ()
     end;

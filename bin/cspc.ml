@@ -11,6 +11,9 @@ module Printer = Csp_syntax.Printer
 let die fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
 
 let load path =
+  Obs.span ~cat:"cli" "load"
+    ~args:(fun () -> [ ("path", Obs.String path) ])
+  @@ fun () ->
   let ic = try open_in path with Sys_error m -> die "%s" m in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
@@ -46,14 +49,47 @@ let tables_of file =
 let engine ?depth ?seed ?(domains = 1) file ~nat_bound =
   Engine.create ?depth ?seed ~domains ~nat_bound file.Parser.defs
 
-(* --stats: kernel cache and domain-pool counters, on stderr so they
-   compose with redirected command output. *)
-let print_stats stats =
-  if stats then Format.eprintf "%a@." Engine.pp_stats (Engine.stats ())
+(* ---- telemetry ------------------------------------------------------- *)
+
+(* Every subcommand takes the same three exporters.  [--stats] prints
+   the full registry snapshot (kernel caches, pool, per-oracle
+   counters, timers) as `key = value` lines on stderr, so it composes
+   with redirected command output; [--stats-json FILE] writes the same
+   snapshot as one JSON object; [--trace-out FILE] writes the span log
+   in Chrome trace_event format (load in chrome://tracing or
+   Perfetto).  Any of the three switches telemetry on for the whole
+   run; outputs are exported in an [at_exit] hook so failing commands
+   (exit 1) still produce their telemetry. *)
+type telemetry = {
+  stats : bool;
+  stats_json : string option;
+  trace_out : string option;
+}
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let install_telemetry t =
+  if t.stats || t.stats_json <> None || t.trace_out <> None then begin
+    Obs.set_enabled true;
+    at_exit (fun () ->
+        if t.stats then Format.eprintf "%a@." Obs.pp_snapshot ();
+        Option.iter (fun p -> write_file p (Obs.snapshot_json ())) t.stats_json;
+        Option.iter (fun p -> write_file p (Obs.chrome_trace ())) t.trace_out)
+  end
+
+(* Instrument the command body itself: with telemetry off this is one
+   atomic load, with it on the trace gets a root span per command. *)
+let with_telemetry name t f =
+  install_telemetry t;
+  Obs.span ~cat:"cli" name f
 
 (* ---- parse ---------------------------------------------------------- *)
 
-let cmd_parse path =
+let cmd_parse path telemetry =
+  with_telemetry "parse" telemetry @@ fun () ->
   let file = load path in
   print_endline (Printer.defs file.Parser.defs);
   List.iter
@@ -68,7 +104,8 @@ let cmd_parse path =
 
 (* ---- traces --------------------------------------------------------- *)
 
-let cmd_traces path name depth nat_bound denotational =
+let cmd_traces path name depth nat_bound denotational telemetry =
+  with_telemetry "traces" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let eng = engine ~depth file ~nat_bound in
@@ -83,7 +120,8 @@ let cmd_traces path name depth nat_bound denotational =
 
 (* ---- simulate ------------------------------------------------------- *)
 
-let cmd_simulate path name steps seed nat_bound =
+let cmd_simulate path name steps seed nat_bound telemetry =
+  with_telemetry "simulate" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let monitors =
@@ -115,7 +153,8 @@ let target_process file = function
     let _ = (x, m) in
     Process.ref_ q
 
-let cmd_check path depth nat_bound stats =
+let cmd_check path depth nat_bound telemetry =
+  with_telemetry "check" telemetry @@ fun () ->
   let file = load path in
   let eng = engine ~depth file ~nat_bound in
   let failures = ref 0 in
@@ -142,12 +181,12 @@ let cmd_check path depth nat_bound stats =
           (Sampler.sample eng.Engine.sampler m))
     file.Parser.decls;
   ignore target_process;
-  print_stats stats;
   if !failures > 0 then die "%d assertion(s) failed" !failures
 
 (* ---- prove ---------------------------------------------------------- *)
 
-let cmd_prove path verbose emit =
+let cmd_prove path verbose emit telemetry =
+  with_telemetry "prove" telemetry @@ fun () ->
   let file = load path in
   let tables = tables_of file in
   let ctx = Sequent.context file.Parser.defs in
@@ -185,7 +224,8 @@ let cmd_prove path verbose emit =
 
 (* ---- check-cert --------------------------------------------------------- *)
 
-let cmd_check_cert path cert_path =
+let cmd_check_cert path cert_path telemetry =
+  with_telemetry "check-cert" telemetry @@ fun () ->
   let file = load path in
   let ic = open_in cert_path in
   let raw = really_input_string ic (in_channel_length ic) in
@@ -211,7 +251,8 @@ let cmd_check_cert path cert_path =
 
 (* ---- deadlock ------------------------------------------------------- *)
 
-let cmd_deadlock path name steps runs nat_bound seed =
+let cmd_deadlock path name steps runs nat_bound seed telemetry =
+  with_telemetry "deadlock" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let eng = engine ~seed file ~nat_bound in
@@ -225,7 +266,8 @@ let cmd_deadlock path name steps runs nat_bound seed =
 
 (* ---- graph ----------------------------------------------------------- *)
 
-let cmd_graph path name max_states nat_bound output jobs stats =
+let cmd_graph path name max_states nat_bound output jobs telemetry =
+  with_telemetry "graph" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let eng = engine ~domains:jobs file ~nat_bound in
@@ -242,7 +284,6 @@ let cmd_graph path name max_states nat_bound output jobs stats =
     (Lts.is_deterministic lts)
     (List.length (Lts.deadlock_states lts));
   let dot = Lts.to_dot ~name lts in
-  print_stats stats;
   match output with
   | None -> print_string dot
   | Some f ->
@@ -253,7 +294,8 @@ let cmd_graph path name max_states nat_bound output jobs stats =
 
 (* ---- refusals ---------------------------------------------------------- *)
 
-let cmd_refusals path name depth nat_bound =
+let cmd_refusals path name depth nat_bound telemetry =
+  with_telemetry "refusals" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let cfg = Engine.step_config (engine ~depth file ~nat_bound) in
@@ -269,31 +311,29 @@ let cmd_refusals path name depth nat_bound =
 
 (* ---- refine ------------------------------------------------------------ *)
 
-let cmd_refine path impl spec depth nat_bound weak jobs stats =
+let cmd_refine path impl spec depth nat_bound weak jobs telemetry =
+  with_telemetry "refine" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file impl and q = find_process file spec in
   let eng = engine ~depth ~domains:jobs file ~nat_bound in
   let cfg = Engine.step_config eng in
-  if weak then begin
+  if weak then
     Printf.printf "%s and %s weakly bisimilar (bounded): %b\n" impl spec
-      (Bisim.weak_equivalent ?pool:(Engine.pool eng) cfg p q);
-    print_stats stats
-  end
+      (Bisim.weak_equivalent ?pool:(Engine.pool eng) cfg p q)
   else begin
     match Equiv.trace_refines ~depth cfg ~impl:p ~spec:q with
     | Ok () ->
-      Printf.printf "%s trace-refines %s up to depth %d\n" impl spec depth;
-      print_stats stats
+      Printf.printf "%s trace-refines %s up to depth %d\n" impl spec depth
     | Error s ->
       Printf.printf "NOT a refinement: %s allows %s, %s does not\n" impl
         (Trace.to_string s) spec;
-      print_stats stats;
       exit 1
   end
 
 (* ---- infer ------------------------------------------------------------ *)
 
-let cmd_infer path name nat_bound seed =
+let cmd_infer path name nat_bound seed telemetry =
+  with_telemetry "infer" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let eng = engine ~seed file ~nat_bound in
@@ -326,7 +366,8 @@ let resolve_oracles = function
             (String.concat ", " (Oracle.names ())))
       names
 
-let cmd_fuzz seed cases budget oracle_names save replay jobs stats =
+let cmd_fuzz seed cases budget oracle_names save replay jobs telemetry =
+  with_telemetry "fuzz" telemetry @@ fun () ->
   let oracles = resolve_oracles oracle_names in
   let replay_failures =
     match replay with
@@ -366,7 +407,6 @@ let cmd_fuzz seed cases budget oracle_names save replay jobs stats =
       }
   in
   Format.printf "%a@." Fuzz.pp_report report;
-  print_stats stats;
   (match save with
   | Some dir ->
     List.iter
@@ -416,15 +456,37 @@ let jobs_arg =
         ~doc:"Worker domains for parallel exploration/fuzzing (results are \
               identical to -j 1; only wall-clock changes)")
 
-let stats_arg =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:"Print kernel cache and domain-pool statistics to stderr")
+(* One shared telemetry term, appended to every subcommand. *)
+let telemetry_arg =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the full telemetry snapshot (kernel caches, pool, \
+                per-oracle counters, timers) as key = value lines on stderr")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write the telemetry snapshot to FILE as one JSON object")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the span log to FILE in Chrome trace_event format \
+                (load in chrome://tracing or Perfetto)")
+  in
+  Term.(
+    const (fun stats stats_json trace_out -> { stats; stats_json; trace_out })
+    $ stats $ stats_json $ trace_out)
 
 let parse_cmd =
   Cmd.v (Cmd.info "parse" ~doc:"Parse and pretty-print a .csp file")
-    Term.(const cmd_parse $ path_arg)
+    Term.(const cmd_parse $ path_arg $ telemetry_arg)
 
 let traces_cmd =
   let deno =
@@ -435,21 +497,25 @@ let traces_cmd =
                 operational enumeration")
   in
   Cmd.v (Cmd.info "traces" ~doc:"Enumerate traces of a process")
-    Term.(const cmd_traces $ path_arg $ name_arg $ depth_arg 5 $ nat_arg $ deno)
+    Term.(
+      const cmd_traces $ path_arg $ name_arg $ depth_arg 5 $ nat_arg $ deno
+      $ telemetry_arg)
 
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute a process with a random scheduler, monitoring its \
              declared assertions")
-    Term.(const cmd_simulate $ path_arg $ name_arg $ steps_arg $ seed_arg $ nat_arg)
+    Term.(
+      const cmd_simulate $ path_arg $ name_arg $ steps_arg $ seed_arg $ nat_arg
+      $ telemetry_arg)
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Bounded model check of every declared assertion (exact up to \
              the depth and sample)")
-    Term.(const cmd_check $ path_arg $ depth_arg 6 $ nat_arg $ stats_arg)
+    Term.(const cmd_check $ path_arg $ depth_arg 6 $ nat_arg $ telemetry_arg)
 
 let prove_cmd =
   let emit =
@@ -462,7 +528,7 @@ let prove_cmd =
     (Cmd.info "prove"
        ~doc:"Prove every declared assertion with the inference rules of the \
              paper, using the declarations as loop invariants")
-    Term.(const cmd_prove $ path_arg $ verbose_arg $ emit)
+    Term.(const cmd_prove $ path_arg $ verbose_arg $ emit $ telemetry_arg)
 
 let check_cert_cmd =
   let cert =
@@ -475,7 +541,7 @@ let check_cert_cmd =
     (Cmd.info "check-cert"
        ~doc:"Re-verify proof certificates against the definitions, without \
              re-running the tactic")
-    Term.(const cmd_check_cert $ path_arg $ cert)
+    Term.(const cmd_check_cert $ path_arg $ cert $ telemetry_arg)
 
 let graph_cmd =
   let out =
@@ -492,7 +558,7 @@ let graph_cmd =
        ~doc:"Explore the labelled transition system and emit Graphviz DOT")
     Term.(
       const cmd_graph $ path_arg $ name_arg $ max_states $ nat_arg $ out
-      $ jobs_arg $ stats_arg)
+      $ jobs_arg $ telemetry_arg)
 
 let refusals_cmd =
   Cmd.v
@@ -500,7 +566,9 @@ let refusals_cmd =
        ~doc:"Print the bounded stable-failures of a process (the §4 \
              extension: distinguishes STOP|P from P and reports \
              deadlocks)")
-    Term.(const cmd_refusals $ path_arg $ name_arg $ depth_arg 3 $ nat_arg)
+    Term.(
+      const cmd_refusals $ path_arg $ name_arg $ depth_arg 3 $ nat_arg
+      $ telemetry_arg)
 
 let refine_cmd =
   let spec =
@@ -521,7 +589,7 @@ let refine_cmd =
              bisimilar to it)")
     Term.(
       const cmd_refine $ path_arg $ name_arg $ spec $ depth_arg 5 $ nat_arg
-      $ weak $ jobs_arg $ stats_arg)
+      $ weak $ jobs_arg $ telemetry_arg)
 
 let infer_cmd =
   Cmd.v
@@ -529,7 +597,9 @@ let infer_cmd =
        ~doc:"Discover invariants: observe simulated histories, \
              conjecture template instances, and prove the survivors \
              with the recursion rule")
-    Term.(const cmd_infer $ path_arg $ name_arg $ nat_arg $ seed_arg)
+    Term.(
+      const cmd_infer $ path_arg $ name_arg $ nat_arg $ seed_arg
+      $ telemetry_arg)
 
 let fuzz_cmd =
   let seed =
@@ -577,7 +647,7 @@ let fuzz_cmd =
              are shrunk and printed as parseable .csp text")
     Term.(
       const cmd_fuzz $ seed $ cases $ budget $ oracles $ save $ replay
-      $ jobs_arg $ stats_arg)
+      $ jobs_arg $ telemetry_arg)
 
 let deadlock_cmd =
   Cmd.v
@@ -586,7 +656,7 @@ let deadlock_cmd =
              correctness cannot rule them out — §4)")
     Term.(
       const cmd_deadlock $ path_arg $ name_arg $ steps_arg $ runs_arg
-      $ nat_arg $ seed_arg)
+      $ nat_arg $ seed_arg $ telemetry_arg)
 
 let main =
   Cmd.group

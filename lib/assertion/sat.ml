@@ -2,6 +2,14 @@ module History = Csp_trace.History
 module Trace = Csp_trace.Trace
 module Closure = Csp_semantics.Closure
 module Step = Csp_semantics.Step
+module Obs = Csp_obs.Obs
+
+(* Bounded-check telemetry: queries answered, assertion evaluations
+   actually performed (early exit on a counterexample keeps this below
+   the closure cardinal), and refutations found. *)
+let checks = Obs.Counter.make "sat.checks"
+let trace_evals = Obs.Counter.make "sat.trace_evals"
+let refutations = Obs.Counter.make "sat.refutations"
 
 type outcome =
   | Holds of { traces : int; depth : int }
@@ -10,6 +18,10 @@ type outcome =
 exception Refuted of Csp_trace.Trace.t
 
 let check_closure ?rho ?funs ?nat_bound closure assertion =
+  Obs.Counter.incr checks;
+  Obs.span ~cat:"sat" "check"
+    ~args:(fun () -> [ ("cardinal", Obs.Int (Closure.cardinal closure)) ])
+  @@ fun () ->
   let ctx0 = Term.ctx ?rho ?funs ?nat_bound () in
   (* Stream the member traces (same order as [Closure.to_traces]) so a
      counterexample exits early and no trace list is materialised;
@@ -17,12 +29,15 @@ let check_closure ?rho ?funs ?nat_bound closure assertion =
   match
     Closure.fold_traces
       (fun s n ->
+        Obs.Counter.incr trace_evals;
         let ctx = { ctx0 with Term.hist = History.of_trace s } in
         if Assertion.eval ctx assertion then n + 1 else raise (Refuted s))
       closure 0
   with
   | n -> Holds { traces = n; depth = Closure.depth closure }
-  | exception Refuted s -> Fails { trace = s }
+  | exception Refuted s ->
+    Obs.Counter.incr refutations;
+    Fails { trace = s }
 
 let check ?rho ?funs ?nat_bound ?(depth = 6) cfg p assertion =
   check_closure ?rho ?funs ?nat_bound (Step.traces cfg ~depth p) assertion

@@ -57,6 +57,9 @@ module Cert = Csp_proof.Cert
 (* Parallel execution substrate *)
 module Pool = Csp_parallel.Pool
 
+(* Observability *)
+module Obs = Csp_obs.Obs
+
 (* Execution *)
 module Scheduler = Csp_sim.Scheduler
 module Runner = Csp_sim.Runner

@@ -7,6 +7,8 @@
    the task count.  Workers go back to sleep between batches, so an
    idle pool costs nothing. *)
 
+module Obs = Csp_obs.Obs
+
 (* Global counters (aggregated by [Engine.stats]).  [Atomic]: tasks
    complete on arbitrary domains. *)
 let pools_created = Atomic.make 0
@@ -15,12 +17,25 @@ let batches_run = Atomic.make 0
 let tasks_run = Atomic.make 0
 let caller_tasks_run = Atomic.make 0
 
+(* Contended acquisitions of a pool mutex, probed with [try_lock] so
+   the uncontended path pays one extra branch.  A worker parked on the
+   condition variable does not count — only acquisitions that actually
+   found the mutex held. *)
+let lock_waits = Atomic.make 0
+
+let lock_mutex m =
+  if not (Mutex.try_lock m) then begin
+    Atomic.incr lock_waits;
+    Mutex.lock m
+  end
+
 type stats = {
   pools : int;
   workers : int;
   batches : int;
   tasks : int;
   caller_tasks : int;
+  lock_waits : int;
 }
 
 let stats () =
@@ -30,7 +45,22 @@ let stats () =
     batches = Atomic.get batches_run;
     tasks = Atomic.get tasks_run;
     caller_tasks = Atomic.get caller_tasks_run;
+    lock_waits = Atomic.get lock_waits;
   }
+
+(* Telemetry: the registry snapshot exposes the same counters, so
+   `--stats-json` sees the pool without going through [Engine.stats]. *)
+let () =
+  Obs.register_source "pool" (fun () ->
+      let s = stats () in
+      [
+        ("pools", Obs.Int s.pools);
+        ("workers", Obs.Int s.workers);
+        ("batches", Obs.Int s.batches);
+        ("tasks", Obs.Int s.tasks);
+        ("caller_tasks", Obs.Int s.caller_tasks);
+        ("lock_waits", Obs.Int s.lock_waits);
+      ])
 
 type batch = {
   tasks : (int -> unit) array;
@@ -61,7 +91,7 @@ let drain t ~as_caller (b : batch) =
       Atomic.incr tasks_run;
       if as_caller then Atomic.incr caller_tasks_run;
       if Atomic.fetch_and_add b.completed 1 + 1 = len then begin
-        Mutex.lock t.mutex;
+        lock_mutex t.mutex;
         Condition.broadcast t.join;
         Mutex.unlock t.mutex
       end;
@@ -72,21 +102,27 @@ let drain t ~as_caller (b : batch) =
 
 let worker_loop t =
   let rec wait_for_work my_gen =
-    Mutex.lock t.mutex;
+    lock_mutex t.mutex;
     while (not t.stop) && t.generation = my_gen do
       Condition.wait t.wake t.mutex
     done;
     let gen = t.generation and b = t.current and stop = t.stop in
     Mutex.unlock t.mutex;
     if not stop then begin
-      (match b with Some b -> drain t ~as_caller:false b | None -> ());
+      (match b with
+      | Some b ->
+        (* claim tasks until the batch cursor runs dry; one span per
+           batch per worker keeps the trace proportional to barriers,
+           not tasks *)
+        Obs.span ~cat:"pool" "drain" (fun () -> drain t ~as_caller:false b)
+      | None -> ());
       wait_for_work gen
     end
   in
   wait_for_work 0
 
 let shutdown t =
-  Mutex.lock t.mutex;
+  lock_mutex t.mutex;
   t.stop <- true;
   Condition.broadcast t.wake;
   let ws = t.workers in
@@ -133,37 +169,44 @@ let exec_batch t ntasks (task : int -> unit) =
     let guarded i =
       try task i with e -> failures.(i) <- Some e
     in
-    if t.n = 1 || ntasks = 1 then
-      for i = 0 to ntasks - 1 do
-        guarded i;
-        Atomic.incr tasks_run;
-        Atomic.incr caller_tasks_run
-      done
-    else begin
-      let b =
-        {
-          tasks = Array.make ntasks guarded;
-          cursor = Atomic.make 0;
-          completed = Atomic.make 0;
-        }
-      in
-      Mutex.lock t.mutex;
-      if t.stop then begin
-        Mutex.unlock t.mutex;
-        invalid_arg "Pool: batch submitted after shutdown"
-      end;
-      t.current <- Some b;
-      t.generation <- t.generation + 1;
-      Condition.broadcast t.wake;
-      Mutex.unlock t.mutex;
-      drain t ~as_caller:true b;
-      Mutex.lock t.mutex;
-      while Atomic.get b.completed < ntasks do
-        Condition.wait t.join t.mutex
-      done;
-      t.current <- None;
-      Mutex.unlock t.mutex
-    end;
+    Obs.span ~cat:"pool" "batch"
+      ~args:(fun () ->
+        [ ("tasks", Obs.Int ntasks); ("domains", Obs.Int t.n) ])
+      (fun () ->
+        if t.n = 1 || ntasks = 1 then
+          for i = 0 to ntasks - 1 do
+            guarded i;
+            Atomic.incr tasks_run;
+            Atomic.incr caller_tasks_run
+          done
+        else begin
+          let b =
+            {
+              tasks = Array.make ntasks guarded;
+              cursor = Atomic.make 0;
+              completed = Atomic.make 0;
+            }
+          in
+          lock_mutex t.mutex;
+          if t.stop then begin
+            Mutex.unlock t.mutex;
+            invalid_arg "Pool: batch submitted after shutdown"
+          end;
+          t.current <- Some b;
+          t.generation <- t.generation + 1;
+          Condition.broadcast t.wake;
+          Mutex.unlock t.mutex;
+          drain t ~as_caller:true b;
+          (* the submitting domain ran out of claimable tasks; wait for
+             stragglers on other domains to finish theirs *)
+          Obs.span ~cat:"pool" "join-wait" (fun () ->
+              lock_mutex t.mutex;
+              while Atomic.get b.completed < ntasks do
+                Condition.wait t.join t.mutex
+              done;
+              t.current <- None;
+              Mutex.unlock t.mutex)
+        end);
     Array.iter (function Some e -> raise e | None -> ()) failures
   end
 

@@ -74,6 +74,7 @@ type stats = {
   batches : int;      (** fork-join barriers executed *)
   tasks : int;        (** tasks claimed and run, across all batches *)
   caller_tasks : int; (** of those, tasks run by the submitting domain *)
+  lock_waits : int;   (** contended pool-mutex acquisitions *)
 }
 
 val stats : unit -> stats

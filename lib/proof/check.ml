@@ -323,10 +323,16 @@ and check_fix st ctx u j specs i =
   in
   record st j "recursion" premises
 
+(* Rule applications the checker actually verified, summed over every
+   accepted proof — [check.rules_applied] in [Obs.snapshot]. *)
+let rules_applied_counter = Csp_obs.Obs.Counter.make "check.rules_applied"
+
 let check ?(config = Prover.default_config) ctx j proof =
+  Csp_obs.Obs.span ~cat:"proof" "check" @@ fun () ->
   let st = { config; obligations = []; steps = []; next = 1 } in
   match go st ctx [] j proof with
   | _ ->
+    Csp_obs.Obs.Counter.add rules_applied_counter (st.next - 1);
     Ok
       {
         obligations = List.rev st.obligations;

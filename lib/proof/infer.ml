@@ -164,7 +164,11 @@ let conjecture ?(config = default_config) scfg p =
   in
   prefix_cands @ fprefix_cands @ length_cands
 
+let conjectures_counter = Csp_obs.Obs.Counter.make "infer.conjectures"
+let proved_counter = Csp_obs.Obs.Counter.make "infer.proved"
+
 let infer ?(config = default_config) ?(tables = Tactic.no_tables) scfg ~name p =
+  Csp_obs.Obs.span ~cat:"infer" "infer" @@ fun () ->
   let ctx = Sequent.context scfg.Step.defs in
   let with_invariant inv =
     {
@@ -204,7 +208,13 @@ let infer ?(config = default_config) ?(tables = Tactic.no_tables) scfg ~name p =
           | None -> c)
       first_pass
   in
-  List.stable_sort (fun a b -> Bool.compare b.proved a.proved) second_pass
+  let results =
+    List.stable_sort (fun a b -> Bool.compare b.proved a.proved) second_pass
+  in
+  Csp_obs.Obs.Counter.add conjectures_counter (List.length results);
+  Csp_obs.Obs.Counter.add proved_counter
+    (List.length (List.filter (fun c -> c.proved) results));
+  results
 
 let infer_engine ?config ?tables eng ~name p =
   let config = match config with Some c -> c | None -> engine_config eng in

@@ -4,6 +4,12 @@ module Chan_expr = Csp_lang.Chan_expr
 module Expr = Csp_lang.Expr
 module Vset = Csp_lang.Vset
 module Defs = Csp_lang.Defs
+module Obs = Csp_obs.Obs
+
+(* Inference-rule applications attempted by the tactic, summed over
+   every [derive] judgment (whether or not the attempt succeeds) — the
+   proof-search analogue of the kernel cache counters. *)
+let rules_attempted = Obs.Counter.make "tactic.rules_attempted"
 
 type tables = {
   invariants : (string * Assertion.t) list;
@@ -100,6 +106,7 @@ let reachable_names defs start =
 
 let rec derive st (ctx : Sequent.context) ~bound ~budget (j : Sequent.judgment)
     : Proof.t =
+  Obs.Counter.incr rules_attempted;
   match j with
   | Sequent.Holds_all (q, x, m, s) -> (
     match find_sat_array ctx q with

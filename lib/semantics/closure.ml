@@ -1,6 +1,13 @@
 module Event = Csp_trace.Event
 module Trace = Csp_trace.Trace
 module Channel = Csp_trace.Channel
+module Obs = Csp_obs.Obs
+
+(* Wall-clock spent interning nodes (the unique-table critical section
+   plus the cardinal/depth folds).  Recorded only while telemetry is
+   enabled — [node] is the hottest function in the kernel, so the
+   dormant path must not even read the clock. *)
+let node_timer = Obs.Timer.make "closure.node"
 
 (* Hash-consed prefix-closure tries (BDD-style unique/compute tables).
 
@@ -92,23 +99,34 @@ let memo_misses = ref 0
 let empty = { id = 0; children = []; cardinal = 1; depth = 0 }
 let () = Unique.add unique empty
 
+let intern_children children =
+  locked (fun () ->
+      let cardinal =
+        List.fold_left (fun acc (_, t) -> acc + t.cardinal) 1 children
+      and depth =
+        List.fold_left (fun acc (_, t) -> max acc (1 + t.depth)) 0 children
+      in
+      let candidate = { id = !next_id; children; cardinal; depth } in
+      let interned = Unique.merge unique candidate in
+      if interned == candidate then begin
+        incr next_id;
+        incr nodes_created
+      end;
+      interned)
+
 let node children =
   match children with
   | [] -> empty
   | _ ->
-    locked (fun () ->
-        let cardinal =
-          List.fold_left (fun acc (_, t) -> acc + t.cardinal) 1 children
-        and depth =
-          List.fold_left (fun acc (_, t) -> max acc (1 + t.depth)) 0 children
-        in
-        let candidate = { id = !next_id; children; cardinal; depth } in
-        let interned = Unique.merge unique candidate in
-        if interned == candidate then begin
-          incr next_id;
-          incr nodes_created
-        end;
-        interned)
+    (* manual enabled branch rather than [Timer.time]: no closure
+       allocation on the hot path *)
+    if Obs.enabled () then begin
+      let t0 = Obs.now_ns () in
+      let r = intern_children children in
+      Obs.Timer.observe_ns node_timer (Obs.now_ns () -. t0);
+      r
+    end
+    else intern_children children
 
 let prefix a p = node [ (a, p) ]
 
@@ -162,6 +180,16 @@ let clear_caches () =
       Memo.reset inter_tbl;
       Memo.reset truncate_tbl;
       Memo.reset subset_tbl)
+
+let () =
+  Obs.register_source "closure" (fun () ->
+      let s = stats () in
+      [
+        ("nodes", Obs.Int s.nodes);
+        ("memo_hits", Obs.Int s.memo_hits);
+        ("memo_misses", Obs.Int s.memo_misses);
+        ("lock_waits", Obs.Int s.lock_waits);
+      ])
 
 (* ---- set operations -------------------------------------------------- *)
 

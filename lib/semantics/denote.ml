@@ -7,6 +7,13 @@ module Chan_set = Csp_lang.Chan_set
 module Expr = Csp_lang.Expr
 module Defs = Csp_lang.Defs
 module Valuation = Csp_lang.Valuation
+module Obs = Csp_obs.Obs
+
+(* Fixpoint iterations actually run, summed over every [denote] call —
+   the convergence accelerator's effect is visible as this staying far
+   below depth+1 per call. *)
+let fixpoint_iters = Obs.Counter.make "denote.fixpoint_iters"
+let denote_calls = Obs.Counter.make "denote.calls"
 
 (* (environment generation, depth, node id) — sound because generations
    are never reused within a config (gen 0 is the constant bottom
@@ -59,6 +66,14 @@ let stats () =
 let reset_stats () =
   Atomic.set eval_hits 0;
   Atomic.set eval_misses 0
+
+let () =
+  Obs.register_source "denote" (fun () ->
+      let s = stats () in
+      [
+        ("eval_hits", Obs.Int s.eval_hits);
+        ("eval_misses", Obs.Int s.eval_misses);
+      ])
 
 (* A semantic environment maps a (possibly subscripted) process name to
    its current approximation, already truncated at the environment
@@ -186,6 +201,10 @@ let tables_agree (prev : level_table) (cur : level_table) =
        cur true
 
 let denote ?iterations cfg ~depth p =
+  Obs.Counter.incr denote_calls;
+  Obs.span ~cat:"denote" "denote"
+    ~args:(fun () -> [ ("depth", Obs.Int depth) ])
+  @@ fun () ->
   let env_depth = depth + cfg.hide_extra in
   (* With an explicit [iterations] the chain is run for exactly that
      many rounds (the pre-convergence behaviour, kept as a reference);
@@ -199,9 +218,16 @@ let denote ?iterations cfg ~depth p =
   else begin
     let demanded = Hashtbl.create 16 in
     let rec go prev_env prev_table i =
+      Obs.Counter.incr fixpoint_iters;
       let env, table = next ~record:demanded cfg env_depth prev_env in
-      let r = eval_i cfg env depth p in
-      force env demanded;
+      let r =
+        Obs.span ~cat:"denote" "fixpoint-iter"
+          ~args:(fun () -> [ ("iter", Obs.Int i) ])
+          (fun () ->
+            let r = eval_i cfg env depth p in
+            force env demanded;
+            r)
+      in
       let converged =
         early_stop
         &&

@@ -1,6 +1,21 @@
 module Defs = Csp_lang.Defs
 module Proc = Csp_lang.Proc
 module Pool = Csp_parallel.Pool
+module Obs = Csp_obs.Obs
+
+(* [csp_lang] predates (and must not depend on) the observability
+   layer, so its interning statistics are bridged into the snapshot
+   from here. *)
+let () =
+  Obs.register_source "intern" (fun () ->
+      let s = Proc.stats () in
+      [
+        ("nodes", Obs.Int s.Proc.nodes);
+        ("table_len", Obs.Int s.Proc.table_len);
+        ("hits", Obs.Int s.Proc.hits);
+        ("misses", Obs.Int s.Proc.misses);
+        ("lock_waits", Obs.Int s.Proc.lock_waits);
+      ])
 
 type t = {
   defs : Defs.t;
@@ -88,7 +103,7 @@ let pp_stats ppf (s : stats) =
      closure: %d nodes, memo hit-rate %.2f, lock-waits %d@,\
      step: trans hit-rate %.2f, unfold hit-rate %.2f@,\
      denote: eval hit-rate %.2f@,\
-     pool: %d pools, %d workers, %d batches, %d tasks (%d on caller)@]"
+     pool: %d pools, %d workers, %d batches, %d tasks (%d on caller), lock-waits %d@]"
     s.intern.Proc.nodes s.intern.Proc.table_len
     (hit_rate s.intern.Proc.hits s.intern.Proc.misses)
     s.intern.Proc.lock_waits s.closure.Closure.nodes
@@ -98,4 +113,4 @@ let pp_stats ppf (s : stats) =
     (hit_rate s.step.Step.unfold_hits s.step.Step.unfold_misses)
     (hit_rate s.denote.Denote.eval_hits s.denote.Denote.eval_misses)
     s.pool.Pool.pools s.pool.Pool.workers s.pool.Pool.batches
-    s.pool.Pool.tasks s.pool.Pool.caller_tasks
+    s.pool.Pool.tasks s.pool.Pool.caller_tasks s.pool.Pool.lock_waits

@@ -3,6 +3,15 @@ module Channel = Csp_trace.Channel
 module Process = Csp_lang.Process
 module Proc = Csp_lang.Proc
 module Pool = Csp_parallel.Pool
+module Obs = Csp_obs.Obs
+
+(* Telemetry (observation only — never read back into exploration).
+   Layer spans carry the frontier size and chunk count, so a Chrome
+   trace of an exploration shows the BFS wavefront shrinking and
+   growing; the merge span isolates the sequential cache fold-back at
+   each barrier. *)
+let layers_explored = Obs.Counter.make "lts.layers"
+let states_interned = Obs.Counter.make "lts.states"
 
 type state = int
 
@@ -61,14 +70,22 @@ let expand_layer cfg pool (layer : Proc.t array) =
     let chunk_results =
       Pool.map_chunks pool
         (fun chunk ->
-          let v = Step.view cfg in
-          let ts = Array.map (Step.transitions_view v) chunk in
-          (v, ts))
+          Obs.span ~cat:"step" "derive-chunk"
+            ~args:(fun () -> [ ("states", Obs.Int (Array.length chunk)) ])
+            (fun () ->
+              let v = Step.view cfg in
+              let ts = Array.map (Step.transitions_view v) chunk in
+              (v, ts)))
         layer
     in
-    Array.iter (fun (v, _) -> Step.merge_view v) chunk_results;
+    Obs.span ~cat:"explore" "merge-views"
+      ~args:(fun () -> [ ("chunks", Obs.Int (Array.length chunk_results)) ])
+      (fun () -> Array.iter (fun (v, _) -> Step.merge_view v) chunk_results);
     Array.concat (Array.to_list (Array.map snd chunk_results))
-  | _ -> Array.map (Step.transitions_i cfg) layer
+  | _ ->
+    Obs.span ~cat:"step" "derive-seq"
+      ~args:(fun () -> [ ("states", Obs.Int (Array.length layer)) ])
+      (fun () -> Array.map (Step.transitions_i cfg) layer)
 
 let explore ?(max_states = 2000) ?pool cfg p =
   (* States are hash-consed nodes, so canonicalisation is a lookup on
@@ -94,6 +111,7 @@ let explore ?(max_states = 2000) ?pool cfg p =
       Int_tbl.add ids (Proc.id q) i;
       procs := q :: !procs;
       incr n_states;
+      Obs.Counter.incr states_interned;
       (i, true)
   in
   let transitions = ref [] and n_transitions = ref 0 in
@@ -103,9 +121,21 @@ let explore ?(max_states = 2000) ?pool cfg p =
   let p = Proc.intern p in
   let initial, _ = intern p in
   let frontier = ref [| (initial, p) |] in
+  Obs.span ~cat:"explore" "explore"
+    ~args:(fun () -> [ ("max_states", Obs.Int max_states) ])
+    (fun () ->
   while Array.length !frontier > 0 do
     let layer = !frontier in
-    let layer_ts = expand_layer cfg pool (Array.map snd layer) in
+    Obs.Counter.incr layers_explored;
+    let layer_ts =
+      Obs.span ~cat:"explore" "layer"
+        ~args:(fun () ->
+          [
+            ("frontier", Obs.Int (Array.length layer));
+            ("states", Obs.Int !n_states);
+          ])
+        (fun () -> expand_layer cfg pool (Array.map snd layer))
+    in
     let next = ref [] in
     Array.iteri
       (fun k (i, _) ->
@@ -142,7 +172,7 @@ let explore ?(max_states = 2000) ?pool cfg p =
         if !dropped then truncated_ids := i :: !truncated_ids)
       layer;
     frontier := Array.of_list (List.rev !next)
-  done;
+  done);
   let truncated = Array.make !n_states false in
   List.iter (fun i -> truncated.(i) <- true) !truncated_ids;
   {
@@ -216,6 +246,9 @@ let transition_compare a b =
       if c <> 0 then c else Bool.compare a.visible b.visible
 
 let to_dot ?(name = "lts") t =
+  Obs.span ~cat:"export" "to_dot"
+    ~args:(fun () -> [ ("states", Obs.Int (num_states t)) ])
+  @@ fun () ->
   let buf = Buffer.create 1024 in
   let n = num_states t in
   let dead = Array.make n false in

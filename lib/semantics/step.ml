@@ -6,6 +6,7 @@ module Chan_set = Csp_lang.Chan_set
 module Expr = Csp_lang.Expr
 module Defs = Csp_lang.Defs
 module Valuation = Csp_lang.Valuation
+module Obs = Csp_obs.Obs
 
 type visibility = Visible | Hidden
 
@@ -83,6 +84,18 @@ let reset_stats () =
   Atomic.set unfold_misses 0;
   Atomic.set trans_hits 0;
   Atomic.set trans_misses 0
+
+(* Expose the cache counters in [Obs.snapshot] without routing through
+   [Engine.stats] (the CLI's `--stats-json` reads the snapshot only). *)
+let () =
+  Obs.register_source "step" (fun () ->
+      let s = stats () in
+      [
+        ("unfold_hits", Obs.Int s.unfold_hits);
+        ("unfold_misses", Obs.Int s.unfold_misses);
+        ("trans_hits", Obs.Int s.trans_hits);
+        ("trans_misses", Obs.Int s.trans_misses);
+      ])
 
 let eval_chan c = Chan_expr.eval Valuation.empty c
 let eval_expr e = Expr.eval Valuation.empty e
@@ -349,6 +362,9 @@ end
 module Traces_memo = Hashtbl.Make (Traces_key)
 
 let traces_i cfg ~depth p =
+  Obs.span ~cat:"step" "traces"
+    ~args:(fun () -> [ ("depth", Obs.Int depth) ])
+  @@ fun () ->
   (* Memoised on (node id, depth, hidden budget): recursive networks
      revisit the same state at many points of the exploration tree, and
      the closure of a state is independent of how it was reached.

@@ -1,4 +1,14 @@
 module Pool = Csp_parallel.Pool
+module Obs = Csp_obs.Obs
+
+(* Campaign-level telemetry: cases generated, shrink candidates
+   evaluated, and successful shrink steps (each one a strictly smaller
+   failing scenario).  Per-oracle case/verdict counters live in
+   [Oracle.make]; everything here is observation only — the generator
+   and verdicts never read a counter or a clock. *)
+let cases_generated = Obs.Counter.make "fuzz.cases"
+let shrink_evals = Obs.Counter.make "fuzz.shrink_evals"
+let shrink_steps = Obs.Counter.make "fuzz.shrink_steps"
 
 type config = {
   seed : int;
@@ -38,6 +48,7 @@ let shrink ~(oracle : Oracle.t) ~max_steps scenario detail =
   let evals = ref 0 in
   let fails sc =
     incr evals;
+    Obs.Counter.incr shrink_evals;
     match oracle.Oracle.check sc with
     | Oracle.Fail d -> Some d
     | Oracle.Pass -> None
@@ -54,10 +65,13 @@ let shrink ~(oracle : Oracle.t) ~max_steps scenario detail =
           | None -> pick rest)
     in
     match pick (Shrink.scenario sc) with
-    | Some (sc', d') -> go sc' d'
+    | Some (sc', d') ->
+      Obs.Counter.incr shrink_steps;
+      go sc' d'
     | None -> (sc, detail)
   in
-  go scenario detail
+  Obs.span ~cat:"fuzz" ("shrink:" ^ oracle.Oracle.name) (fun () ->
+      go scenario detail)
 
 (* One case, self-contained: the generator draws from a private state
    seeded by (run seed, case index), so a case's scenario and verdict
@@ -66,6 +80,9 @@ let shrink ~(oracle : Oracle.t) ~max_steps scenario detail =
    one corpus-for-corpus.  [runs] counters are atomic because cases
    execute concurrently under [jobs > 1]. *)
 let check_case cfg runs case =
+  Obs.Counter.incr cases_generated;
+  Obs.span ~cat:"fuzz" "case" ~args:(fun () -> [ ("case", Obs.Int case) ])
+  @@ fun () ->
   let rand = Random.State.make [| cfg.seed; case |] in
   let sc = QCheck2.Gen.generate1 ~rand Gen.scenario in
   List.filter_map

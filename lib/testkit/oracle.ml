@@ -21,6 +21,7 @@ module Sat = Csp_assertion.Sat
 module Prover = Csp_assertion.Prover
 module Sequent = Csp_proof.Sequent
 module Tactic = Csp_proof.Tactic
+module Obs = Csp_obs.Obs
 
 type verdict = Pass | Fail of string
 type t = { name : string; doc : string; check : Scenario.t -> verdict }
@@ -408,7 +409,28 @@ let prover_sound_check (s : Scenario.t) =
 
 (* ---- registry --------------------------------------------------------- *)
 
-let make name doc check = { name; doc; check = protect check }
+(* Every oracle invocation — fuzzing, corpus replay, direct calls from
+   tests — counts itself, so a fuzz campaign's coverage is visible in
+   [Obs.snapshot] as [oracle.<name>.cases]/[.pass]/[.fail] rather than
+   only in a per-run report.  The verdict is computed inside a span so
+   traces show where a campaign's wall-clock goes, per oracle. *)
+let make name doc check =
+  let cases = Obs.Counter.make ("oracle." ^ name ^ ".cases")
+  and passed = Obs.Counter.make ("oracle." ^ name ^ ".pass")
+  and failed = Obs.Counter.make ("oracle." ^ name ^ ".fail") in
+  let counted s =
+    Obs.Counter.incr cases;
+    match Obs.span ~cat:"fuzz" ("oracle:" ^ name) (fun () -> protect check s) with
+    | Pass ->
+      Obs.Counter.incr passed;
+      Pass
+    | Fail _ as f ->
+      Obs.Counter.incr failed;
+      f
+  in
+  { name; doc; check = counted }
+
+let cases_run o = Obs.Counter.get (Obs.Counter.make ("oracle." ^ o.name ^ ".cases"))
 
 let closure_kernel =
   make "closure-kernel"

@@ -51,3 +51,9 @@ val prover_sound : t
 val all : t list
 val find : string -> t option
 val names : unit -> string list
+
+val cases_run : t -> int
+(** Process-wide count of scenarios this oracle has judged (fuzzing,
+    corpus replay and direct calls alike) — the [oracle.<name>.cases]
+    counter of {!Csp_obs.Obs.snapshot}.  Counts are cumulative; callers
+    wanting a per-run figure should difference two readings. *)

@@ -67,6 +67,31 @@ let test_corpus_format_stable () =
           Alcotest.failf "%s: scenario changed across print/parse" e.path)
     (Lazy.force entries)
 
+(* [Oracle.make] threads every check through a per-oracle case counter
+   ([oracle.<name>.cases] in the Obs registry); replaying the corpus
+   must move every registered oracle's counter — proving the
+   instrumentation sits on the real verdict path, not a side branch.
+   Counters are cumulative and process-global, so the test differences
+   two readings rather than expecting absolute values. *)
+let test_replay_moves_oracle_counters () =
+  let before =
+    List.map (fun o -> (o.Oracle.name, Oracle.cases_run o)) Oracle.all
+  in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      match Oracle.find e.oracle with
+      | None -> ()
+      | Some o -> ignore (o.Oracle.check e.scenario))
+    (Lazy.force entries);
+  List.iter
+    (fun (o : Oracle.t) ->
+      let b = List.assoc o.Oracle.name before in
+      Alcotest.(check bool)
+        (Printf.sprintf "oracle %s counted its replays" o.Oracle.name)
+        true
+        (Oracle.cases_run o - b >= 1))
+    Oracle.all
+
 (* ---- seeded fuzz smoke ----------------------------------------------- *)
 
 let smoke_cases = 40
@@ -165,6 +190,8 @@ let () =
           Alcotest.test_case "registry coverage" `Quick test_registry_covered;
           Alcotest.test_case "format stability" `Quick
             test_corpus_format_stable;
+          Alcotest.test_case "replay moves oracle counters" `Quick
+            test_replay_moves_oracle_counters;
         ] );
       ( "fuzz",
         [

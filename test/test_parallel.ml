@@ -179,6 +179,58 @@ let test_fuzz_jobs_deterministic () =
     "the failing oracle did fail somewhere" true
     (r1.Fuzz.counterexamples <> [])
 
+(* ---- telemetry must not perturb output ------------------------------- *)
+
+(* The Obs determinism contract: instruments observe, they never feed
+   back into scheduling — so the same run with tracing on must produce
+   byte-identical user-visible output, including under a multi-domain
+   pool where a perturbed schedule would be most likely to show. *)
+
+let with_obs_enabled f =
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.clear_events ())
+    f
+
+let test_graph_identical_with_telemetry () =
+  let dot_of () =
+    let cfg = Step.config ~sampler:(Sampler.nat_bound 2) Paper.Protocol.defs in
+    Pool.with_pool ~domains:2 (fun pool ->
+        Lts.to_dot (Lts.explore ~max_states:2000 ~pool cfg Paper.Protocol.network))
+  in
+  let off = dot_of () in
+  let on, recorded =
+    with_obs_enabled (fun () ->
+        let d = dot_of () in
+        (d, Obs.event_count ()))
+  in
+  Alcotest.(check bool) "the traced run did record spans" true (recorded > 0);
+  Alcotest.(check string) "DOT byte-identical with tracing on" off on
+
+let test_fuzz_identical_with_telemetry () =
+  let config =
+    {
+      Fuzz.default_config with
+      Fuzz.seed = 11;
+      max_cases = 30;
+      oracles = Oracle.all @ [ even_size_fails ];
+      jobs = 2;
+    }
+  in
+  let off = Fuzz.run config in
+  let on = with_obs_enabled (fun () -> Fuzz.run config) in
+  Alcotest.(check int) "cases identical" off.Fuzz.cases on.Fuzz.cases;
+  Alcotest.(check (list (pair string int)))
+    "oracle runs identical" off.Fuzz.oracle_runs on.Fuzz.oracle_runs;
+  Alcotest.(check bool)
+    "counterexample corpus identical" true
+    (List.length off.Fuzz.counterexamples
+     = List.length on.Fuzz.counterexamples
+    && List.for_all2 counterexample_equal off.Fuzz.counterexamples
+         on.Fuzz.counterexamples)
+
 (* ---- truncation bookkeeping ------------------------------------------ *)
 
 (* count[n] = tick!n -> count[n+1]: an infinite chain, so any state
@@ -262,6 +314,13 @@ let () =
         [
           Alcotest.test_case "jobs determinism" `Quick
             test_fuzz_jobs_deterministic;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "graph byte-identical with tracing" `Quick
+            test_graph_identical_with_telemetry;
+          Alcotest.test_case "fuzz byte-identical with tracing" `Quick
+            test_fuzz_identical_with_telemetry;
         ] );
       ( "truncation",
         [
