@@ -17,8 +17,9 @@
              dune exec bench/main.exe -- p8      (P8 comparison only)
              dune exec bench/main.exe -- p10     (P10 comparison only)
              dune exec bench/main.exe -- p11     (parallel scaling only)
-             dune exec bench/main.exe -- smoke   (E11 + P8 + P10 + P11,
-                                                  tiny sizes; @bench-smoke) *)
+             dune exec bench/main.exe -- p13     (compiled successor engine)
+             dune exec bench/main.exe -- smoke   (E11 + P8–P13, tiny
+                                                  sizes; @bench-smoke) *)
 
 open Csp
 module Runner = Csp_sim.Runner
@@ -1118,6 +1119,15 @@ let p10_procir ?(smoke = false) () =
      global and survives, exactly like the closure kernel's in P8. *)
   let row label run_new run_old n =
     Step.reset_stats ();
+    (* The unique table is weak and global: nodes interned by earlier
+       experiments/rows survive as long as something references them,
+       so without a collection the instrumented pass re-finds old
+       nodes and reports an intern_nodes delta of ~0 for every row
+       after the first.  Two full majors (weak tables need a second
+       pass to flush emptied buckets) make the delta count this
+       workload's own interning. *)
+    Gc.full_major ();
+    Gc.full_major ();
     let i0 = Proc.stats () in
     run_new ();
     let i1 = Proc.stats () in
@@ -1458,6 +1468,135 @@ let p12_obs_overhead ?(smoke = false) () =
     (ok (worst <= 2.0))
 
 (* ---------------------------------------------------------------------- *)
+(* P13: compiled successor engine vs interpreted exploration               *)
+(* ---------------------------------------------------------------------- *)
+
+(* The SPIN-style comparison: one [Compiled.compile] pass flattens the
+   reachable state space into CSR successor tables, then every explore
+   is array walks over a dense visited set.  The interpreted side runs
+   on a fresh configuration per timed run (cold per-config caches —
+   the cost one [cspc graph] invocation pays); the compiled side
+   amortises its one compile over repeated explores, which is the
+   design point, so compile time is reported as its own column. *)
+
+type p13_row = {
+  p13_workload : string;
+  p13_states : int;
+  p13_transitions : int;
+  p13_interp_ms : float;
+  p13_compile_ms : float;
+  p13_compiled_ms : float;
+  p13_speedup : float; (* interpreted / compiled explore *)
+  p13_interp_sps : float; (* states per second, interpreted *)
+  p13_compiled_sps : float; (* states per second, compiled *)
+  p13_fallbacks : int;
+  p13_identical : bool; (* DOT byte-identical to interpreted *)
+}
+
+let write_p13_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"p13_compiled\",\n  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"workload\": \"%s\", \"states\": %d, \"transitions\": %d, \
+         \"interpreted_ms\": %.3f, \"compile_ms\": %.3f, \
+         \"compiled_explore_ms\": %.3f, \"speedup\": %.2f, \
+         \"states_per_sec_interpreted\": %.0f, \"states_per_sec_compiled\": \
+         %.0f, \"fallbacks\": %d, \"identical_to_interpreted\": %b }%s\n"
+        r.p13_workload r.p13_states r.p13_transitions r.p13_interp_ms
+        r.p13_compile_ms r.p13_compiled_ms r.p13_speedup r.p13_interp_sps
+        r.p13_compiled_sps r.p13_fallbacks r.p13_identical
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"snapshot\": %s\n}\n" (Obs.snapshot_json ());
+  close_out oc
+
+let p13_compiled ?(smoke = false) () =
+  section "P13: compiled successor engine (flat tables) vs interpreter";
+  let workloads =
+    let chain n =
+      ( Printf.sprintf "copier-chain-%d" n,
+        fun () ->
+          let defs, net = Paper.Copier.chain_defs n in
+          (Step.config ~sampler:(Sampler.nat_bound 2) defs, net) )
+    and philosophers n =
+      ( Printf.sprintf "philosophers-%d" n,
+        fun () ->
+          let ph = Paper.Philosophers.make ~n ~left_handed_last:true () in
+          ( Step.config ~sampler:(Sampler.nat_bound n) ph.Paper.Philosophers.defs,
+            ph.Paper.Philosophers.network ) )
+    in
+    if smoke then [ chain 4; philosophers 3 ]
+    else [ chain 6; chain 8; philosophers 4 ]
+  in
+  let max_states = 100_000 in
+  let repeats = if smoke then 2 else 3 in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let rows = ref [] in
+  result "  %-18s %8s %8s %10s %10s %10s %8s %12s %12s\n" "workload" "states"
+    "trans" "interp(ms)" "compile" "explore" "speedup" "interp-st/s"
+    "compiled-st/s";
+  List.iter
+    (fun (label, mk) ->
+      let reference =
+        let cfg, net = mk () in
+        Lts.explore ~max_states cfg net
+      in
+      let ref_dot = Lts.to_dot reference in
+      (* interpreted: fresh configuration per run, like one CLI call *)
+      let interp_ms =
+        best_of (fun () ->
+            let cfg, net = mk () in
+            Lts.explore ~max_states cfg net)
+      in
+      (* compiled: one compile amortised over the explores *)
+      let cfg, net = mk () in
+      let compiled = Compiled.compile cfg net in
+      let compiled_ms =
+        best_of (fun () -> Lts.explore ~max_states ~compiled cfg net)
+      in
+      let lts = Lts.explore ~max_states ~compiled cfg net in
+      let identical = String.equal (Lts.to_dot lts) ref_dot in
+      let states = Lts.num_states lts in
+      let sps ms =
+        if ms > 0.0 then float_of_int states /. (ms /. 1000.0) else 0.0
+      in
+      let speedup = if compiled_ms > 0.0 then interp_ms /. compiled_ms else 1.0 in
+      result "  %-18s %8d %8d %10.1f %10.1f %10.2f %7.1fx %12.0f %12.0f\n"
+        label states (Lts.num_transitions lts) interp_ms
+        (Compiled.compile_ms compiled)
+        compiled_ms speedup (sps interp_ms) (sps compiled_ms);
+      rows :=
+        {
+          p13_workload = label;
+          p13_states = states;
+          p13_transitions = Lts.num_transitions lts;
+          p13_interp_ms = interp_ms;
+          p13_compile_ms = Compiled.compile_ms compiled;
+          p13_compiled_ms = compiled_ms;
+          p13_speedup = speedup;
+          p13_interp_sps = sps interp_ms;
+          p13_compiled_sps = sps compiled_ms;
+          p13_fallbacks = Compiled.fallbacks compiled;
+          p13_identical = identical;
+        }
+        :: !rows)
+    workloads;
+  write_p13_json "BENCH_compiled.json" (List.rev !rows);
+  result "  wrote BENCH_compiled.json\n"
+
+(* ---------------------------------------------------------------------- *)
 (* Part 2: Bechamel timing suites (P1–P6)                                  *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1647,6 +1786,7 @@ let () =
     p10_procir ~smoke:true ();
     p11_parallel ~smoke:true ();
     p12_obs_overhead ~smoke:true ();
+    p13_compiled ~smoke:true ();
     p9_fuzz_throughput ~cases:100 ();
     print_newline ()
   | "p8" ->
@@ -1660,6 +1800,9 @@ let () =
     print_newline ()
   | "p12" | "obs" ->
     p12_obs_overhead ();
+    print_newline ()
+  | "p13" | "compiled" ->
+    p13_compiled ();
     print_newline ()
   | _ ->
     let quick = mode = "quick" in
@@ -1681,6 +1824,7 @@ let () =
       p10_procir ();
       p11_parallel ();
       p12_obs_overhead ();
+      p13_compiled ();
       p9_fuzz_throughput ();
       run_timings ()
     end;

@@ -249,31 +249,63 @@ let cmd_check_cert path cert_path telemetry =
       certs;
     if !failures > 0 then exit 1
 
+(* With [--stats], the compiled subcommands report the one-shot
+   compile separately from the exploration/run it amortises over. *)
+let report_phase_ms telemetry cmd ~compile_ms ~run_label ~run_ms =
+  if telemetry.stats then
+    Format.eprintf "%s: compile %.2f ms, %s %.2f ms@." cmd compile_ms run_label
+      run_ms
+
 (* ---- deadlock ------------------------------------------------------- *)
 
-let cmd_deadlock path name steps runs nat_bound seed telemetry =
+let cmd_deadlock path name steps runs nat_bound seed use_compiled telemetry =
   with_telemetry "deadlock" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let eng = engine ~seed file ~nat_bound in
+  let t0 = Obs.now_ns () in
+  let compiled =
+    if use_compiled then Some (Engine.compile ~budget:steps eng p) else None
+  in
+  let t1 = Obs.now_ns () in
   let deadlocks = ref 0 in
   for i = 0 to runs - 1 do
-    let r = Csp_sim.Runner.run_engine ~seed:(seed + i) ~max_steps:steps eng p in
+    let r =
+      Csp_sim.Runner.run_engine ~seed:(seed + i) ~max_steps:steps ?compiled eng
+        p
+    in
     if r.Csp_sim.Runner.stop = Csp_sim.Runner.Deadlock then incr deadlocks
   done;
+  report_phase_ms telemetry "deadlock"
+    ~compile_ms:((t1 -. t0) /. 1e6)
+    ~run_label:(Printf.sprintf "%d runs" runs)
+    ~run_ms:((Obs.now_ns () -. t1) /. 1e6);
   Printf.printf "%d/%d runs deadlocked within %d steps\n" !deadlocks runs steps;
   if !deadlocks > 0 then exit 1
 
 (* ---- graph ----------------------------------------------------------- *)
 
-let cmd_graph path name max_states nat_bound output jobs telemetry =
+let cmd_graph path name max_states nat_bound output jobs use_compiled telemetry
+    =
   with_telemetry "graph" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let eng = engine ~domains:jobs file ~nat_bound in
-  let lts =
-    Lts.explore ~max_states ?pool:(Engine.pool eng) (Engine.step_config eng) p
+  let t0 = Obs.now_ns () in
+  let compiled =
+    (* compile exactly as many rows as the exploration may visit *)
+    if use_compiled then Some (Engine.compile ~budget:max_states eng p)
+    else None
   in
+  let t1 = Obs.now_ns () in
+  let lts =
+    Lts.explore ~max_states ?pool:(Engine.pool eng) ?compiled
+      (Engine.step_config eng) p
+  in
+  report_phase_ms telemetry "graph"
+    ~compile_ms:((t1 -. t0) /. 1e6)
+    ~run_label:"explore"
+    ~run_ms:((Obs.now_ns () -. t1) /. 1e6);
   Printf.printf
     "%d states, %d transitions%s; deterministic=%b; deadlock states: %d\n"
     (Lts.num_states lts) (Lts.num_transitions lts)
@@ -311,15 +343,34 @@ let cmd_refusals path name depth nat_bound telemetry =
 
 (* ---- refine ------------------------------------------------------------ *)
 
-let cmd_refine path impl spec depth nat_bound weak jobs telemetry =
+let cmd_refine path impl spec depth nat_bound weak jobs use_compiled telemetry =
   with_telemetry "refine" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file impl and q = find_process file spec in
   let eng = engine ~depth ~domains:jobs file ~nat_bound in
   let cfg = Engine.step_config eng in
-  if weak then
+  if weak then begin
+    (* pre-compile both sides so the compile/check split is visible;
+       the compiler handed to Bisim hits the engine's cache *)
+    let t0 = Obs.now_ns () in
+    let compiler =
+      if use_compiled then begin
+        let compile r = Engine.compile ~budget:2000 eng r in
+        ignore (compile p);
+        ignore (compile q);
+        Some compile
+      end
+      else None
+    in
+    let t1 = Obs.now_ns () in
+    let bisimilar = Bisim.weak_equivalent ?pool:(Engine.pool eng) ?compiler cfg p q in
+    report_phase_ms telemetry "refine"
+      ~compile_ms:((t1 -. t0) /. 1e6)
+      ~run_label:"check"
+      ~run_ms:((Obs.now_ns () -. t1) /. 1e6);
     Printf.printf "%s and %s weakly bisimilar (bounded): %b\n" impl spec
-      (Bisim.weak_equivalent ?pool:(Engine.pool eng) cfg p q)
+      bisimilar
+  end
   else begin
     match Equiv.trace_refines ~depth cfg ~impl:p ~spec:q with
     | Ok () ->
@@ -456,6 +507,23 @@ let jobs_arg =
         ~doc:"Worker domains for parallel exploration/fuzzing (results are \
               identical to -j 1; only wall-clock changes)")
 
+let compiled_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "compiled" ]
+              ~doc:"Compile the process into flat successor tables before \
+                    exploring/running (default).  Trace refinement \
+                    (refine without --weak) is closure-based and ignores \
+                    this flag." );
+          ( false,
+            info [ "no-compiled" ]
+              ~doc:"Force the tree-walking interpreter; results are \
+                    byte-identical, only slower." );
+        ])
+
 (* One shared telemetry term, appended to every subcommand. *)
 let telemetry_arg =
   let stats =
@@ -558,7 +626,7 @@ let graph_cmd =
        ~doc:"Explore the labelled transition system and emit Graphviz DOT")
     Term.(
       const cmd_graph $ path_arg $ name_arg $ max_states $ nat_arg $ out
-      $ jobs_arg $ telemetry_arg)
+      $ jobs_arg $ compiled_arg $ telemetry_arg)
 
 let refusals_cmd =
   Cmd.v
@@ -589,7 +657,7 @@ let refine_cmd =
              bisimilar to it)")
     Term.(
       const cmd_refine $ path_arg $ name_arg $ spec $ depth_arg 5 $ nat_arg
-      $ weak $ jobs_arg $ telemetry_arg)
+      $ weak $ jobs_arg $ compiled_arg $ telemetry_arg)
 
 let infer_cmd =
   Cmd.v
@@ -656,7 +724,7 @@ let deadlock_cmd =
              correctness cannot rule them out — §4)")
     Term.(
       const cmd_deadlock $ path_arg $ name_arg $ steps_arg $ runs_arg
-      $ nat_arg $ seed_arg $ telemetry_arg)
+      $ nat_arg $ seed_arg $ compiled_arg $ telemetry_arg)
 
 let main =
   Cmd.group

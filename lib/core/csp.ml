@@ -38,6 +38,7 @@ module Equiv = Csp_semantics.Equiv
 module Failures = Csp_semantics.Failures
 module Lts = Csp_semantics.Lts
 module Bisim = Csp_semantics.Bisim
+module Compiled = Csp_semantics.Compiled
 
 (* Assertions (§2) *)
 module Afun = Csp_assertion.Afun

@@ -76,7 +76,9 @@ type stats = {
   table_len : int;
   lock_waits : int;
       (** contended acquisitions of the unique-table mutex (only ever
-          non-zero when several domains intern concurrently) *)
+          non-zero when several domains intern concurrently; the hit
+          path probes the table without the lock, so only misses and
+          probe races contend) *)
 }
 
 val stats : unit -> stats

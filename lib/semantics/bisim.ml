@@ -238,9 +238,17 @@ let combine tp tq =
     ~transitions:(tp.Lts.transitions @ List.map shift tq.Lts.transitions)
     ~complete:true ()
 
-let weak_equivalent ?(max_states = 2000) ?pool cfg p q =
-  let tp = Lts.explore ~max_states ?pool cfg p
-  and tq = Lts.explore ~max_states ?pool cfg q in
+(* Route each side's exploration through a compiled automaton when a
+   compiler is supplied (identical results either way — the compiled
+   path replays the interpreted numbering byte for byte). *)
+let explore_side ?compiler ~max_states ?pool cfg p =
+  match compiler with
+  | Some compile -> Lts.explore ~max_states ?pool ~compiled:(compile p) cfg p
+  | None -> Lts.explore ~max_states ?pool cfg p
+
+let weak_equivalent ?(max_states = 2000) ?pool ?compiler cfg p q =
+  let tp = explore_side ?compiler ~max_states ?pool cfg p
+  and tq = explore_side ?compiler ~max_states ?pool cfg q in
   if not (tp.Lts.complete && tq.Lts.complete) then false
   else begin
     let np = Array.length tp.Lts.states in
@@ -248,9 +256,9 @@ let weak_equivalent ?(max_states = 2000) ?pool cfg p q =
     classes.(tp.Lts.initial) = classes.(tq.Lts.initial + np)
   end
 
-let equivalent ?(max_states = 2000) ?pool cfg p q =
-  let tp = Lts.explore ~max_states ?pool cfg p
-  and tq = Lts.explore ~max_states ?pool cfg q in
+let equivalent ?(max_states = 2000) ?pool ?compiler cfg p q =
+  let tp = explore_side ?compiler ~max_states ?pool cfg p
+  and tq = explore_side ?compiler ~max_states ?pool cfg q in
   if not (tp.Lts.complete && tq.Lts.complete) then false
   else begin
     let np = Array.length tp.Lts.states in

@@ -31,6 +31,7 @@ val minimise : Lts.t -> Lts.t
 val equivalent :
   ?max_states:int ->
   ?pool:Csp_parallel.Pool.t ->
+  ?compiler:(Csp_lang.Process.t -> Compiled.t) ->
   Step.config ->
   Csp_lang.Process.t ->
   Csp_lang.Process.t ->
@@ -40,7 +41,10 @@ val equivalent :
     whether the two initial states fall into the same class.  (Both
     explorations must be complete for the answer to be meaningful; the
     function returns [false] when either is truncated.)  A multi-domain
-    [pool] parallelises the two explorations' layer expansions. *)
+    [pool] parallelises the two explorations' layer expansions.  A
+    [compiler] (typically [Engine.compile eng]) routes each side's
+    exploration through its compiled successor automaton; the answer
+    is unchanged, only the wall-clock. *)
 
 val saturate : Lts.t -> Lts.t
 (** τ-saturation: concealed transitions become silent moves.  The
@@ -56,6 +60,7 @@ val weak_classes : Lts.t -> partition
 val weak_equivalent :
   ?max_states:int ->
   ?pool:Csp_parallel.Pool.t ->
+  ?compiler:(Csp_lang.Process.t -> Compiled.t) ->
   Step.config ->
   Csp_lang.Process.t ->
   Csp_lang.Process.t ->

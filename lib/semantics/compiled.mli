@@ -1,0 +1,101 @@
+(** Compiled successor engine: flat transition tables over dense ids.
+
+    Every other pipeline *interprets* the interned Proc IR per
+    transition: each successor query is a hashtable probe of
+    [Step.config.trans_cache] keyed by node id, and each LTS layer
+    re-canonicalises its targets through the global unique table.  A
+    {!t} compiles the reachable state space once — the analogue of
+    SPIN generating a dedicated [pan] verifier from a model — into a
+    CSR-style flat representation:
+
+    - dense [int] state ids assigned by a compile-time intern pass in
+      BFS discovery order (so they coincide with {!Lts.explore}'s
+      state numbering);
+    - per-state successor rows packed into preallocated int arrays:
+      [row_off]/[row_len] index a shared pool of
+      [(event_id, target_id)] pairs plus a visibility byte;
+    - an event table mapping dense event ids back to events.
+
+    Exploration then becomes array walks with a dense int visited
+    array instead of per-layer hashtables — see [Lts.explore]'s
+    [?compiled] argument, which is byte-identical (state numbering,
+    transition order, truncation, DOT) to the interpreted path at any
+    domain count.
+
+    {b Fallback contract}: states beyond the compile [budget] (or
+    reached only under a larger [max_states] than the compile saw) are
+    materialised lazily back through the interpreter
+    ({!Step.transitions_i}, or domain-local {!Step.view}s on the
+    parallel path) the first time they are expanded; the
+    [compiled.fallbacks] counter counts such rows.  Since rows are
+    derived by the same [Step] functions the interpreter uses —
+    sharing its [trans_cache] — one compile also warms the caches
+    every later query through the same configuration reuses
+    ([Sat.check_engine], [Infer], [Runner]).
+
+    A [t] is mutable (lazy materialisation) and must not be shared
+    between domains; the internal [?pool] path coordinates its own
+    parallelism and merges results deterministically. *)
+
+type t
+
+val compile : ?budget:int -> Step.config -> Csp_lang.Process.t -> t
+(** One-shot compile: BFS from the root, materialising successor rows
+    for up to [budget] states (default [200_000]).  Discovered targets
+    beyond the budget get ids but no rows (materialised lazily on
+    demand).  Telemetry: [compiled.compiles], [compiled.states],
+    [compiled.compile_ms] and a ["compile"] span. *)
+
+val root : t -> Csp_lang.Proc.t
+(** The interned root the automaton was compiled from. *)
+
+val config : t -> Step.config
+(** The configuration rows are derived with (and fall back to). *)
+
+val n_states : t -> int
+(** States assigned a dense id so far (grows on fallback). *)
+
+val n_rows : t -> int
+(** States whose successor row is materialised. *)
+
+val n_transitions : t -> int
+(** Packed transitions across all materialised rows. *)
+
+val n_events : t -> int
+(** Distinct events in the event table. *)
+
+val fallbacks : t -> int
+(** Rows materialised lazily after {!compile} returned. *)
+
+val compile_ms : t -> float
+(** Wall-clock of the {!compile} pass, in milliseconds. *)
+
+val transitions_i :
+  t ->
+  Csp_lang.Proc.t ->
+  (Csp_trace.Event.t * Step.visibility * Csp_lang.Proc.t) list
+(** Successors from the flat row when the state is in the automaton
+    (materialising it if needed); identical to
+    [Step.transitions_i (config t)] — which it delegates to verbatim
+    for states outside the automaton. *)
+
+(** {1 Raw exploration}
+
+    {!Lts.explore} with [?compiled] is the public entry point; the raw
+    result exists so this module does not depend on [Lts]. *)
+
+type raw = {
+  raw_initial : int;
+  raw_states : Csp_lang.Proc.t array;  (** indexed by state number *)
+  raw_transitions : (int * Csp_trace.Event.t * bool * int) list;
+      (** (source, event, visible, target), in discovery order *)
+  raw_complete : bool;
+  raw_truncated : bool array;
+}
+
+val explore_raw : ?max_states:int -> ?pool:Csp_parallel.Pool.t -> t -> raw
+(** Replay of the {!Lts.explore} loop on the flat tables: FIFO layer
+    order, dense visited array, identical truncation bookkeeping.
+    With a multi-domain [pool], only lazy row materialisation is
+    parallelised (rows are appended in frontier order at the barrier),
+    so the result is identical at any domain count. *)

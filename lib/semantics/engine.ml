@@ -29,6 +29,7 @@ type t = {
   step : Step.config;
   denote : Denote.config;
   pool : Pool.t Lazy.t;
+  compiled : (int, Compiled.t) Hashtbl.t;
 }
 
 let create ?(depth = 6) ?(seed = 1) ?(domains = 1) ?nat_bound ?sampler
@@ -52,6 +53,7 @@ let create ?(depth = 6) ?(seed = 1) ?(domains = 1) ?nat_bound ?sampler
     step = Step.config ~sampler ~unfold_fuel ~hide_fuel defs;
     denote = Denote.config ~sampler ~hide_extra defs;
     pool = lazy (Pool.create ~domains);
+    compiled = Hashtbl.create 4;
   }
 
 let step_config t = t.step
@@ -66,6 +68,20 @@ let pool t = if t.domains <= 1 then None else Some (Lazy.force t.pool)
    set of worker domains is spawned per [create]. *)
 let with_depth t depth = { t with depth }
 let with_seed t seed = { t with seed }
+
+(* One compile serves every later query through this engine (and its
+   [with_depth]/[with_seed] copies, which share the table): the cache
+   is keyed by the interned root's id — ids are never reused, and the
+   cached automaton keeps its root alive, so the key stays valid for
+   the automaton's lifetime. *)
+let compile ?budget t p =
+  let root = Proc.intern p in
+  match Hashtbl.find_opt t.compiled (Proc.id root) with
+  | Some c -> c
+  | None ->
+    let c = Compiled.compile ?budget t.step p in
+    Hashtbl.add t.compiled (Proc.id root) c;
+    c
 
 let with_sampler t sampler =
   create ~depth:t.depth ~seed:t.seed ~domains:t.domains ~sampler

@@ -28,6 +28,11 @@ type t = {
       (** domain pool, spawned on first parallel query; access it
           through {!pool}, which short-circuits the single-domain
           case *)
+  compiled : (int, Compiled.t) Hashtbl.t;
+      (** compiled automata keyed by root node id; access through
+          {!compile}, which fills it on demand.  Shared by the
+          {!with_depth}/{!with_seed} copies; {!with_sampler} starts
+          fresh (the transition relation changes) *)
 }
 
 val create :
@@ -71,6 +76,15 @@ val with_seed : t -> int -> t
 val with_sampler : t -> Sampler.t -> t
 (** Change the sampler.  This changes the transition relation, so the
     derived configurations are rebuilt with fresh caches. *)
+
+val compile : ?budget:int -> t -> Csp_lang.Process.t -> Compiled.t
+(** The compiled successor automaton for [p] under this engine's
+    step configuration, compiling on first request and cached per
+    root afterwards — one compile serves every later
+    {!Lts.explore}/[Runner]/[Sat] query through the same engine.
+    [budget] bounds the states materialised eagerly (see
+    {!Compiled.compile}); it only takes effect on the compiling
+    call. *)
 
 (** {1 Statistics} *)
 

@@ -87,7 +87,7 @@ let expand_layer cfg pool (layer : Proc.t array) =
       ~args:(fun () -> [ ("states", Obs.Int (Array.length layer)) ])
       (fun () -> Array.map (Step.transitions_i cfg) layer)
 
-let explore ?(max_states = 2000) ?pool cfg p =
+let explore_interpreted ~max_states ?pool cfg p =
   (* States are hash-consed nodes, so canonicalisation is a lookup on
      the node id — no per-state rehash of a deep term — and the
      transition relation is shared with every other pipeline through
@@ -183,6 +183,28 @@ let explore ?(max_states = 2000) ?pool cfg p =
     n_transitions = !n_transitions;
     truncated;
   }
+
+(* A compiled automaton's raw exploration carries the same fields in
+   the same discovery order; packaging it is projection only. *)
+let of_raw (r : Compiled.raw) =
+  {
+    initial = r.Compiled.raw_initial;
+    states = Array.map Proc.to_process r.Compiled.raw_states;
+    transitions =
+      List.map
+        (fun (source, event, visible, target) ->
+          { source; event; visible; target })
+        r.Compiled.raw_transitions;
+    complete = r.Compiled.raw_complete;
+    n_transitions = List.length r.Compiled.raw_transitions;
+    truncated = r.Compiled.raw_truncated;
+  }
+
+let explore ?(max_states = 2000) ?pool ?compiled cfg p =
+  match compiled with
+  | Some c when Proc.equal (Compiled.root c) (Proc.intern p) ->
+    of_raw (Compiled.explore_raw ~max_states ?pool c)
+  | _ -> explore_interpreted ~max_states ?pool cfg p
 
 let num_states t = Array.length t.states
 let num_transitions t = t.n_transitions

@@ -56,6 +56,7 @@ val make :
 val explore :
   ?max_states:int ->
   ?pool:Csp_parallel.Pool.t ->
+  ?compiled:Compiled.t ->
   Step.config ->
   Csp_lang.Process.t ->
   t
@@ -64,7 +65,17 @@ val explore :
     recursive definition that returns to its defining equation yields a
     finite cyclic graph.  With a multi-domain [pool], frontier layers
     are expanded in parallel; the result is identical to the
-    sequential exploration (see the module description). *)
+    sequential exploration (see the module description).
+
+    When [compiled] is an automaton for the same root process (see
+    {!Compiled.compile}, {!Engine.compile}), the exploration runs as
+    array walks over its flat successor tables with a dense visited
+    set — byte-identical output (numbering, transitions, truncation,
+    DOT) at any domain count, with states beyond the compile budget
+    materialised lazily through the interpreter.  The automaton must
+    have been compiled with the same configuration; a [compiled] whose
+    root is a different process is ignored and the interpreted path
+    runs. *)
 
 val num_states : t -> int
 

@@ -38,19 +38,29 @@ let check_monitors funs monitors hist step acc =
     acc monitors
 
 let run ?scheduler ?(seed = 1) ?(monitors = []) ?(max_steps = 1000)
-    ?(funs = Csp_assertion.Afun.default_env) cfg p =
+    ?(funs = Csp_assertion.Afun.default_env) ?compiled cfg p =
   let scheduler =
     (* the default scheduler is built from the explicit [seed] rather
        than self-initialising, so a run is reproducible from its
        arguments alone *)
     match scheduler with Some s -> s | None -> Scheduler.uniform ~seed
   in
+  (* The walk stays on interned nodes: each step is one successor
+     query (a flat-row read when a compiled automaton is given, the
+     memoised interpreter otherwise) instead of re-interning the
+     plain-AST state every step.  Both sides return the same lists,
+     so the walk, trace and stop reason are unchanged. *)
+  let successors =
+    match compiled with
+    | Some c -> Csp_semantics.Compiled.transitions_i c
+    | None -> Step.transitions_i cfg
+  in
   let rec go step p hist rev_events rev_trace stats violations =
     let violations = check_monitors funs monitors hist step violations in
     if step >= max_steps then
       finish p rev_events rev_trace stats violations Max_steps
     else
-      let transitions = Step.transitions cfg p in
+      let transitions = successors p in
       match transitions with
       | [] -> finish p rev_events rev_trace stats violations Deadlock
       | _ -> (
@@ -78,14 +88,14 @@ let run ?scheduler ?(seed = 1) ?(monitors = []) ?(max_steps = 1000)
       stop;
       stats;
       violations = List.rev violations;
-      final = p;
+      final = Csp_lang.Proc.to_process p;
     }
   in
-  go 0 p History.empty [] [] Stats.empty []
+  go 0 (Csp_lang.Proc.intern p) History.empty [] [] Stats.empty []
 
-let run_engine ?scheduler ?seed ?monitors ?max_steps ?funs eng p =
+let run_engine ?scheduler ?seed ?monitors ?max_steps ?funs ?compiled eng p =
   let seed = match seed with Some s -> s | None -> eng.Csp_semantics.Engine.seed in
-  run ?scheduler ~seed ?monitors ?max_steps ?funs
+  run ?scheduler ~seed ?monitors ?max_steps ?funs ?compiled
     (Csp_semantics.Engine.step_config eng)
     p
 

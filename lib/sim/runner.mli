@@ -40,6 +40,7 @@ val run :
   ?monitors:monitor list ->
   ?max_steps:int ->
   ?funs:Csp_assertion.Afun.env ->
+  ?compiled:Csp_semantics.Compiled.t ->
   Csp_semantics.Step.config ->
   Csp_lang.Process.t ->
   result
@@ -47,7 +48,10 @@ val run :
     no monitors, 1000 steps.  [seed] is ignored when an explicit
     [scheduler] is supplied; runs are reproducible from their
     arguments alone — no scheduler self-initialises from hidden
-    state. *)
+    state.  A [compiled] successor automaton for the same
+    configuration turns each step's successor query into a flat-row
+    read (states off the automaton fall back to the interpreter); the
+    walk is unchanged. *)
 
 val run_engine :
   ?scheduler:Scheduler.t ->
@@ -55,10 +59,13 @@ val run_engine :
   ?monitors:monitor list ->
   ?max_steps:int ->
   ?funs:Csp_assertion.Afun.env ->
+  ?compiled:Csp_semantics.Compiled.t ->
   Csp_semantics.Engine.t ->
   Csp_lang.Process.t ->
   result
 (** {!run} driven by a unified engine: the scheduler seed defaults to
-    the engine's, and stepping shares the engine's transition cache. *)
+    the engine's, and stepping shares the engine's transition cache.
+    Pass [Engine.compile eng p] as [compiled] to step on the flat
+    successor tables. *)
 
 val pp_result : Format.formatter -> result -> unit

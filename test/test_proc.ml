@@ -29,6 +29,36 @@ let prop_to_process_roundtrip =
   qcheck_case ~count:300 "to_process (intern p) = p" process_gen (fun p ->
       Process.equal (Proc.to_process (Proc.intern p)) p)
 
+(* Canonicity under concurrent interning: the lock-free probe fast
+   path must never hand two domains distinct nodes for the same term.
+   Each domain interns the same family of deep chains; every result
+   must be pointer-identical across domains, and the hit counter must
+   have moved (the fast path is what the race exercises). *)
+let test_intern_concurrent_canonical () =
+  let build n =
+    let rec chain i acc =
+      if i = 0 then acc
+      else chain (i - 1) (Process.Output (Chan_expr.simple "c", Expr.int i, acc))
+    in
+    chain 40 (Process.Output (Chan_expr.simple "seed", Expr.int n, Process.Stop))
+  in
+  let s0 = Proc.stats () in
+  let results =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Pool.parallel_map pool
+          (fun _ -> Array.init 50 (fun i -> Proc.intern (build i)))
+          (Array.init 4 Fun.id))
+  in
+  let reference = results.(0) in
+  Array.iter
+    (fun per_domain ->
+      Alcotest.(check bool) "pointer-identical across domains" true
+        (Array.for_all2 Proc.equal reference per_domain))
+    results;
+  let s1 = Proc.stats () in
+  Alcotest.(check bool) "fast-path hits recorded" true
+    (s1.Proc.hits > s0.Proc.hits)
+
 (* re-interning the projected view lands on the very same node: ids and
    hashes agree across interning rounds *)
 let prop_hash_stable =
@@ -120,6 +150,8 @@ let () =
           prop_to_process_roundtrip;
           prop_hash_stable;
           prop_hash_agrees_on_equal;
+          Alcotest.test_case "concurrent interning canonical" `Quick
+            test_intern_concurrent_canonical;
         ] );
       ( "round-trips",
         [ prop_print_parse_same_node; prop_scenario_roundtrip ] );
