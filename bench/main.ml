@@ -18,7 +18,8 @@
              dune exec bench/main.exe -- p10     (P10 comparison only)
              dune exec bench/main.exe -- p11     (parallel scaling only)
              dune exec bench/main.exe -- p13     (compiled successor engine)
-             dune exec bench/main.exe -- smoke   (E11 + P8–P13, tiny
+             dune exec bench/main.exe -- p14     (coverage-guided fuzzing)
+             dune exec bench/main.exe -- smoke   (E11 + P8–P14, tiny
                                                   sizes; @bench-smoke) *)
 
 open Csp
@@ -1597,6 +1598,92 @@ let p13_compiled ?(smoke = false) () =
   result "  wrote BENCH_compiled.json\n"
 
 (* ---------------------------------------------------------------------- *)
+(* P14: coverage-guided fuzzing vs blind generation                        *)
+(* ---------------------------------------------------------------------- *)
+
+(* The AFL-style claim, measured: at an equal case budget and the same
+   seed, the feedback loop (credit coverage-gaining scenario shapes,
+   perturb on stagnation) must reach more distinct telemetry features
+   than drawing every scenario from the fixed default distribution.
+   Both campaigns are fully deterministic, so the curves in
+   BENCH_fuzz.json are reproducible bit-for-bit from the seed. *)
+
+type p14_row = {
+  p14_mode : string; (* "guided" or "blind" *)
+  p14_cases : int;
+  p14_elapsed : float;
+  p14_execs_per_sec : float;
+  p14_distinct : int;
+  p14_corpus : int;
+  p14_minimised : int;
+  p14_curve : (int * int) list;
+}
+
+let write_p14_json path ~seed rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"p14_fuzz_coverage\",\n  \"seed\": %d,\n  \"results\": [\n" seed;
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      let curve =
+        String.concat ", "
+          (List.map (fun (c, d) -> Printf.sprintf "[%d, %d]" c d) r.p14_curve)
+      in
+      Printf.fprintf oc
+        "    { \"mode\": \"%s\", \"cases\": %d, \"elapsed_s\": %.3f, \
+         \"execs_per_sec\": %.1f, \"distinct_features\": %d, \
+         \"corpus\": %d, \"minimised\": %d, \"curve\": [%s] }%s\n"
+        r.p14_mode r.p14_cases r.p14_elapsed r.p14_execs_per_sec
+        r.p14_distinct r.p14_corpus r.p14_minimised curve
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"snapshot\": %s\n}\n" (Obs.snapshot_json ());
+  close_out oc
+
+let p14_fuzz_coverage ?(smoke = false) () =
+  section "P14: coverage-guided fuzzing vs blind generation (equal budget)";
+  let module Fuzz = Csp_testkit.Fuzz in
+  let seed = 2026 in
+  let cases = if smoke then 100 else 300 in
+  let cfg = { Fuzz.default_config with Fuzz.seed; max_cases = cases } in
+  let campaign ~guided =
+    let r, cov = Fuzz.run_coverage ~guided cfg in
+    {
+      p14_mode = (if guided then "guided" else "blind");
+      p14_cases = r.Fuzz.cases;
+      p14_elapsed = r.Fuzz.elapsed;
+      p14_execs_per_sec =
+        (if r.Fuzz.elapsed > 0. then
+           float_of_int r.Fuzz.cases /. r.Fuzz.elapsed
+         else 0.);
+      p14_distinct = cov.Fuzz.distinct;
+      p14_corpus = List.length cov.Fuzz.corpus;
+      p14_minimised = List.length cov.Fuzz.minimised;
+      p14_curve = cov.Fuzz.curve;
+    }
+  in
+  (* blind first so the guided run cannot inherit any advantage from
+     process-global registry state (the per-case diff is delta-based,
+     but symmetry costs nothing) *)
+  let blind = campaign ~guided:false in
+  let guided = campaign ~guided:true in
+  result "  %-8s %6s %9s %11s %10s %8s %10s\n" "mode" "cases" "time(s)"
+    "execs/sec" "features" "corpus" "minimised";
+  List.iter
+    (fun r ->
+      result "  %-8s %6d %9.2f %11.1f %10d %8d %10d\n" r.p14_mode r.p14_cases
+        r.p14_elapsed r.p14_execs_per_sec r.p14_distinct r.p14_corpus
+        r.p14_minimised)
+    [ guided; blind ];
+  result "  guided/blind feature ratio: %.2fx%s\n"
+    (if blind.p14_distinct > 0 then
+       float_of_int guided.p14_distinct /. float_of_int blind.p14_distinct
+     else 0.)
+    (if guided.p14_distinct > blind.p14_distinct then "" else "  (NO GAIN)");
+  write_p14_json "BENCH_fuzz.json" ~seed [ guided; blind ];
+  result "  wrote BENCH_fuzz.json\n"
+
+(* ---------------------------------------------------------------------- *)
 (* Part 2: Bechamel timing suites (P1–P6)                                  *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1787,6 +1874,7 @@ let () =
     p11_parallel ~smoke:true ();
     p12_obs_overhead ~smoke:true ();
     p13_compiled ~smoke:true ();
+    p14_fuzz_coverage ~smoke:true ();
     p9_fuzz_throughput ~cases:100 ();
     print_newline ()
   | "p8" ->
@@ -1803,6 +1891,9 @@ let () =
     print_newline ()
   | "p13" | "compiled" ->
     p13_compiled ();
+    print_newline ()
+  | "p14" | "fuzz" ->
+    p14_fuzz_coverage ();
     print_newline ()
   | _ ->
     let quick = mode = "quick" in
@@ -1825,6 +1916,7 @@ let () =
       p11_parallel ();
       p12_obs_overhead ();
       p13_compiled ();
+      p14_fuzz_coverage ();
       p9_fuzz_throughput ();
       run_timings ()
     end;

@@ -417,7 +417,8 @@ let resolve_oracles = function
             (String.concat ", " (Oracle.names ())))
       names
 
-let cmd_fuzz seed cases budget oracle_names save replay jobs telemetry =
+let cmd_fuzz seed cases budget oracle_names save replay jobs coverage telemetry
+    =
   with_telemetry "fuzz" telemetry @@ fun () ->
   let oracles = resolve_oracles oracle_names in
   let replay_failures =
@@ -446,16 +447,23 @@ let cmd_fuzz seed cases budget oracle_names save replay jobs telemetry =
         !failed;
       !failed
   in
+  let config =
+    {
+      Fuzz.default_config with
+      Fuzz.seed;
+      max_cases = cases;
+      budget;
+      oracles;
+      jobs;
+    }
+  in
   let report =
-    Fuzz.run
-      {
-        Fuzz.default_config with
-        Fuzz.seed;
-        max_cases = cases;
-        budget;
-        oracles;
-        jobs;
-      }
+    if coverage then begin
+      let report, cov = Fuzz.run_coverage config in
+      Format.printf "%a@." Fuzz.pp_coverage (report, cov);
+      report
+    end
+    else Fuzz.run config
   in
   Format.printf "%a@." Fuzz.pp_report report;
   (match save with
@@ -707,6 +715,16 @@ let fuzz_cmd =
           ~doc:"First replay every corpus entry of this directory against \
                 its recorded oracle")
   in
+  let coverage =
+    Arg.(
+      value & flag
+      & info [ "coverage" ]
+          ~doc:"Coverage-guided mode: diff the telemetry registry around \
+                every case, keep a corpus of coverage-gaining scenarios, \
+                and bias generation toward the shapes that moved new \
+                counters.  Deterministic for a fixed seed at any --jobs; \
+                prints the coverage curve and the minimised corpus size")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential conformance fuzzing: generate random scenarios \
@@ -715,7 +733,7 @@ let fuzz_cmd =
              are shrunk and printed as parseable .csp text")
     Term.(
       const cmd_fuzz $ seed $ cases $ budget $ oracles $ save $ replay
-      $ jobs_arg $ telemetry_arg)
+      $ jobs_arg $ coverage $ telemetry_arg)
 
 let deadlock_cmd =
   Cmd.v

@@ -66,5 +66,6 @@ module Scheduler = Csp_sim.Scheduler
 module Runner = Csp_sim.Runner
 module Stats = Csp_sim.Stats
 
-(* The paper's systems *)
+(* The paper's systems, and the protocol library grown around them *)
 module Paper = Paper
+module Models = Models

@@ -1,0 +1,624 @@
+module Value = Csp_trace.Value
+module Channel = Csp_trace.Channel
+module Process = Csp_lang.Process
+module Chan_expr = Csp_lang.Chan_expr
+module Chan_set = Csp_lang.Chan_set
+module Expr = Csp_lang.Expr
+module Vset = Csp_lang.Vset
+module Defs = Csp_lang.Defs
+module Term = Csp_assertion.Term
+module Assertion = Csp_assertion.Assertion
+
+let par_chain = Paper.par_chain
+
+let bit = Vset.Range (0, 1)
+
+(* Chained prefixes: [seq [e1; …; ek] tail] is [e1 -> … -> ek -> tail]
+   where each element is a builder [t -> t]. *)
+let seq steps tail = List.fold_right (fun f k -> f k) steps tail
+
+let len_of name i = Term.Len (Term.Chan (Chan_expr.indexed name (Expr.int i)))
+let le a b = Assertion.Cmp (Assertion.Le, a, b)
+
+(* ---- sliding-window protocol ------------------------------------------ *)
+
+module Sliding_window = struct
+  type t = {
+    w : int;
+    defs : Defs.t;
+    network : Process.t;
+    system : Process.t;
+    spec : Process.t;
+    invariants : Assertion.t list;
+  }
+
+  let snd_name k = Printf.sprintf "snd%d" k
+  let buf_name q = "buf" ^ String.concat "" (List.map string_of_int q)
+
+  (* every {0,1}-queue of length ≤ w, shortest first *)
+  let queues w =
+    let rec grow qs = function
+      | 0 -> [ qs ]
+      | n -> qs :: List.concat_map (fun b -> grow (qs @ [ b ]) (n - 1)) [ 0; 1 ]
+    in
+    List.sort_uniq compare (grow [] w)
+
+  let pnd_name k b = Printf.sprintf "pnd%d_%d" k b
+
+  let make ~w =
+    if w < 1 then invalid_arg "Sliding_window.make: window must be positive";
+    (* snd_k: k transmitted-but-unacknowledged messages, nothing
+       pending.  While the window is open a fresh input may arrive
+       (the binder unrolls into singleton-set inputs because the
+       continuation depends on the value); while anything is
+       unacknowledged an ack may arrive.  pnd_k_b: additionally
+       message b is accepted but not yet on the wire — crucially the
+       transmission is offered in CHOICE with ack receipt, otherwise
+       a sender committed to [wire!b] and a receiver committed to
+       [ack!] deadlock. *)
+    let ack_to name =
+      Process.recv "ack" "a" (Vset.Enum [ Value.ack ]) (Process.ref_ name)
+    in
+    let input_to name_of_bit =
+      List.map
+        (fun b ->
+          Process.recv "input" "x"
+            (Vset.Enum [ Value.Int b ])
+            (Process.ref_ (name_of_bit b)))
+        [ 0; 1 ]
+    in
+    let choice_of = function
+      | [] -> invalid_arg "choice_of"
+      | a :: more -> List.fold_left (fun p q -> Process.Choice (p, q)) a more
+    in
+    let snd_body k =
+      choice_of
+        ((if k < w then input_to (pnd_name k) else [])
+        @ if k > 0 then [ ack_to (snd_name (k - 1)) ] else [])
+    in
+    let pnd_body k b =
+      choice_of
+        (Process.send "wire" (Expr.int b) (Process.ref_ (snd_name (k + 1)))
+         :: (if k > 0 then [ ack_to (pnd_name (k - 1) b) ] else []))
+    in
+    let receiver_body =
+      Process.recv "wire" "y" bit
+        (Process.send "output" (Expr.Var "y")
+           (Process.send "ack" (Expr.Const Value.ack) (Process.ref_ "rcv")))
+    in
+    let defs =
+      List.fold_left
+        (fun d k -> Defs.define (snd_name k) (snd_body k) d)
+        (Defs.define "rcv" receiver_body Defs.empty)
+        (List.init (w + 1) Fun.id)
+    in
+    let defs =
+      List.fold_left
+        (fun d (k, b) -> Defs.define (pnd_name k b) (pnd_body k b) d)
+        defs
+        (List.concat_map (fun k -> [ (k, 0); (k, 1) ]) (List.init w Fun.id))
+    in
+    (* The behavioural specification.  The sender's window pipelines
+       against a one-slot receiver, so the end-to-end capacity is
+       min(w, 2) whatever the window: at most one message is pending
+       transmission and at most one is crossing the receiver.  The
+       spec is the value-faithful buffer of that capacity, one
+       definition per queue content. *)
+    let cap = min w 2 in
+    let buf_body q =
+      let arms =
+        (if List.length q < cap then
+           List.map
+             (fun b ->
+               Process.recv "input" "x"
+                 (Vset.Enum [ Value.Int b ])
+                 (Process.ref_ (buf_name (q @ [ b ]))))
+             [ 0; 1 ]
+         else [])
+        @
+        match q with
+        | [] -> []
+        | v :: rest ->
+          [ Process.send "output" (Expr.int v) (Process.ref_ (buf_name rest)) ]
+      in
+      match arms with
+      | [] -> assert false (* w ≥ 1: every state accepts or emits *)
+      | [ a ] -> a
+      | a :: more -> List.fold_left (fun p b -> Process.Choice (p, b)) a more
+    in
+    let defs =
+      List.fold_left
+        (fun d q -> Defs.define (buf_name q) (buf_body q) d)
+        defs (queues cap)
+    in
+    let sender_alpha = Chan_set.of_names [ "input"; "wire"; "ack" ] in
+    let receiver_alpha = Chan_set.of_names [ "wire"; "output"; "ack" ] in
+    let network =
+      Process.Par
+        (sender_alpha, receiver_alpha, Process.ref_ "snd0", Process.ref_ "rcv")
+    in
+    let system = Process.Hide (Chan_set.of_names [ "wire"; "ack" ], network) in
+    let len c = Term.Len (Term.chan c) in
+    let invariants =
+      [
+        Assertion.Prefix (Term.chan "wire", Term.chan "input");
+        Assertion.Prefix (Term.chan "output", Term.chan "wire");
+        le (len "input") (Term.Add (len "ack", Term.int w));
+        le (len "output") (len "wire");
+        le (len "input") (Term.Add (len "output", Term.int cap));
+      ]
+    in
+    {
+      w;
+      defs;
+      network;
+      system;
+      spec = Process.ref_ (buf_name []);
+      invariants;
+    }
+
+  let default = make ~w:2
+end
+
+(* ---- token ring ------------------------------------------------------- *)
+
+module Token_ring = struct
+  type t = {
+    n : int;
+    defs : Defs.t;
+    network : Process.t;
+    system : Process.t;
+    spec : Process.t;
+    invariants : Assertion.t list;
+  }
+
+  let station_name i = Printf.sprintf "ring%d" i
+  let spec_name i = Printf.sprintf "spin%d" i
+
+  let make ~n =
+    if n < 2 then invalid_arg "Token_ring.make: need at least two stations";
+    let token = Vset.Enum [ Value.Int 0 ] in
+    let pass i = Chan_expr.indexed "pass" (Expr.int (i mod n)) in
+    let work i = Chan_expr.indexed "work" (Expr.int i) in
+    (* station 0 holds the token initially: work, pass it on, wait *)
+    let st0 =
+      seq
+        [
+          (fun k -> Process.Output (work 0, Expr.int 0, k));
+          (fun k -> Process.Output (pass 1, Expr.int 0, k));
+          (fun k -> Process.Input (pass 0, "t", token, k));
+        ]
+        (Process.ref_ (station_name 0))
+    in
+    let st i =
+      seq
+        [
+          (fun k -> Process.Input (pass i, "t", token, k));
+          (fun k -> Process.Output (work i, Expr.int i, k));
+          (fun k -> Process.Output (pass (i + 1), Expr.int 0, k));
+        ]
+        (Process.ref_ (station_name i))
+    in
+    let defs =
+      List.fold_left
+        (fun d i -> Defs.define (station_name i) (if i = 0 then st0 else st i) d)
+        Defs.empty (List.init n Fun.id)
+    in
+    (* the work events, round-robin forever *)
+    let spec_defs =
+      List.fold_left
+        (fun d i ->
+          Defs.define (spec_name i)
+            (Process.Output
+               (work i, Expr.int i, Process.ref_ (spec_name ((i + 1) mod n))))
+            d)
+        defs (List.init n Fun.id)
+    in
+    let station_alpha i =
+      Chan_set.of_channels
+        [
+          Channel.indexed "pass" i;
+          Channel.indexed "pass" ((i + 1) mod n);
+          Channel.indexed "work" i;
+        ]
+    in
+    let network =
+      par_chain
+        (List.init n (fun i -> (Process.ref_ (station_name i), station_alpha i)))
+    in
+    let internal =
+      Chan_set.of_channels (List.init n (fun i -> Channel.indexed "pass" i))
+    in
+    let system = Process.Hide (internal, network) in
+    (* station i ≥ 1 receives pass[i], works, forwards pass[i+1] *)
+    let invariants =
+      List.concat_map
+        (fun i ->
+          [
+            le (len_of "pass" ((i + 1) mod n)) (len_of "work" i);
+            le (len_of "work" i) (len_of "pass" i);
+          ])
+        (List.init (n - 1) (fun i -> i + 1))
+      @ [
+          le (len_of "pass" 1) (len_of "work" 0);
+          le (len_of "work" 0) (Term.Add (len_of "pass" 0, Term.int 1));
+        ]
+    in
+    {
+      n;
+      defs = spec_defs;
+      network;
+      system;
+      spec = Process.ref_ (spec_name 0);
+      invariants;
+    }
+
+  let default = make ~n:3
+end
+
+(* ---- ring leader election -------------------------------------------- *)
+
+module Leader = struct
+  type t = {
+    n : int;
+    defs : Defs.t;
+    network : Process.t;
+    system : Process.t;
+    spec : Process.t;
+    invariants : Assertion.t list;
+  }
+
+  let node_name i = Printf.sprintf "node%d" i
+
+  (* A max-collecting token around a unidirectional ring.  Node 0
+     initiates with its own id; node i forwards max(value, i) — with a
+     single token the arriving value at node i is determined (i-1), so
+     the max unrolls to a constant and the winner is always n-1. *)
+  let make ~n =
+    if n < 2 then invalid_arg "Leader.make: need at least two nodes";
+    let elect i = Chan_expr.indexed "elect" (Expr.int (i mod n)) in
+    let node0 =
+      seq
+        [
+          (fun k -> Process.Output (elect 1, Expr.int 0, k));
+          (fun k ->
+            Process.Input (elect 0, "v", Vset.Enum [ Value.Int (n - 1) ], k));
+          (fun k -> Process.send "leader" (Expr.int (n - 1)) k);
+        ]
+        (Process.ref_ (node_name 0))
+    in
+    let node i =
+      seq
+        [
+          (fun k ->
+            Process.Input (elect i, "v", Vset.Enum [ Value.Int (i - 1) ], k));
+          (fun k -> Process.Output (elect (i + 1), Expr.int i, k));
+        ]
+        (Process.ref_ (node_name i))
+    in
+    let defs =
+      List.fold_left
+        (fun d i -> Defs.define (node_name i) (if i = 0 then node0 else node i) d)
+        Defs.empty (List.init n Fun.id)
+    in
+    let defs =
+      Defs.define "lspec"
+        (Process.send "leader" (Expr.int (n - 1)) (Process.ref_ "lspec"))
+        defs
+    in
+    let node_alpha i =
+      let own =
+        Chan_set.of_channels
+          [ Channel.indexed "elect" i; Channel.indexed "elect" ((i + 1) mod n) ]
+      in
+      if i = 0 then Chan_set.union own (Chan_set.of_names [ "leader" ]) else own
+    in
+    let network =
+      par_chain
+        (List.init n (fun i -> (Process.ref_ (node_name i), node_alpha i)))
+    in
+    let internal =
+      Chan_set.of_channels (List.init n (fun i -> Channel.indexed "elect" i))
+    in
+    let system = Process.Hide (internal, network) in
+    (* every announced leader is the maximal id *)
+    let tk = Term.Var "k" in
+    let invariants =
+      [
+        Assertion.Forall
+          ( "k",
+            Vset.Nat,
+            Assertion.Imp
+              ( Assertion.And
+                  ( Assertion.Cmp (Assertion.Le, Term.int 1, tk),
+                    Assertion.Cmp
+                      (Assertion.Le, tk, Term.Len (Term.chan "leader")) ),
+                Assertion.Eq
+                  (Term.Index (Term.chan "leader", tk), Term.int (n - 1)) ) );
+        le (Term.Len (Term.chan "leader")) (len_of "elect" 0);
+      ]
+    in
+    {
+      n;
+      defs;
+      network;
+      system;
+      spec = Process.ref_ "lspec";
+      invariants;
+    }
+
+  let default = make ~n:3
+end
+
+(* ---- two-phase commit ------------------------------------------------- *)
+
+module Commit = struct
+  type t = {
+    n : int;
+    defs : Defs.t;
+    network : Process.t;
+    system : Process.t;
+    spec : Process.t;
+    invariants : Assertion.t list;
+  }
+
+  let co_name i all_yes = Printf.sprintf "co%d%s" i (if all_yes then "y" else "n")
+  let pt_name j = Printf.sprintf "pt%d" j
+  let ptd_name j = Printf.sprintf "ptd%d" j
+
+  let make ~n =
+    if n < 1 then invalid_arg "Commit.make: need at least one participant";
+    let req j = Chan_expr.indexed "req" (Expr.int j) in
+    let vote j = Chan_expr.indexed "vote" (Expr.int j) in
+    let dec j = Chan_expr.indexed "dec" (Expr.int j) in
+    (* coordinator state (polled i participants, conjunction so far):
+       poll the next participant, or broadcast the decision *)
+    let broadcast b tail =
+      seq
+        (List.init n (fun j ->
+             fun k -> Process.Output (dec (j + 1), Expr.int b, k)))
+        tail
+    in
+    let co_body i all_yes =
+      if i = n then
+        broadcast (if all_yes then 1 else 0) (Process.ref_ (co_name 0 true))
+      else
+        Process.Output
+          ( req (i + 1),
+            Expr.int 1,
+            Process.Choice
+              ( Process.Input
+                  ( vote (i + 1),
+                    "v",
+                    Vset.Enum [ Value.Int 0 ],
+                    Process.ref_ (co_name (i + 1) false) ),
+                Process.Input
+                  ( vote (i + 1),
+                    "v",
+                    Vset.Enum [ Value.Int 1 ],
+                    Process.ref_ (co_name (i + 1) all_yes) ) ) )
+    in
+    let defs =
+      List.fold_left
+        (fun d (i, b) -> Defs.define (co_name i b) (co_body i b) d)
+        Defs.empty
+        (List.concat_map
+           (fun i -> [ (i, true); (i, false) ])
+           (List.init (n + 1) Fun.id))
+    in
+    (* participant j votes freely, then obeys the decision *)
+    let pt_body j =
+      Process.Input
+        ( req j,
+          "r",
+          Vset.Enum [ Value.Int 1 ],
+          Process.Choice
+            ( Process.Output (vote j, Expr.int 0, Process.ref_ (ptd_name j)),
+              Process.Output (vote j, Expr.int 1, Process.ref_ (ptd_name j)) )
+        )
+    in
+    let ptd_body j = Process.Input (dec j, "d", bit, Process.ref_ (pt_name j)) in
+    let defs =
+      List.fold_left
+        (fun d j ->
+          d
+          |> Defs.define (pt_name j) (pt_body j)
+          |> Defs.define (ptd_name j) (ptd_body j))
+        defs
+        (List.init n (fun j -> j + 1))
+    in
+    (* spec of the visible behaviour: rounds of full broadcasts, each
+       round's decision chosen nondeterministically *)
+    let defs =
+      Defs.define "cspec"
+        (Process.Choice
+           ( broadcast 0 (Process.ref_ "cspec"),
+             broadcast 1 (Process.ref_ "cspec") ))
+        defs
+    in
+    let co_alpha =
+      Chan_set.of_channels
+        (List.concat_map
+           (fun j ->
+             [
+               Channel.indexed "req" j;
+               Channel.indexed "vote" j;
+               Channel.indexed "dec" j;
+             ])
+           (List.init n (fun j -> j + 1)))
+    in
+    let pt_alpha j =
+      Chan_set.of_channels
+        [
+          Channel.indexed "req" j;
+          Channel.indexed "vote" j;
+          Channel.indexed "dec" j;
+        ]
+    in
+    let network =
+      par_chain
+        ((Process.ref_ (co_name 0 true), co_alpha)
+        :: List.init n (fun j ->
+               (Process.ref_ (pt_name (j + 1)), pt_alpha (j + 1))))
+    in
+    let internal =
+      Chan_set.of_channels
+        (List.concat_map
+           (fun j ->
+             [ Channel.indexed "req" j; Channel.indexed "vote" j ])
+           (List.init n (fun j -> j + 1)))
+    in
+    let system = Process.Hide (internal, network) in
+    let tk = Term.Var "k" in
+    let chan_len name j = len_of name j in
+    let invariants =
+      List.concat_map
+        (fun j ->
+          [
+            le (chan_len "dec" j) (chan_len "vote" j);
+            le (chan_len "vote" j) (chan_len "req" j);
+            le (chan_len "req" j) (Term.Add (chan_len "dec" j, Term.int 1));
+          ])
+        (List.init n (fun j -> j + 1))
+      @
+      if n > 1 then
+        [
+          (* agreement: whenever the last participant has its k-th
+             decision, it matches the first participant's *)
+          Assertion.Forall
+            ( "k",
+              Vset.Nat,
+              Assertion.Imp
+                ( Assertion.And
+                    ( Assertion.Cmp (Assertion.Le, Term.int 1, tk),
+                      Assertion.Cmp (Assertion.Le, tk, len_of "dec" n) ),
+                  Assertion.Eq
+                    ( Term.Index
+                        (Term.Chan (Chan_expr.indexed "dec" (Expr.int 1)), tk),
+                      Term.Index
+                        (Term.Chan (Chan_expr.indexed "dec" (Expr.int n)), tk)
+                    ) ) );
+        ]
+      else []
+    in
+    {
+      n;
+      defs;
+      network;
+      system;
+      spec = Process.ref_ "cspec";
+      invariants;
+    }
+
+  let default = make ~n:2
+end
+
+(* ---- choreographies --------------------------------------------------- *)
+
+module Choreo = struct
+  type step = { frm : int; dst : int; value : int }
+  type t = {
+    roles : int;
+    steps : step list;
+    defs : Defs.t;
+    network : Process.t;
+    global : Process.t;
+  }
+
+  let role_name r = Printf.sprintf "cg%d" r
+  let global_name = "cglob"
+  let msg t = Chan_expr.indexed "msg" (Expr.int t)
+
+  (* A deterministic walk over the roles: consecutive entries differ,
+     and the wrap-around step (last → first) is a real send too.  The
+     seed drives a tiny LCG — no global randomness, so a choreography
+     is a pure function of (roles, length, seed). *)
+  let walk ~roles ~length ~seed =
+    let length = if roles = 2 && length mod 2 = 1 then length + 1 else length in
+    let state = ref (seed land 0x3fffffff) in
+    let next_int m =
+      state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+      !state mod m
+    in
+    let w = Array.make length 0 in
+    for t = 1 to length - 1 do
+      w.(t) <- (w.(t - 1) + 1 + next_int (roles - 1)) mod roles
+    done;
+    if length > 1 && w.(length - 1) = w.(0) then
+      w.(length - 1) <-
+        (let fix = ref ((w.(0) + 1) mod roles) in
+         while !fix = w.(length - 2) || !fix = w.(0) do
+           fix := (!fix + 1) mod roles
+         done;
+         !fix);
+    Array.to_list
+      (Array.mapi
+         (fun t r ->
+           { frm = r; dst = w.((t + 1) mod length); value = next_int 2 })
+         w)
+
+  let make ~roles ~steps =
+    let n_steps = List.length steps in
+    if roles < 2 then invalid_arg "Choreo.make: need at least two roles";
+    if n_steps < 1 then invalid_arg "Choreo.make: need at least one step";
+    List.iteri
+      (fun t s ->
+        if s.frm = s.dst then
+          invalid_arg (Printf.sprintf "Choreo.make: step %d is a self-send" t))
+      steps;
+    (* the global behaviour: the interactions in order, forever *)
+    let global_body =
+      seq
+        (List.mapi
+           (fun t s -> fun k -> Process.Output (msg t, Expr.int s.value, k))
+           steps)
+        (Process.ref_ global_name)
+    in
+    (* role r's projection: its sends and receives, in global order *)
+    let role_events r =
+      List.concat
+        (List.mapi
+           (fun t s ->
+             if s.frm = r then
+               [ (fun k -> Process.Output (msg t, Expr.int s.value, k)) ]
+             else if s.dst = r then
+               [
+                 (fun k ->
+                   Process.Input
+                     (msg t, "x", Vset.Enum [ Value.Int s.value ], k));
+               ]
+             else [])
+           steps)
+    in
+    let participants =
+      List.filter (fun r -> role_events r <> []) (List.init roles Fun.id)
+    in
+    let defs =
+      List.fold_left
+        (fun d r ->
+          Defs.define (role_name r)
+            (seq (role_events r) (Process.ref_ (role_name r)))
+            d)
+        (Defs.define global_name global_body Defs.empty)
+        participants
+    in
+    let role_alpha r =
+      Chan_set.of_channels
+        (List.concat
+           (List.mapi
+              (fun t s ->
+                if s.frm = r || s.dst = r then [ Channel.indexed "msg" t ]
+                else [])
+              steps))
+    in
+    let network =
+      par_chain
+        (List.map (fun r -> (Process.ref_ (role_name r), role_alpha r))
+           participants)
+    in
+    { roles; steps; defs; network; global = Process.ref_ global_name }
+
+  let generate ~roles ~length ~seed =
+    let steps = walk ~roles ~length ~seed in
+    make ~roles ~steps
+end

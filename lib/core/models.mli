@@ -1,0 +1,134 @@
+(** A paper-adjacent protocol library: distributed-systems workloads
+    built from the same pieces as the paper's examples ({!Paper}),
+    each parameterised by its size, each carrying bounded-checkable
+    [sat] invariants and a behavioural specification to refine
+    against.
+
+    Common shape: [defs] holds every definition (implementation and
+    spec), [network] is the alphabetised parallel composition with
+    internal channels visible (the process the invariants speak
+    about), [system] conceals the internal channels, and [spec] is
+    the reference behaviour [system] should be trace-equivalent to.
+    Every network here is deadlock-free by construction — the test
+    suite checks that by exhaustive exploration at small sizes. *)
+
+open Csp_lang
+open Csp_assertion
+
+(** The paper's ACK/NACK protocol generalised to a window of [w]
+    unacknowledged messages in flight.  The sender offers pending
+    transmissions in choice with acknowledgement receipt (a committed
+    send against a committed ack is the classic deadlock); its window
+    pipelines against a one-slot receiver, so the end-to-end system
+    is trace-equivalent to the value-faithful buffer of capacity
+    [min w 2] — the specification here. *)
+module Sliding_window : sig
+  type t = {
+    w : int;  (** window size ≥ 1 *)
+    defs : Defs.t;
+    network : Process.t;  (** sender ‖ receiver, wire and ack visible *)
+    system : Process.t;  (** [chan wire, ack; network] *)
+    spec : Process.t;  (** the {0,1} buffer of capacity [min w 2] *)
+    invariants : Assertion.t list;
+        (** on [network]: [wire ≤ input], [output ≤ wire],
+            [#input ≤ #ack + w], [#output ≤ #wire],
+            [#input ≤ #output + min w 2] *)
+  }
+
+  val make : w:int -> t
+  val default : t  (** window 2 *)
+end
+
+(** [n] stations passing a single token; station [i] performs
+    [work[i]] while holding it.  The specification is the round-robin
+    work sequence. *)
+module Token_ring : sig
+  type t = {
+    n : int;  (** stations ≥ 2 *)
+    defs : Defs.t;
+    network : Process.t;  (** pass and work channels visible *)
+    system : Process.t;  (** [chan pass[*]; network] *)
+    spec : Process.t;  (** [work[0] -> work[1] -> … -> repeat] *)
+    invariants : Assertion.t list;
+        (** token conservation: [#pass[i+1] ≤ #work[i] ≤ #pass[i]]
+            per station (station 0 offset by the initial token) *)
+  }
+
+  val make : n:int -> t
+  val default : t  (** three stations *)
+end
+
+(** Ring leader election with a max-collecting token: node 0
+    initiates, node [i] forwards the running maximum, and the
+    returning token announces the winner — always the maximal id
+    [n-1]. *)
+module Leader : sig
+  type t = {
+    n : int;  (** nodes ≥ 2 *)
+    defs : Defs.t;
+    network : Process.t;  (** elect and leader channels visible *)
+    system : Process.t;  (** [chan elect[*]; network] *)
+    spec : Process.t;  (** [leader!(n-1)] forever *)
+    invariants : Assertion.t list;
+        (** every announced leader equals [n-1];
+            [#leader ≤ #elect[0]] *)
+  }
+
+  val make : n:int -> t
+  val default : t  (** three nodes *)
+end
+
+(** Two-phase commit: the coordinator polls every participant,
+    conjoins the votes and broadcasts the decision.  The
+    specification is rounds of full broadcasts with a
+    nondeterministic verdict per round. *)
+module Commit : sig
+  type t = {
+    n : int;  (** participants ≥ 1 *)
+    defs : Defs.t;
+    network : Process.t;  (** req, vote and dec channels visible *)
+    system : Process.t;  (** [chan req[*], vote[*]; network] *)
+    spec : Process.t;  (** broadcast rounds, decision free *)
+    invariants : Assertion.t list;
+        (** per participant [#dec ≤ #vote ≤ #req ≤ #dec + 1];
+            agreement between first and last participant *)
+  }
+
+  val make : n:int -> t
+  val default : t  (** two participants *)
+end
+
+(** Choreographies: a global interaction sequence (a token walk over
+    the roles) projected onto per-role processes.  Because the walk
+    is sequentially connected — each step's sender is the previous
+    step's receiver — the projected network is deadlock-free by
+    construction and its traces are exactly the global sequence's,
+    which is what the [choreo-refine] differential oracle checks on
+    randomly generated instances. *)
+module Choreo : sig
+  type step = {
+    frm : int;  (** sending role *)
+    dst : int;  (** receiving role, ≠ [frm] *)
+    value : int;  (** the bit communicated *)
+  }
+
+  type t = {
+    roles : int;
+    steps : step list;  (** step [t] communicates on channel [msg[t]] *)
+    defs : Defs.t;  (** one definition per participating role + global *)
+    network : Process.t;  (** the projections, composed in parallel *)
+    global : Process.t;  (** the choreography as one sequential process *)
+  }
+
+  val make : roles:int -> steps:step list -> t
+  (** Raises [Invalid_argument] on self-sends, no steps or fewer than
+      two roles.  The caller must pass a sequentially-connected walk
+      (as {!generate} does) for the deadlock-freedom and
+      trace-equality guarantees to hold. *)
+
+  val generate : roles:int -> length:int -> seed:int -> t
+  (** A choreography as a pure function of the arguments: the walk is
+      drawn from a tiny LCG on [seed], consecutive roles always
+      differ (including across the wrap-around), and with two roles
+      an odd [length] is rounded up to keep the cycle alternating. *)
+end

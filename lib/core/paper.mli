@@ -11,6 +11,12 @@ open Csp_lang
 open Csp_assertion
 open Csp_proof
 
+val par_chain : (Process.t * Chan_set.t) list -> Process.t
+(** Nested binary parallel over (process, alphabet) pairs, the
+    alphabet of the left operand accumulating as the fold proceeds.
+    The network builder used by every example here and in
+    {!module:Models}. *)
+
 (** §1.3(1), §2: the copier pipeline
     [input → copier → wire → recopier → output]. *)
 module Copier : sig

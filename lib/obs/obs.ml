@@ -291,6 +291,19 @@ let snapshot () =
   in
   List.sort (fun (a, _) (b, _) -> String.compare a b) rows
 
+(* Timer histograms are not part of [snapshot] (48 buckets per timer
+   would swamp the key space); coverage tooling reads them separately
+   and treats each occupied bucket as one feature. *)
+let timer_buckets () =
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun k m acc ->
+          match m with
+          | M_timer t -> (k, Array.map Atomic.get t.t_buckets) :: acc
+          | M_counter _ | M_gauge _ -> acc)
+        registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let reset () =
   with_registry (fun () ->
       Hashtbl.iter

@@ -131,6 +131,12 @@ val snapshot : unit -> (string * value) list
     name; timers as [.count], [.total_ms], [.mean_ms], [.max_ms])
     followed by every registered source, merged and sorted by key. *)
 
+val timer_buckets : unit -> (string * int array) list
+(** The log₂(ns) histogram of every registered timer, sorted by name.
+    Not folded into {!snapshot} (48 buckets per timer would swamp the
+    key space); the coverage map reads occupancy from here and treats
+    each occupied slot as one feature. *)
+
 val reset : unit -> unit
 (** Zero every registered counter, gauge and timer.  External sources
     and the event log are untouched (see {!clear_events}). *)

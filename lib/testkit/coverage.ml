@@ -1,0 +1,298 @@
+module Obs = Csp_obs.Obs
+module Process = Csp_lang.Process
+module Defs = Csp_lang.Defs
+
+(* ---- features --------------------------------------------------------- *)
+
+type feature = string
+
+(* Coverage must be a function of the case alone, not of campaign
+   history, or a fixed seed stops replaying: the closure/intern unique
+   tables and the domain pool keep process-global statistics whose
+   deltas depend on everything run before.  The oracles build a fresh
+   [Engine] per check, so the per-engine cache counters (step/denote),
+   the semantic-work counters (sat/lts/check/tactic/infer) and the
+   per-oracle verdict counters all move by case-determined amounts —
+   those are the feature domain. *)
+let stable_prefixes =
+  [ "oracle."; "step."; "denote."; "sat."; "lts."; "check."; "tactic."; "infer." ]
+
+let stable_key k =
+  List.exists (fun p -> String.length k >= String.length p
+                        && String.sub k 0 (String.length p) = p)
+    stable_prefixes
+
+(* log₂ bucketing, AFL-style: a counter that moved by 1, by ~100 or by
+   ~10k is three different behaviours, but 100 vs 101 is noise. *)
+let bucket delta =
+  let rec go b n = if n <= 1 then b else go (b + 1) (n lsr 1) in
+  go 0 delta
+
+let feature_of_delta key delta = Printf.sprintf "%s:%d" key (bucket delta)
+
+let diff before after =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (k, v) ->
+      match v with Obs.Int n -> Hashtbl.replace tbl k n | _ -> ())
+    before;
+  List.filter_map
+    (fun (k, v) ->
+      match v with
+      | Obs.Int n ->
+        let d = n - (try Hashtbl.find tbl k with Not_found -> 0) in
+        if d > 0 && stable_key k then Some (feature_of_delta k d) else None
+      | _ -> None)
+    after
+
+(* Timer-bucket occupancy: every occupied log₂(ns) histogram slot of
+   every timer.  Wall-clock dependent, hence excluded from the stable
+   per-case features and the feature hash — the soak report surfaces
+   it as a separate, informational axis of the map. *)
+let timer_features () =
+  List.concat_map
+    (fun (name, buckets) ->
+      Array.to_list buckets
+      |> List.mapi (fun i n -> (i, n))
+      |> List.filter_map (fun (i, n) ->
+             if n > 0 then Some (Printf.sprintf "%s@%d" name i) else None))
+    (Obs.timer_buckets ())
+
+(* Concurrent probes would attribute one case's counter movement to
+   another; the mutex makes each diff exact.  Coverage-guided
+   generation is inherently a sequential feedback loop anyway — the
+   guided driver runs cases one at a time whatever [--jobs] says. *)
+let probe_mutex = Mutex.create ()
+
+let probe f =
+  Mutex.lock probe_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock probe_mutex) @@ fun () ->
+  let before = Obs.snapshot () in
+  let x = f () in
+  let fs = diff before (Obs.snapshot ()) in
+  (x, fs)
+
+(* FNV-1a over the sorted feature list: stable across runs, processes
+   and architectures (unlike [Hashtbl.hash], which is documented to be
+   version-dependent). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let hash_features fs =
+  List.fold_left (fun h f -> fnv64 (fnv64 h f) "\x00") fnv_offset
+    (List.sort_uniq String.compare fs)
+
+let hash_counterexample ~oracle sc =
+  fnv64 (fnv64 fnv_offset oracle) ("\n" ^ Scenario.to_csp sc)
+
+let pp_hash ppf h = Format.fprintf ppf "%016Lx" h
+
+(* ---- the coverage map ------------------------------------------------- *)
+
+module Map = struct
+  type t = { seen : (feature, unit) Hashtbl.t }
+
+  let create () = { seen = Hashtbl.create 256 }
+  let distinct t = Hashtbl.length t.seen
+  let mem t f = Hashtbl.mem t.seen f
+
+  (* Returns the features of [fs] not seen before, in input order. *)
+  let add t fs =
+    List.filter
+      (fun f ->
+        if Hashtbl.mem t.seen f then false
+        else begin
+          Hashtbl.replace t.seen f ();
+          true
+        end)
+      fs
+
+  let features t =
+    Hashtbl.fold (fun f () acc -> f :: acc) t.seen []
+    |> List.sort String.compare
+end
+
+(* ---- corpus entries and minimisation ---------------------------------- *)
+
+type entry = {
+  case : int;
+  scenario : Scenario.t;
+  features : feature list;  (** full per-case feature set, sorted *)
+  hash : int64;  (** {!hash_features} of [features] *)
+}
+
+let entry ~case ~scenario features =
+  let features = List.sort_uniq String.compare features in
+  { case; scenario; features; hash = hash_features features }
+
+module Fset = Set.Make (String)
+
+let covered entries =
+  List.fold_left
+    (fun acc e -> Fset.union acc (Fset.of_list e.features))
+    Fset.empty entries
+
+(* Greedy set cover: repeatedly keep the entry covering the most
+   still-uncovered features (ties to the earliest case, so the result
+   is deterministic and stable under re-minimisation).  The kept set
+   covers exactly the union of input features — subsumed entries and
+   duplicates drop out. *)
+let minimise entries =
+  let goal = covered entries in
+  let rec go kept still = function
+    | [] -> kept
+    | candidates ->
+      if Fset.subset goal still then kept
+      else
+        let best =
+          List.fold_left
+            (fun best e ->
+              let gain = Fset.cardinal (Fset.diff (Fset.of_list e.features) still) in
+              match best with
+              | Some (bg, be) when bg > gain || (bg = gain && be.case <= e.case)
+                -> best
+              | _ -> if gain > 0 then Some (gain, e) else best)
+            None candidates
+        in
+        (match best with
+        | None -> kept
+        | Some (_, e) ->
+          go (e :: kept)
+            (Fset.union still (Fset.of_list e.features))
+            (List.filter (fun e' -> e'.case <> e.case) candidates))
+  in
+  go [] Fset.empty entries |> List.sort (fun a b -> compare a.case b.case)
+
+(* ---- generation bias -------------------------------------------------- *)
+
+(* Scenario shape, as credit-assignment features for the feedback
+   loop: when a scenario gains coverage, the operators it leaned on
+   get heavier in the next generation batch. *)
+type shape = {
+  sends : int;
+  recvs : int;
+  choices : int;
+  pars : int;
+  hides : int;
+  refs : int;
+  size : int;
+  chans : int;
+}
+
+let shape_of (sc : Scenario.t) =
+  let s = ref 0 and r = ref 0 and c = ref 0 and p = ref 0 and h = ref 0
+  and f = ref 0 in
+  let rec walk = function
+    | Process.Stop -> ()
+    | Process.Output (_, _, k) -> incr s; walk k
+    | Process.Input (_, _, _, k) -> incr r; walk k
+    | Process.Choice (a, b) -> incr c; walk a; walk b
+    | Process.Par (_, _, a, b) -> incr p; walk a; walk b
+    | Process.Hide (_, k) -> incr h; walk k
+    | Process.Ref (_, _) -> incr f
+  in
+  let defs = sc.Scenario.defs in
+  List.iter
+    (fun n ->
+      match Defs.lookup defs n with
+      | Some d -> walk d.Defs.body
+      | None -> ())
+    (Defs.names defs);
+  let chans =
+    match Defs.lookup defs sc.Scenario.main with
+    | Some d -> List.length (Defs.channel_bases defs d.Defs.body)
+    | None -> 0
+  in
+  {
+    sends = !s;
+    recvs = !r;
+    choices = !c;
+    pars = !p;
+    hides = !h;
+    refs = !f;
+    size = Scenario.size sc;
+    chans;
+  }
+
+module Bias = struct
+  type t = {
+    mutable credit : shape;  (** summed shapes of coverage-gaining inputs *)
+    mutable gainers : int;
+    mutable stagnation : int;  (** consecutive batches with no gain *)
+  }
+
+  let zero =
+    { sends = 0; recvs = 0; choices = 0; pars = 0; hides = 0; refs = 0;
+      size = 0; chans = 0 }
+
+  let create () = { credit = zero; gainers = 0; stagnation = 0 }
+
+  let observe t sc ~gained =
+    if gained > 0 then begin
+      let s = shape_of sc and c = t.credit in
+      t.credit <-
+        {
+          sends = c.sends + s.sends;
+          recvs = c.recvs + s.recvs;
+          choices = c.choices + s.choices;
+          pars = c.pars + s.pars;
+          hides = c.hides + s.hides;
+          refs = c.refs + s.refs;
+          size = c.size + s.size;
+          chans = c.chans + max 0 (s.chans - 2);
+        };
+      t.gainers <- t.gainers + 1;
+      t.stagnation <- 0
+    end
+
+  let stagnate t = t.stagnation <- t.stagnation + 1
+
+  (* A fixed cycle of escalations — deeper terms, wider channel pools,
+     operator emphasis — applied both under stagnation and as the
+     exploration sweep of the guided driver's explore half. *)
+  let escalate k p =
+    match k mod 6 with
+    | 1 -> { p with Gen.main_size_max = p.Gen.main_size_max + 3 }
+    | 2 -> { p with Gen.n_chans = p.Gen.n_chans + 1 }
+    | 3 -> { p with Gen.w_par = p.Gen.w_par + 3; w_hide = p.Gen.w_hide + 2 }
+    | 4 -> { p with Gen.max_defs = p.Gen.max_defs + 1;
+             def_size_max = p.Gen.def_size_max + 2 }
+    | 5 -> { p with Gen.w_choice = p.Gen.w_choice + 3 }
+    | _ -> { p with Gen.main_size_max = p.Gen.main_size_max + 5;
+             n_chans = p.Gen.n_chans + 2 }
+
+  (* Default weights plus credit-proportional boosts, everything
+     re-clamped by [Gen.clamp_params].  [explore] shifts the escalation
+     cycle deterministically — the guided driver sweeps it across its
+     exploration cases so a campaign keeps probing new regions of the
+     parameter space instead of settling on one boosted distribution;
+     stagnation advances the same cycle when whole batches go dry. *)
+  let params ?(explore = 0) t =
+    let d = Gen.default in
+    let n = max 1 t.gainers in
+    let boost base credit = base + min 8 (credit / (n * 2)) in
+    let p =
+      {
+        d with
+        Gen.w_send = boost d.Gen.w_send t.credit.sends;
+        w_recv = boost d.Gen.w_recv t.credit.recvs;
+        w_choice = boost d.Gen.w_choice t.credit.choices;
+        w_par = boost d.Gen.w_par t.credit.pars;
+        w_hide = boost d.Gen.w_hide t.credit.hides;
+        w_ref = boost d.Gen.w_ref t.credit.refs;
+        main_size_max = d.Gen.main_size_max + min 5 (t.credit.size / (n * 8));
+        n_chans = d.Gen.n_chans + min 2 (t.credit.chans / (n * 2));
+      }
+    in
+    let k = t.stagnation + explore in
+    let p = if k = 0 then p else escalate k p in
+    Gen.clamp_params p
+end

@@ -1,0 +1,123 @@
+(** Coverage maps over the Obs snapshot, and the generation-bias
+    feedback loop of the coverage-guided fuzzer.
+
+    A {e feature} is a semantic counter that moved while a case ran,
+    bucketed AFL-style by log₂ of the delta: ["sat.trace_evals:5"]
+    means "this input made the sat-checker evaluate 32–63 traces".
+    The feature domain is restricted to counters that are a function
+    of the case alone (fresh-engine cache statistics, semantic work
+    counters, per-oracle verdicts) — process-global unique-table and
+    pool statistics are history-dependent and would break seed
+    replay; wall-clock timer histograms are reported separately by
+    {!timer_features} and never hashed.
+
+    The resulting map is deterministic: same seed, same input, same
+    feature set, same {!hash_features} — the property
+    [test_coverage.ml] pins down and the CI coverage leg relies on. *)
+
+type feature = string
+
+val stable_key : string -> bool
+(** Is this snapshot key part of the deterministic feature domain? *)
+
+val diff :
+  (string * Csp_obs.Obs.value) list ->
+  (string * Csp_obs.Obs.value) list ->
+  feature list
+(** [diff before after] — one feature per stable integer counter that
+    increased, bucketed by log₂ of the increase. *)
+
+val probe : (unit -> 'a) -> 'a * feature list
+(** Run a thunk and diff the snapshot around it.  Serialised by a
+    mutex so concurrent probes cannot attribute one case's counter
+    movement to another. *)
+
+val timer_features : unit -> feature list
+(** Occupied log₂(ns) timer-histogram slots, as ["timer@slot"]
+    features.  Wall-clock dependent — informational only, excluded
+    from hashes and from guided generation. *)
+
+val hash_features : feature list -> int64
+(** Order-insensitive FNV-1a over the deduplicated feature list;
+    stable across runs and architectures. *)
+
+val hash_counterexample : oracle:string -> Scenario.t -> int64
+(** Dedup key for a shrunk counterexample: FNV-1a of the oracle name
+    and the printed scenario. *)
+
+val pp_hash : Format.formatter -> int64 -> unit
+(** 16 hex digits. *)
+
+(** The set of features seen so far in a campaign. *)
+module Map : sig
+  type t
+
+  val create : unit -> t
+  val distinct : t -> int
+  val mem : t -> feature -> bool
+
+  val add : t -> feature list -> feature list
+  (** Record a case's features; returns the ones not seen before (in
+      input order).  A non-empty result admits the case to the
+      corpus. *)
+
+  val features : t -> feature list
+  (** Every feature seen, sorted. *)
+end
+
+(** A corpus member: the scenario, its full feature set and the
+    feature hash. *)
+type entry = {
+  case : int;
+  scenario : Scenario.t;
+  features : feature list;  (** full per-case feature set, sorted *)
+  hash : int64;  (** {!hash_features} of [features] *)
+}
+
+val entry : case:int -> scenario:Scenario.t -> feature list -> entry
+
+val minimise : entry list -> entry list
+(** Greedy set cover, largest-gain first with ties to the earliest
+    case: the result covers exactly the union of the input feature
+    sets, subsumed entries drop out, and minimising twice returns the
+    first result unchanged.  Sorted by case. *)
+
+(** Shape statistics of a scenario, used for credit assignment. *)
+type shape = {
+  sends : int;
+  recvs : int;
+  choices : int;
+  pars : int;
+  hides : int;
+  refs : int;
+  size : int;
+  chans : int;
+}
+
+val shape_of : Scenario.t -> shape
+
+(** The feedback loop: coverage-gaining scenarios vote for the
+    operator mix, term depth and channel arity that produced them;
+    {!Bias.params} folds the votes into {!Gen.params} for the next
+    batch.  Deterministic — no clocks, no randomness. *)
+module Bias : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> Scenario.t -> gained:int -> unit
+  (** Credit the scenario's shape if it gained coverage (and reset
+      the stagnation counter). *)
+
+  val stagnate : t -> unit
+  (** Note a batch that gained nothing; successive calls cycle the
+      parameters through fixed escalations (deeper terms, wider
+      channel pool, operator emphasis). *)
+
+  val params : ?explore:int -> t -> Gen.params
+  (** Current biased generation parameters, clamped to the safe
+      ranges via {!Gen.clamp_params}.  [explore] (default 0) shifts
+      the escalation cycle deterministically on top of any recorded
+      stagnation — the guided driver sweeps it over its exploration
+      cases so successive draws probe different parameter regions. *)
+end

@@ -35,8 +35,26 @@ type counterexample = {
 type report = {
   cases : int;
   elapsed : float;
+  exhausted : bool;
+      (** the wall-clock budget expired before [max_cases] ran *)
   oracle_runs : (string * int) list;  (** checks executed, per oracle *)
-  counterexamples : counterexample list;  (** sorted by case index *)
+  counterexamples : counterexample list;
+      (** sorted by case index, deduplicated by (oracle, shrunk
+          scenario) so equivalent failures report once *)
+}
+
+(** What a coverage campaign learned, alongside its {!report}. *)
+type coverage_report = {
+  distinct : int;  (** features in the final coverage map *)
+  curve : (int * int) list;
+      (** (cases run, distinct features) at geometric checkpoints
+          1, 2, 4, … plus the final case count *)
+  corpus : Coverage.entry list;
+      (** every coverage-gaining case, in case order *)
+  minimised : Coverage.entry list;  (** {!Coverage.minimise} of [corpus] *)
+  timer_slots : int;
+      (** occupied timer-histogram slots — wall-clock dependent,
+          informational only *)
 }
 
 val shrink :
@@ -54,8 +72,24 @@ val run : ?on_case:(int -> unit) -> ?pool:Csp_parallel.Pool.t -> config -> repor
     from whichever domain runs the case, concurrently with others —
     keep it reentrant (the default progress printers are). *)
 
+val run_coverage :
+  ?on_case:(int -> unit) -> ?guided:bool -> config -> report * coverage_report
+(** The coverage-guided campaign: each case runs under a snapshot
+    probe, coverage-gaining cases join the corpus and (when [guided],
+    the default) vote on the generation parameters of later cases via
+    {!Coverage.Bias}.  Always sequential regardless of [cfg.jobs] —
+    guided generation is a feedback loop, and sequentiality is what
+    makes a fixed seed deterministic at any job count.
+    [guided:false] keeps the probe and the map but draws every case
+    from {!Gen.default}: the blind baseline for bench comparison. *)
+
 val pp_counterexample : Format.formatter -> counterexample -> unit
 (** Prints the diagnosis followed by the scenario as parseable [.csp]
     text (the same text {!Corpus.write} persists). *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val pp_coverage : Format.formatter -> report * coverage_report -> unit
+(** The machine-parseable coverage summary: distinct features, the
+    growth curve as [cases:distinct] pairs, corpus sizes before and
+    after minimisation, and execs/sec. *)

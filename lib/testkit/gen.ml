@@ -6,11 +6,67 @@ module Process = Csp_lang.Process
 module Defs = Csp_lang.Defs
 module G = QCheck2.Gen
 
+(* ---- tunable generation parameters ----------------------------------- *)
+
+(* Every frequency and size bound the generators draw from, gathered in
+   one record so the coverage-guided fuzzer can bias generation toward
+   the operator mix / depth / channel arity that has been moving new
+   counters.  [default] reproduces the historical distribution draw for
+   draw: with it, [scenario_with default] and [scenario] are the same
+   generator, so seeds replay identically. *)
+type params = {
+  n_chans : int;       (** channel pool size, 1–5 (default 3) *)
+  w_send : int;        (** weight of output prefixes (default 4) *)
+  w_recv : int;        (** weight of input prefixes (default 3) *)
+  w_choice : int;      (** weight of [P | Q] (default 2) *)
+  w_par : int;         (** weight of alphabetised parallel (default 2) *)
+  w_hide : int;        (** weight of [chan c; P] (default 1) *)
+  w_stop : int;        (** weight of the [STOP] leaf (default 1) *)
+  w_ref : int;         (** weight of reference leaves (default 2) *)
+  main_size_max : int; (** size bound of the main body (default 7) *)
+  def_size_max : int;  (** size bound of definition bodies (default 5) *)
+  max_defs : int;      (** plain definitions generated, 0–n (default 2) *)
+}
+
+let default =
+  {
+    n_chans = 3;
+    w_send = 4;
+    w_recv = 3;
+    w_choice = 2;
+    w_par = 2;
+    w_hide = 1;
+    w_stop = 1;
+    w_ref = 2;
+    main_size_max = 7;
+    def_size_max = 5;
+    max_defs = 2;
+  }
+
+let clamp lo hi v = max lo (min hi v)
+
+let clamp_params p =
+  {
+    n_chans = clamp 1 5 p.n_chans;
+    w_send = clamp 1 16 p.w_send;
+    w_recv = clamp 1 16 p.w_recv;
+    w_choice = clamp 1 16 p.w_choice;
+    w_par = clamp 1 16 p.w_par;
+    w_hide = clamp 0 8 p.w_hide;
+    w_stop = clamp 1 8 p.w_stop;
+    w_ref = clamp 1 8 p.w_ref;
+    main_size_max = clamp 2 14 p.main_size_max;
+    def_size_max = clamp 2 10 p.def_size_max;
+    max_defs = clamp 0 4 p.max_defs;
+  }
+
 (* The channel pool is deliberately tiny: collisions between
    independently generated subterms are what make parallel
-   synchronisation, hiding and refinement interesting. *)
-let chan_names = [ "a"; "b"; "c" ]
-let chan = G.oneofl chan_names
+   synchronisation, hiding and refinement interesting.  The
+   coverage-guided mode can widen it to five names. *)
+let all_chan_names = [ "a"; "b"; "c"; "d"; "e" ]
+let chan_pool p = List.filteri (fun i _ -> i < p.n_chans) all_chan_names
+let chan_of p = G.oneofl (chan_pool p)
 
 let value =
   G.frequency
@@ -61,20 +117,20 @@ let ref_gen names =
    continuation of a communication prefix, and bodies contain neither
    parallel composition nor hiding — both stay in [main], where the
    denotational fixpoint's exactness conditions allow them. *)
-let def_body ~names ~param =
+let def_body_with p ~names ~param =
   let vars0 = match param with Some (x, _) -> [ x ] | None -> [] in
   let tail =
-    G.frequency [ (1, G.return Process.Stop); (2, ref_gen names) ]
+    G.frequency [ (p.w_stop, G.return Process.Stop); (p.w_ref, ref_gen names) ]
   in
   let rec comm n vars =
     G.frequency
       [
-        ( 4,
-          G.bind chan (fun c ->
+        ( p.w_send,
+          G.bind (chan_of p) (fun c ->
               G.bind (expr ~vars) (fun e ->
                   G.map (fun k -> Process.send c e k) (body (n - 1) vars))) );
-        ( 3,
-          G.bind chan (fun c ->
+        ( p.w_recv,
+          G.bind (chan_of p) (fun c ->
               G.bind vset (fun m ->
                   let x = fresh_var vars in
                   G.map
@@ -86,19 +142,19 @@ let def_body ~names ~param =
     else
       G.frequency
         [
-          (4, comm n vars);
-          (1, tail);
-          ( 2,
+          (p.w_send, comm n vars);
+          (p.w_stop, tail);
+          ( p.w_choice,
             G.map2
-              (fun p q -> Process.Choice (p, q))
+              (fun a b -> Process.Choice (a, b))
               (comm ((n / 2) + 1) vars)
               (comm ((n / 2) + 1) vars) );
         ]
   in
-  G.sized_size (G.int_range 1 5) (fun size -> comm size vars0)
+  G.sized_size (G.int_range 1 p.def_size_max) (fun size -> comm size vars0)
 
-let defs =
-  G.bind (G.int_range 0 2) (fun n_plain ->
+let defs_with p =
+  G.bind (G.int_range 0 p.max_defs) (fun n_plain ->
       G.bind G.bool (fun with_array ->
           let plain = List.init n_plain (fun i -> Printf.sprintf "p%d" i) in
           let names =
@@ -111,16 +167,18 @@ let defs =
             in
             G.map
               (fun body -> { Defs.name; param; body })
-              (def_body ~names ~param)
+              (def_body_with p ~names ~param)
           in
           G.map Defs.of_list (G.flatten_l (List.map gen_def names))))
+
+let defs = defs_with default
 
 (* ---- the process under test ----------------------------------------- *)
 
 (* [main] is never referenced back, so references may appear unguarded
    here; hiding is restricted to reference-free subterms so that runs
    of concealed events stay within both semantics' fuel budgets. *)
-let main_body ~defs:env =
+let main_body_with p ~defs:env =
   let names =
     List.map
       (fun n ->
@@ -129,54 +187,63 @@ let main_body ~defs:env =
         | _ -> (n, false))
       (Defs.names env)
   in
-  let alphabet p = Chan_set.bases (Defs.channel_bases env p) in
+  let alphabet q = Chan_set.bases (Defs.channel_bases env q) in
   let rec go n vars ~refs =
     let leaves =
-      [ (1, G.return Process.Stop) ]
-      @ (if refs && names <> [] then [ (2, ref_gen names) ] else [])
+      [ (p.w_stop, G.return Process.Stop) ]
+      @ (if refs && names <> [] then [ (p.w_ref, ref_gen names) ] else [])
     in
     if n <= 0 then G.frequency leaves
     else
       G.frequency
         (leaves
         @ [
-            ( 4,
-              G.bind chan (fun c ->
+            ( p.w_send,
+              G.bind (chan_of p) (fun c ->
                   G.bind (expr ~vars) (fun e ->
                       G.map
                         (fun k -> Process.send c e k)
                         (go (n - 1) vars ~refs))) );
-            ( 3,
-              G.bind chan (fun c ->
+            ( p.w_recv,
+              G.bind (chan_of p) (fun c ->
                   G.bind vset (fun m ->
                       let x = fresh_var vars in
                       G.map
                         (fun k -> Process.recv c x m k)
                         (go (n - 1) (x :: vars) ~refs))) );
-            ( 2,
+            ( p.w_choice,
               G.map2
-                (fun p q -> Process.Choice (p, q))
+                (fun a b -> Process.Choice (a, b))
                 (go (n / 2) vars ~refs)
                 (go (n / 2) vars ~refs) );
-            ( 2,
+            ( p.w_par,
               G.map2
-                (fun p q -> Process.Par (alphabet p, alphabet q, p, q))
+                (fun a b -> Process.Par (alphabet a, alphabet b, a, b))
                 (go (n / 2) vars ~refs)
                 (go (n / 2) vars ~refs) );
-            ( 1,
-              G.bind chan (fun c ->
+          ]
+        @
+        if p.w_hide > 0 then
+          [
+            ( p.w_hide,
+              G.bind (chan_of p) (fun c ->
                   G.map
-                    (fun p -> Process.Hide (Chan_set.of_names [ c ], p))
+                    (fun q -> Process.Hide (Chan_set.of_names [ c ], q))
                     (go (n - 1) vars ~refs:false)) );
-          ])
+          ]
+        else [])
   in
-  G.sized_size (G.int_range 0 7) (fun size -> go size [] ~refs:true)
+  G.sized_size (G.int_range 0 p.main_size_max) (fun size -> go size [] ~refs:true)
 
+let main_body ~defs:env = main_body_with default ~defs:env
 let process = main_body ~defs:Defs.empty
 
-let scenario =
-  G.bind defs (fun env ->
+let scenario_with p =
+  let p = clamp_params p in
+  G.bind (defs_with p) (fun env ->
       G.map
         (fun body ->
           Scenario.make ~defs:(Defs.define "main" body env) ~main:"main")
-        (main_body ~defs:env))
+        (main_body_with p ~defs:env))
+
+let scenario = scenario_with default

@@ -16,6 +16,34 @@
       reference — the documented exactness condition of the
       denotational fixpoint's [hide_extra] look-ahead. *)
 
+(** Tunable knobs of the scenario generator: operator weights, size
+    bounds and the channel-pool arity.  {!default} reproduces the
+    historical distribution draw for draw, so [scenario_with default]
+    and {!scenario} replay identically under the same seed.  The
+    coverage-guided fuzzer perturbs these (see {!Coverage.Bias}) to
+    steer generation toward the shapes that have been moving new
+    counters. *)
+type params = {
+  n_chans : int;       (** channel pool size, 1–5 (default 3) *)
+  w_send : int;        (** weight of output prefixes (default 4) *)
+  w_recv : int;        (** weight of input prefixes (default 3) *)
+  w_choice : int;      (** weight of [P | Q] (default 2) *)
+  w_par : int;         (** weight of alphabetised parallel (default 2) *)
+  w_hide : int;        (** weight of [chan c; P] (default 1) *)
+  w_stop : int;        (** weight of the [STOP] leaf (default 1) *)
+  w_ref : int;         (** weight of reference leaves (default 2) *)
+  main_size_max : int; (** size bound of the main body (default 7) *)
+  def_size_max : int;  (** size bound of definition bodies (default 5) *)
+  max_defs : int;      (** plain definitions generated, 0–n (default 2) *)
+}
+
+val default : params
+
+val clamp_params : params -> params
+(** Clamp every field into its documented safe range (weights ≥ 1
+    except hiding, which may be disabled; sizes within the fuel
+    budgets the oracles assume).  Applied by {!scenario_with}. *)
+
 val value : Csp_trace.Value.t QCheck2.Gen.t
 (** Integers in [{0,1}] and the ACK/NACK signals. *)
 
@@ -42,4 +70,8 @@ val main_body : defs:Csp_lang.Defs.t -> Csp_lang.Process.t QCheck2.Gen.t
     hide channels of reference-free subterms. *)
 
 val scenario : Scenario.t QCheck2.Gen.t
-(** A full scenario: generated definitions plus a generated [main]. *)
+(** A full scenario: generated definitions plus a generated [main].
+    Equal to [scenario_with default]. *)
+
+val scenario_with : params -> Scenario.t QCheck2.Gen.t
+(** {!scenario} with the given knobs (clamped via {!clamp_params}). *)

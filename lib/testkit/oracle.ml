@@ -407,6 +407,75 @@ let prover_sound_check (s : Scenario.t) =
   in
   sequence (List.map check_candidate (candidate_assertions s))
 
+(* ---- oracle 5: choreography projection soundness ---------------------- *)
+
+(* A deterministic choreography is derived from each scenario (the
+   scenario text seeds the walk, so replaying a corpus entry replays
+   the same choreography).  The projected network must be
+   deadlock-free with traces exactly the global interaction
+   sequence's — the deadlock-freedom-by-construction claim of the
+   choreography literature, checked against the interpreted AND the
+   compiled engine. *)
+
+let choreo_seed (s : Scenario.t) =
+  let text = Scenario.to_csp s in
+  let h = ref 5381 in
+  String.iter (fun c -> h := (((!h lsl 5) + !h) + Char.code c) land 0x3fffffff) text;
+  !h
+
+let choreo_refine_check (s : Scenario.t) =
+  let seed = choreo_seed s in
+  let roles = 2 + (seed mod 2) in
+  let length = 2 + (seed / 7 mod 3) in
+  let c = Csp.Models.Choreo.generate ~roles ~length ~seed in
+  let defs = c.Csp.Models.Choreo.defs in
+  let network = c.Csp.Models.Choreo.network in
+  let global = c.Csp.Models.Choreo.global in
+  let cfg = step_config defs in
+  sequence
+    [
+      (fun () ->
+        if
+          Closure.equal
+            (Step.traces cfg ~depth network)
+            (Step.traces cfg ~depth global)
+        then Pass
+        else
+          failf "choreography (roles=%d length=%d seed=%d): projected \
+                 network and global traces differ"
+            roles length seed);
+      (fun () ->
+        match Equiv.trace_refines ~depth cfg ~impl:network ~spec:global with
+        | Ok () -> Pass
+        | Error w ->
+          failf "projection unsound: network trace %s not global"
+            (Trace.to_string w));
+      (fun () ->
+        match Equiv.trace_refines ~depth cfg ~impl:global ~spec:network with
+        | Ok () -> Pass
+        | Error w ->
+          failf "projection incomplete: global trace %s not in network"
+            (Trace.to_string w));
+      (fun () ->
+        let lts = Lts.explore cfg network in
+        if not lts.Lts.complete then
+          failf "choreography network exploration truncated"
+        else
+          match Lts.deadlock_states lts with
+          | [] -> Pass
+          | d ->
+            failf "deadlock-free-by-construction violated: %d deadlock \
+                   state(s)"
+              (List.length d));
+      (fun () ->
+        let seq = Lts.explore cfg network in
+        let compiled = Csp_semantics.Compiled.compile cfg network in
+        let com = Lts.explore ~compiled cfg network in
+        if String.equal (Lts.to_dot com) (Lts.to_dot seq) then Pass
+        else failf "compiled and interpreted exploration differ on the \
+                    choreography network");
+    ]
+
 (* ---- registry --------------------------------------------------------- *)
 
 (* Every oracle invocation — fuzzing, corpus replay, direct calls from
@@ -456,6 +525,13 @@ let prover_sound =
      trace enumeration, and Sat counterexamples are genuine"
     prover_sound_check
 
-let all = [ closure_kernel; op_vs_deno; refinement; prover_sound ]
+let choreo_refine =
+  make "choreo-refine"
+    "a choreography derived from the scenario projects to a \
+     deadlock-free network trace-equivalent to its global process, \
+     interpreted and compiled alike"
+    choreo_refine_check
+
+let all = [ closure_kernel; op_vs_deno; refinement; prover_sound; choreo_refine ]
 let find name = List.find_opt (fun o -> String.equal o.name name) all
 let names () = List.map (fun o -> o.name) all

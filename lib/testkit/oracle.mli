@@ -9,7 +9,7 @@
     one of them).  Determinism is what makes the corpus replayable: a
     corpus entry records only the scenario and the oracle name.
 
-    The registry {!all} currently holds four oracles:
+    The registry {!all} currently holds five oracles:
 
     - [closure-kernel]: every memoised operation of the hash-consed
       {!Csp_semantics.Closure} agrees with the executable specification
@@ -24,7 +24,12 @@
       §4 [STOP | P] identities hold where documented;
     - [prover-sound]: any [P sat R] the proof system certifies is never
       refuted by bounded trace enumeration, and every [Sat] refutation
-      is a genuine trace of [P] on which [R] evaluates false. *)
+      is a genuine trace of [P] on which [R] evaluates false;
+    - [choreo-refine]: a choreography derived deterministically from
+      the scenario ({!Csp.Models.Choreo.generate} seeded by the
+      scenario text) projects to a deadlock-free network whose traces
+      are exactly the global interaction sequence's, under the
+      interpreted and the compiled engine alike. *)
 
 type verdict = Pass | Fail of string
 
@@ -47,6 +52,7 @@ val closure_kernel : t
 val op_vs_deno : t
 val refinement : t
 val prover_sound : t
+val choreo_refine : t
 
 val all : t list
 val find : string -> t option

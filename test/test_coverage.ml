@@ -1,0 +1,269 @@
+(* The coverage layer: feature extraction is deterministic (same seed
+   and input give the same feature hash, at any job count),
+   minimisation is idempotent and subsumption-sound, counterexample
+   dedup keys on the shrunk scenario, and the budgeted soak mode
+   reports exhaustion distinctly from completion. *)
+
+module Obs = Csp_obs.Obs
+module Coverage = Csp_testkit.Coverage
+module Fuzz = Csp_testkit.Fuzz
+module Gen = Csp_testkit.Gen
+module Scenario = Csp_testkit.Scenario
+open Csp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let scenario_of p =
+  Scenario.make ~defs:(Defs.define "main" p Defs.empty) ~main:"main"
+
+let entry case features =
+  Coverage.entry ~case
+    ~scenario:(scenario_of Process.Stop)
+    features
+
+(* ---- feature extraction ---------------------------------------------- *)
+
+let test_stable_keys () =
+  check_bool "oracle counters in" true (Coverage.stable_key "oracle.op-vs-deno.cases");
+  check_bool "sat counters in" true (Coverage.stable_key "sat.trace_evals");
+  check_bool "step cache counters in" true (Coverage.stable_key "step.unfold_hits");
+  check_bool "global unique table out" false (Coverage.stable_key "closure.nodes");
+  check_bool "interning out" false (Coverage.stable_key "intern.hits");
+  check_bool "pool out" false (Coverage.stable_key "pool.tasks");
+  check_bool "fuzz bookkeeping out" false (Coverage.stable_key "fuzz.cases")
+
+let test_diff_buckets () =
+  let before = [ ("sat.checks", Obs.Int 10); ("closure.nodes", Obs.Int 5) ] in
+  let after = [ ("sat.checks", Obs.Int 15); ("closure.nodes", Obs.Int 500) ] in
+  Alcotest.(check (list string))
+    "only the stable counter, log2-bucketed" [ "sat.checks:2" ]
+    (Coverage.diff before after);
+  (* a key absent before counts from zero *)
+  Alcotest.(check (list string))
+    "fresh key" [ "lts.states:0" ]
+    (Coverage.diff [] [ ("lts.states", Obs.Int 1) ])
+
+let test_probe () =
+  let c = Obs.Counter.make "sat.test_probe" in
+  let x, fs = Coverage.probe (fun () -> Obs.Counter.add c 5; 17) in
+  check_int "thunk result" 17 x;
+  check_bool "movement observed" true
+    (List.mem "sat.test_probe:2" fs)
+
+let test_hash_order_insensitive () =
+  let h = Coverage.hash_features in
+  check_bool "order ignored" true
+    (Int64.equal (h [ "a:1"; "b:2" ]) (h [ "b:2"; "a:1" ]));
+  check_bool "duplicates ignored" true
+    (Int64.equal (h [ "a:1"; "b:2" ]) (h [ "b:2"; "a:1"; "a:1" ]));
+  check_bool "different sets differ" false
+    (Int64.equal (h [ "a:1" ]) (h [ "a:2" ]));
+  (* pinned: the hash is FNV-1a, stable across runs and versions *)
+  check_bool "empty set pinned" true
+    (Int64.equal (h []) 0xcbf29ce484222325L)
+
+(* ---- the map ---------------------------------------------------------- *)
+
+let test_map_gains () =
+  let m = Coverage.Map.create () in
+  Alcotest.(check (list string))
+    "all fresh" [ "a:1"; "b:2" ]
+    (Coverage.Map.add m [ "a:1"; "b:2" ]);
+  Alcotest.(check (list string))
+    "only the new one" [ "c:0" ]
+    (Coverage.Map.add m [ "a:1"; "c:0" ]);
+  check_int "three distinct" 3 (Coverage.Map.distinct m);
+  check_bool "membership" true (Coverage.Map.mem m "b:2");
+  Alcotest.(check (list string))
+    "sorted enumeration" [ "a:1"; "b:2"; "c:0" ]
+    (Coverage.Map.features m)
+
+(* ---- minimisation ----------------------------------------------------- *)
+
+let covered es =
+  List.sort_uniq String.compare
+    (List.concat_map (fun e -> e.Coverage.features) es)
+
+let test_minimise_subsumption () =
+  let es =
+    [
+      entry 0 [ "a:1" ];                    (* subsumed by case 1 *)
+      entry 1 [ "a:1"; "b:1" ];
+      entry 2 [ "c:1" ];
+      entry 3 [ "b:1"; "c:1" ];             (* subsumed by 1 ∪ 2 *)
+    ]
+  in
+  let kept = Coverage.minimise es in
+  Alcotest.(check (list int))
+    "subsumed entries dropped" [ 1; 2 ]
+    (List.map (fun e -> e.Coverage.case) kept);
+  Alcotest.(check (list string))
+    "same counter set moved" (covered es) (covered kept)
+
+let test_minimise_idempotent () =
+  let es =
+    [
+      entry 0 [ "a:1"; "b:1" ];
+      entry 1 [ "b:1" ];
+      entry 2 [ "c:1"; "d:1" ];
+      entry 3 [ "a:1"; "d:1" ];
+      entry 4 [ "e:1" ];
+    ]
+  in
+  let once = Coverage.minimise es in
+  let twice = Coverage.minimise once in
+  check_bool "idempotent" true
+    (List.equal
+       (fun a b -> a.Coverage.case = b.Coverage.case)
+       once twice);
+  Alcotest.(check (list string)) "coverage preserved" (covered es) (covered once)
+
+let test_minimise_deterministic_ties () =
+  (* equal gain: the earliest case wins *)
+  let es = [ entry 5 [ "a:1" ]; entry 2 [ "a:1" ]; entry 9 [ "a:1" ] ] in
+  Alcotest.(check (list int))
+    "earliest kept" [ 2 ]
+    (List.map (fun e -> e.Coverage.case) (Coverage.minimise es))
+
+(* ---- counterexample dedup --------------------------------------------- *)
+
+let test_cex_hash () =
+  let sc1 = scenario_of Process.Stop in
+  let sc2 = scenario_of (Process.send "a" (Expr.int 0) Process.Stop) in
+  let h = Coverage.hash_counterexample in
+  check_bool "same oracle and scenario agree" true
+    (Int64.equal (h ~oracle:"o" sc1) (h ~oracle:"o" sc1));
+  check_bool "oracle distinguishes" false
+    (Int64.equal (h ~oracle:"o1" sc1) (h ~oracle:"o2" sc1));
+  check_bool "scenario distinguishes" false
+    (Int64.equal (h ~oracle:"o" sc1) (h ~oracle:"o" sc2))
+
+(* ---- the bias loop ---------------------------------------------------- *)
+
+let test_bias_defaults_and_growth () =
+  let b = Coverage.Bias.create () in
+  check_bool "fresh bias is the default distribution" true
+    (Coverage.Bias.params b = Gen.default);
+  (* credit a par/hide-heavy gaining scenario repeatedly *)
+  let heavy =
+    scenario_of
+      (Process.Par
+         ( Chan_set.of_names [ "a" ],
+           Chan_set.of_names [ "b" ],
+           Process.Hide
+             ( Chan_set.of_names [ "a" ],
+               Process.send "a" (Expr.int 0) Process.Stop ),
+           Process.send "b" (Expr.int 1) Process.Stop ))
+  in
+  for _ = 1 to 50 do
+    Coverage.Bias.observe b heavy ~gained:3
+  done;
+  let p = Coverage.Bias.params b in
+  check_bool "within clamp" true (p = Gen.clamp_params p);
+  (* a non-gaining observation must not move the credits *)
+  let before = Coverage.Bias.params b in
+  Coverage.Bias.observe b heavy ~gained:0;
+  check_bool "no credit without gain" true (before = Coverage.Bias.params b)
+
+let test_bias_stagnation_cycles () =
+  let b = Coverage.Bias.create () in
+  let p0 = Coverage.Bias.params b in
+  Coverage.Bias.stagnate b;
+  let p1 = Coverage.Bias.params b in
+  check_bool "stagnation perturbs" false (p0 = p1);
+  (* deterministic: rebuilding the same history gives the same params *)
+  let b' = Coverage.Bias.create () in
+  Coverage.Bias.stagnate b';
+  check_bool "reproducible" true (p1 = Coverage.Bias.params b')
+
+(* ---- the guided campaign ---------------------------------------------- *)
+
+let small cfg = { cfg with Fuzz.max_cases = 12; seed = 2026 }
+
+let test_guided_deterministic () =
+  let cfg = small Fuzz.default_config in
+  let r1, c1 = Fuzz.run_coverage cfg in
+  let r2, c2 = Fuzz.run_coverage { cfg with Fuzz.jobs = 4 } in
+  check_int "same cases" r1.Fuzz.cases r2.Fuzz.cases;
+  check_int "same distinct features" c1.Fuzz.distinct c2.Fuzz.distinct;
+  check_bool "same curve" true (c1.Fuzz.curve = c2.Fuzz.curve);
+  check_bool "same corpus hashes" true
+    (List.equal
+       (fun a b -> Int64.equal a.Coverage.hash b.Coverage.hash)
+       c1.Fuzz.corpus c2.Fuzz.corpus);
+  check_bool "no counterexamples" true (r1.Fuzz.counterexamples = []);
+  check_bool "coverage grew" true (c1.Fuzz.distinct > 0);
+  check_bool "curve is monotone" true
+    (let rec mono = function
+       | (_, a) :: ((_, b) :: _ as rest) -> a <= b && mono rest
+       | _ -> true
+     in
+     mono c1.Fuzz.curve);
+  check_bool "minimised covers no less" true
+    (List.length c1.Fuzz.minimised <= List.length c1.Fuzz.corpus
+    && covered c1.Fuzz.minimised = covered c1.Fuzz.corpus)
+
+let test_budget_exhausted_verdict () =
+  let cfg = { (small Fuzz.default_config) with Fuzz.budget = Some 0.0 } in
+  let r = Fuzz.run cfg in
+  check_bool "exhausted" true r.Fuzz.exhausted;
+  check_int "no cases ran" 0 r.Fuzz.cases;
+  let line = Format.asprintf "%a" Fuzz.pp_report r in
+  check_bool "verdict names the budget" true
+    (contains line "budget exhausted");
+  (* and the unbudgeted run completes *)
+  let r = Fuzz.run (small Fuzz.default_config) in
+  check_bool "completed" false r.Fuzz.exhausted;
+  let line = Format.asprintf "%a" Fuzz.pp_report r in
+  check_bool "verdict says completed" true
+    (contains line "(completed)");
+  (* sharded runs report exhaustion the same way *)
+  let r =
+    Fuzz.run { (small Fuzz.default_config) with Fuzz.budget = Some 0.0; jobs = 2 }
+  in
+  check_bool "sharded exhaustion" true r.Fuzz.exhausted
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "features",
+        [
+          Alcotest.test_case "stable keys" `Quick test_stable_keys;
+          Alcotest.test_case "diff buckets" `Quick test_diff_buckets;
+          Alcotest.test_case "probe" `Quick test_probe;
+          Alcotest.test_case "hash order-insensitive" `Quick
+            test_hash_order_insensitive;
+        ] );
+      ( "map",
+        [ Alcotest.test_case "gains and membership" `Quick test_map_gains ] );
+      ( "minimise",
+        [
+          Alcotest.test_case "subsumption sound" `Quick
+            test_minimise_subsumption;
+          Alcotest.test_case "idempotent" `Quick test_minimise_idempotent;
+          Alcotest.test_case "deterministic ties" `Quick
+            test_minimise_deterministic_ties;
+        ] );
+      ( "dedup",
+        [ Alcotest.test_case "shrunk-hash keys" `Quick test_cex_hash ] );
+      ( "bias",
+        [
+          Alcotest.test_case "defaults and growth" `Quick
+            test_bias_defaults_and_growth;
+          Alcotest.test_case "stagnation cycles" `Quick
+            test_bias_stagnation_cycles;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "guided run deterministic at any jobs" `Quick
+            test_guided_deterministic;
+          Alcotest.test_case "budget-exhausted verdict" `Quick
+            test_budget_exhausted_verdict;
+        ] );
+    ]
