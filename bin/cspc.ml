@@ -285,21 +285,23 @@ let cmd_deadlock path name steps runs nat_bound seed use_compiled telemetry =
 
 (* ---- graph ----------------------------------------------------------- *)
 
-let cmd_graph path name max_states nat_bound output jobs use_compiled telemetry
-    =
+let cmd_graph path name max_states nat_bound output jobs use_compiled relaxed
+    telemetry =
   with_telemetry "graph" telemetry @@ fun () ->
   let file = load path in
   let p = find_process file name in
   let eng = engine ~domains:jobs file ~nat_bound in
   let t0 = Obs.now_ns () in
   let compiled =
-    (* compile exactly as many rows as the exploration may visit *)
-    if use_compiled then Some (Engine.compile ~budget:max_states eng p)
+    (* compile exactly as many rows as the exploration may visit;
+       relaxed mode bypasses the automaton, so skip the compile *)
+    if use_compiled && not relaxed then
+      Some (Engine.compile ~budget:max_states eng p)
     else None
   in
   let t1 = Obs.now_ns () in
   let lts =
-    Lts.explore ~max_states ?pool:(Engine.pool eng) ?compiled
+    Lts.explore ~max_states ?pool:(Engine.pool eng) ?compiled ~relaxed
       (Engine.step_config eng) p
   in
   report_phase_ms telemetry "graph"
@@ -629,12 +631,22 @@ let graph_cmd =
   let max_states =
     Arg.(value & opt int 2000 & info [ "max-states" ] ~doc:"State bound")
   in
+  let relaxed =
+    Arg.(
+      value & flag
+      & info [ "relaxed" ]
+          ~doc:
+            "Relaxed parallel exploration: workers explore autonomously and \
+             state numbering varies run to run (same state/transition sets, \
+             checked against deterministic mode by the test oracle).  Only \
+             meaningful with --jobs > 1.")
+  in
   Cmd.v
     (Cmd.info "graph"
        ~doc:"Explore the labelled transition system and emit Graphviz DOT")
     Term.(
       const cmd_graph $ path_arg $ name_arg $ max_states $ nat_arg $ out
-      $ jobs_arg $ compiled_arg $ telemetry_arg)
+      $ jobs_arg $ compiled_arg $ relaxed $ telemetry_arg)
 
 let refusals_cmd =
   Cmd.v

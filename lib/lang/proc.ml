@@ -85,37 +85,53 @@ module Unique = Weak.Make (struct
   let hash a = a.hkey
 end)
 
-(* One lock guards the unique table and the statistics counters, making
-   interning safe under OCaml 5 domains; the critical section is a
-   single hash lookup / insert, recursive descent happens outside. *)
-let lock = Mutex.create ()
+(* The unique table is sharded by hash: each shard carries its own
+   weak table and its own mutex, so interning on one domain contends
+   only with interning of same-shard nodes on another — not with the
+   whole table.  The critical section per shard is a single hash
+   lookup / insert; recursive descent happens outside.  Shard count is
+   a power of two so selection is a mask on the precomputed hash. *)
+let n_shards = 16
+let shard_mask = n_shards - 1
 
-(* Contended acquisitions of [lock]: a cheap probe first, so the
-   counter costs one atomic bump only when another domain holds the
-   table.  Reported via [stats] and surfaced by [Engine.pp_stats]. *)
-let lock_waits = Atomic.make 0
+type shard = {
+  s_lock : Mutex.t;
+  s_table : Unique.t;
+  s_waits : int Atomic.t;  (* contended acquisitions of [s_lock] *)
+  mutable s_misses : int;  (* inserts that created a node, under lock *)
+}
 
-let[@inline] locked f =
-  if not (Mutex.try_lock lock) then begin
-    Atomic.incr lock_waits;
-    Mutex.lock lock
+let shards =
+  Array.init n_shards (fun _ ->
+      {
+        s_lock = Mutex.create ();
+        s_table = Unique.create 512;
+        s_waits = Atomic.make 0;
+        s_misses = 0;
+      })
+
+let[@inline] shard_of hkey = shards.(hkey land shard_mask)
+
+let[@inline] locked sh f =
+  if not (Mutex.try_lock sh.s_lock) then begin
+    Atomic.incr sh.s_waits;
+    Mutex.lock sh.s_lock
   end;
   match f () with
   | v ->
-    Mutex.unlock lock;
+    Mutex.unlock sh.s_lock;
     v
   | exception e ->
-    Mutex.unlock lock;
+    Mutex.unlock sh.s_lock;
     raise e
 
-let unique = Unique.create 4096
-let next_id = ref 0
-let nodes_created = ref 0
-let intern_misses = ref 0
-
-(* Hits are counted outside the lock (see the fast path in [mk]), so
-   the counter is atomic rather than lock-guarded. *)
+(* Ids come from one atomic counter across all shards, so they stay
+   globally unique (and, in sequential runs, dense in creation order).
+   Hits are counted outside the locks (see the fast path in [mk]). *)
+let next_id = Atomic.make 0
 let intern_hits = Atomic.make 0
+
+type shard_stats = { shard_len : int; shard_waits : int; shard_misses : int }
 
 type stats = {
   nodes : int;
@@ -123,17 +139,33 @@ type stats = {
   misses : int;
   table_len : int;
   lock_waits : int;
+  shards : int;
+  max_shard_len : int;
 }
 
+let shard_stats () =
+  Array.map
+    (fun sh ->
+      locked sh (fun () ->
+          {
+            shard_len = Unique.count sh.s_table;
+            shard_waits = Atomic.get sh.s_waits;
+            shard_misses = sh.s_misses;
+          }))
+    shards
+
 let stats () =
-  locked (fun () ->
-      {
-        nodes = !nodes_created;
-        hits = Atomic.get intern_hits;
-        misses = !intern_misses;
-        table_len = Unique.count unique;
-        lock_waits = Atomic.get lock_waits;
-      })
+  let per = shard_stats () in
+  let misses = Array.fold_left (fun a s -> a + s.shard_misses) 0 per in
+  {
+    nodes = misses;
+    hits = Atomic.get intern_hits;
+    misses;
+    table_len = Array.fold_left (fun a s -> a + s.shard_len) 0 per;
+    lock_waits = Array.fold_left (fun a s -> a + s.shard_waits) 0 per;
+    shards = n_shards;
+    max_shard_len = Array.fold_left (fun a s -> max a s.shard_len) 0 per;
+  }
 
 (* [repr] must be structurally equal to the node's unfolding; callers
    below either pass the original term being interned or rebuild the
@@ -149,19 +181,23 @@ let stats () =
    under mutual exclusion before publishing. *)
 let mk node repr =
   let hkey = node_hash node in
+  let sh = shard_of hkey in
   let slow () =
-    locked (fun () ->
-        let candidate = { id = !next_id; hkey; node; repr } in
-        let interned = Unique.merge unique candidate in
-        if interned == candidate then begin
-          incr next_id;
-          incr nodes_created;
-          incr intern_misses
-        end
-        else Atomic.incr intern_hits;
-        interned)
+    locked sh (fun () ->
+        let probe = { id = -1; hkey; node; repr } in
+        match Unique.find_opt sh.s_table probe with
+        | Some interned ->
+          Atomic.incr intern_hits;
+          interned
+        | None ->
+          let candidate =
+            { id = Atomic.fetch_and_add next_id 1; hkey; node; repr }
+          in
+          Unique.add sh.s_table candidate;
+          sh.s_misses <- sh.s_misses + 1;
+          candidate)
   in
-  match Unique.find_opt unique { id = -1; hkey; node; repr } with
+  match Unique.find_opt sh.s_table { id = -1; hkey; node; repr } with
   | Some interned ->
     Atomic.incr intern_hits;
     interned

@@ -23,6 +23,12 @@ let caller_tasks_run = Atomic.make 0
    found the mutex held. *)
 let lock_waits = Atomic.make 0
 
+(* Work-stealing counters (see the [Deque] module and stealing
+   sessions below). *)
+let steals_done = Atomic.make 0
+let tasks_stolen = Atomic.make 0
+let stealing_tasks_run = Atomic.make 0
+
 let lock_mutex m =
   if not (Mutex.try_lock m) then begin
     Atomic.incr lock_waits;
@@ -36,6 +42,9 @@ type stats = {
   tasks : int;
   caller_tasks : int;
   lock_waits : int;
+  steals : int;
+  stolen : int;
+  stealing_tasks : int;
 }
 
 let stats () =
@@ -46,6 +55,9 @@ let stats () =
     tasks = Atomic.get tasks_run;
     caller_tasks = Atomic.get caller_tasks_run;
     lock_waits = Atomic.get lock_waits;
+    steals = Atomic.get steals_done;
+    stolen = Atomic.get tasks_stolen;
+    stealing_tasks = Atomic.get stealing_tasks_run;
   }
 
 (* Telemetry: the registry snapshot exposes the same counters, so
@@ -60,7 +72,134 @@ let () =
         ("tasks", Obs.Int s.tasks);
         ("caller_tasks", Obs.Int s.caller_tasks);
         ("lock_waits", Obs.Int s.lock_waits);
+        ("steals", Obs.Int s.steals);
+        ("stolen", Obs.Int s.stolen);
+        ("stealing_tasks", Obs.Int s.stealing_tasks);
       ])
+
+(* ---- parallel-phase hooks -------------------------------------------- *)
+
+(* Subsystems with domain-local cache overlays (e.g. the closure
+   kernel's memo arenas) register an [enter]/[exit] pair here.  The
+   pool brackets every multi-domain parallel phase — a fork-join batch
+   or a work-stealing session — with them: [enter] runs on the
+   submitting domain before any worker touches a task, [exit] after
+   every worker is quiescent again.  Single-domain pools and
+   single-task batches run no hooks (there is no concurrency to
+   protect against). *)
+let phase_hooks : ((unit -> unit) * (unit -> unit)) list ref = ref []
+let phase_hooks_lock = Mutex.create ()
+
+let register_phase_hooks ~enter ~exit =
+  lock_mutex phase_hooks_lock;
+  phase_hooks := (enter, exit) :: !phase_hooks;
+  Mutex.unlock phase_hooks_lock
+
+let enter_phase () = List.iter (fun (enter, _) -> enter ()) !phase_hooks
+let exit_phase () = List.iter (fun (_, exit) -> exit ()) !phase_hooks
+
+(* ---- work-stealing deques -------------------------------------------- *)
+
+(* Per-worker double-ended queues in the Chase–Lev layout: the owner
+   pushes and pops at the bottom (newest first), thieves take from the
+   top (oldest first) — and take *half* the deque per steal, so a
+   freshly-stolen-from deque does not immediately need stealing from
+   again.  Structural operations are guarded by a per-deque mutex
+   rather than the full lock-free protocol: contention is per deque
+   (an owner only ever meets a thief that chose it), and an atomic
+   size mirror lets thieves scan for victims without touching any
+   lock.  Steals drain into a plain list while holding only the
+   victim's lock, so no operation ever holds two deque locks — two
+   thieves stealing from each other's deques cannot deadlock. *)
+module Deque = struct
+  type 'a t = {
+    d_lock : Mutex.t;
+    mutable buf : 'a option array;  (* circular; length is a power of 2 *)
+    mutable head : int;  (* steal end: first occupied slot *)
+    mutable tail : int;  (* owner end: one past the last occupied slot *)
+    d_size : int Atomic.t;  (* published mirror of [tail - head] *)
+  }
+
+  let create () =
+    {
+      d_lock = Mutex.create ();
+      buf = Array.make 32 None;
+      head = 0;
+      tail = 0;
+      d_size = Atomic.make 0;
+    }
+
+  let size d = Atomic.get d.d_size
+
+  let[@inline] locked d f =
+    lock_mutex d.d_lock;
+    match f () with
+    | v ->
+      Mutex.unlock d.d_lock;
+      v
+    | exception e ->
+      Mutex.unlock d.d_lock;
+      raise e
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let buf' = Array.make (2 * cap) None in
+    for i = 0 to d.tail - d.head - 1 do
+      buf'.(i) <- d.buf.((d.head + i) land (cap - 1))
+    done;
+    d.tail <- d.tail - d.head;
+    d.head <- 0;
+    d.buf <- buf'
+
+  let push d x =
+    locked d (fun () ->
+        let cap = Array.length d.buf in
+        if d.tail - d.head = cap then grow d;
+        d.buf.(d.tail land (Array.length d.buf - 1)) <- Some x;
+        d.tail <- d.tail + 1;
+        Atomic.incr d.d_size)
+
+  let pop d =
+    if size d = 0 then None
+    else
+      locked d (fun () ->
+          if d.tail = d.head then None
+          else begin
+            let i = (d.tail - 1) land (Array.length d.buf - 1) in
+            let x = d.buf.(i) in
+            d.buf.(i) <- None;
+            d.tail <- d.tail - 1;
+            Atomic.decr d.d_size;
+            x
+          end)
+
+  (* Take the oldest ⌈size/2⌉ entries, oldest first.  Only [from]'s
+     lock is held; the caller pushes the result into its own deque (or
+     processes it directly). *)
+  let steal_half from =
+    if size from = 0 then []
+    else
+      locked from (fun () ->
+          let n = from.tail - from.head in
+          if n = 0 then []
+          else begin
+            let take = (n + 1) / 2 in
+            let mask = Array.length from.buf - 1 in
+            let out = ref [] in
+            for i = take - 1 downto 0 do
+              let j = (from.head + i) land mask in
+              (match from.buf.(j) with
+              | Some x -> out := x :: !out
+              | None -> assert false);
+              from.buf.(j) <- None
+            done;
+            from.head <- from.head + take;
+            ignore (Atomic.fetch_and_add from.d_size (-take));
+            Atomic.incr steals_done;
+            ignore (Atomic.fetch_and_add tasks_stolen take);
+            !out
+          end)
+end
 
 type batch = {
   tasks : (int -> unit) array;
@@ -180,6 +319,8 @@ let exec_batch t ntasks (task : int -> unit) =
             Atomic.incr caller_tasks_run
           done
         else begin
+          enter_phase ();
+          Fun.protect ~finally:exit_phase @@ fun () ->
           let b =
             {
               tasks = Array.make ntasks guarded;
@@ -239,3 +380,215 @@ let map_chunks t ?chunk_size f xs =
 
 let run t thunks =
   Array.to_list (parallel_map t (fun f -> f ()) (Array.of_list thunks))
+
+(* ---- asynchronous batches (internal) --------------------------------- *)
+
+(* Like the multi-domain branch of [exec_batch], but the submitting
+   domain does not drain: tasks run only on spawned workers, leaving
+   the caller free to coordinate concurrently.  The stealing sessions
+   below use this to run one long-lived driver loop per spawned
+   worker.  Requires [t.n > 1] and an otherwise idle pool; the batch
+   must be awaited before the pool is used again. *)
+type async = { a_batch : batch; a_failures : exn option array }
+
+let submit_async t ntasks (task : int -> unit) =
+  Atomic.incr batches_run;
+  let failures : exn option array = Array.make ntasks None in
+  let guarded i = try task i with e -> failures.(i) <- Some e in
+  let b =
+    {
+      tasks = Array.init ntasks (fun _ -> guarded);
+      cursor = Atomic.make 0;
+      completed = Atomic.make 0;
+    }
+  in
+  lock_mutex t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: batch submitted after shutdown"
+  end;
+  t.current <- Some b;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  { a_batch = b; a_failures = failures }
+
+let await_async t a =
+  let ntasks = Array.length a.a_batch.tasks in
+  Obs.span ~cat:"pool" "join-wait" (fun () ->
+      lock_mutex t.mutex;
+      while Atomic.get a.a_batch.completed < ntasks do
+        Condition.wait t.join t.mutex
+      done;
+      t.current <- None;
+      Mutex.unlock t.mutex);
+  a.a_failures
+
+(* ---- work-stealing sessions ------------------------------------------ *)
+
+(* A stealing session turns the pool's spawned workers into a frontier
+   scheduler: every worker owns a deque, processes its own newest item
+   first, steals half of the nearest non-empty neighbour when it runs
+   dry, and parks on a condition variable when the whole session looks
+   empty.  The caller owns deque [n - 1]: it seeds work with
+   [stealing_push] (round-robin so the first steal is never needed)
+   and either coordinates concurrently (speculative use) or joins the
+   processing loop itself ([stealing_participate]).
+
+   Termination is either external — the caller decides it has what it
+   needs and calls [stealing_stop] — or, with [~auto_stop:true], by an
+   outstanding-work counter: every push increments it *before* the
+   item becomes visible and every processed item decrements it *after*
+   its handler returned (so all items the handler pushed are already
+   counted), which makes decrement-to-zero an exact quiescence test.
+
+   Exceptions raised by the worker function are swallowed in
+   speculative sessions (the coordinator re-derives deterministically
+   and hits the same exception on the states that matter; speculation
+   past a truncation bound may legitimately fail where the coordinator
+   never goes) and surfaced at [stealing_stop] in [auto_stop]
+   sessions, where workers do authoritative work.
+
+   Idle protocol (lost-wakeup-free): a pusher bumps the [activity]
+   counter after publishing and broadcasts iff a waiter is registered;
+   a worker snapshots [activity] before its scan and only parks while
+   the snapshot is still current.  Both counters are seq-cst atomics,
+   so either the pusher sees the waiter or the waiter sees the new
+   activity value. *)
+type 'a stealing = {
+  st_pool : t;
+  deques : 'a Deque.t array;  (* length n; index [n - 1] is the caller's *)
+  st_f : worker:int -> push:('a -> unit) -> 'a -> unit;
+  st_stop : bool Atomic.t;
+  auto_stop : bool;
+  outstanding : int Atomic.t;  (* pushed but not yet processed *)
+  activity : int Atomic.t;  (* bumped per push; versions idle parking *)
+  st_waiters : int Atomic.t;
+  st_mutex : Mutex.t;
+  st_wake : Condition.t;
+  st_exn : exn option Atomic.t;  (* first worker-function exception *)
+  mutable st_async : async option;
+  mutable rr : int;  (* caller's round-robin seed target *)
+  mutable closed : bool;
+}
+
+let st_signal s =
+  if Atomic.get s.st_waiters > 0 then begin
+    lock_mutex s.st_mutex;
+    Condition.broadcast s.st_wake;
+    Mutex.unlock s.st_mutex
+  end
+
+let st_request_stop s =
+  Atomic.set s.st_stop true;
+  lock_mutex s.st_mutex;
+  Condition.broadcast s.st_wake;
+  Mutex.unlock s.st_mutex
+
+let st_push s ~worker x =
+  Atomic.incr s.outstanding;
+  Deque.push s.deques.(worker) x;
+  Atomic.incr s.activity;
+  st_signal s
+
+(* The driver loop: runs on every spawned worker for the session's
+   lifetime, and on the caller too under [stealing_participate]. *)
+let st_drive s ~worker =
+  let my = s.deques.(worker) in
+  let n = Array.length s.deques in
+  let push x = st_push s ~worker x in
+  let process x =
+    (try s.st_f ~worker ~push x
+     with e -> ignore (Atomic.compare_and_set s.st_exn None (Some e)));
+    Atomic.incr stealing_tasks_run;
+    if Atomic.fetch_and_add s.outstanding (-1) = 1 && s.auto_stop then
+      st_request_stop s
+  in
+  let try_steal () =
+    let rec scan k =
+      if k >= n then false
+      else
+        match Deque.steal_half s.deques.((worker + k) mod n) with
+        | [] -> scan (k + 1)
+        | xs ->
+          (* plain [Deque.push]: the items are already counted in
+             [outstanding] and owned by this (awake) worker, so no
+             activity bump or wakeup is needed *)
+          List.iter (Deque.push my) xs;
+          true
+    in
+    n > 1 && scan 1
+  in
+  let rec loop () =
+    if not (Atomic.get s.st_stop) then begin
+      let a0 = Atomic.get s.activity in
+      match Deque.pop my with
+      | Some x ->
+        process x;
+        loop ()
+      | None ->
+        if try_steal () then loop ()
+        else begin
+          lock_mutex s.st_mutex;
+          Atomic.incr s.st_waiters;
+          while
+            (not (Atomic.get s.st_stop)) && Atomic.get s.activity = a0
+          do
+            Condition.wait s.st_wake s.st_mutex
+          done;
+          Atomic.decr s.st_waiters;
+          Mutex.unlock s.st_mutex;
+          loop ()
+        end
+    end
+  in
+  Obs.span ~cat:"pool" "steal-drive" (fun () -> loop ())
+
+let stealing_start t ?(auto_stop = false) f =
+  let s =
+    {
+      st_pool = t;
+      deques = Array.init t.n (fun _ -> Deque.create ());
+      st_f = f;
+      st_stop = Atomic.make false;
+      auto_stop;
+      outstanding = Atomic.make 0;
+      activity = Atomic.make 0;
+      st_waiters = Atomic.make 0;
+      st_mutex = Mutex.create ();
+      st_wake = Condition.create ();
+      st_exn = Atomic.make None;
+      st_async = None;
+      rr = 0;
+      closed = false;
+    }
+  in
+  if t.n > 1 then begin
+    enter_phase ();
+    s.st_async <- Some (submit_async t (t.n - 1) (fun i -> st_drive s ~worker:i))
+  end;
+  s
+
+let stealing_push s x =
+  let w = s.rr in
+  s.rr <- (w + 1) mod Array.length s.deques;
+  st_push s ~worker:w x
+
+let stealing_participate s = st_drive s ~worker:(Array.length s.deques - 1)
+
+let stealing_stop s =
+  if not s.closed then begin
+    s.closed <- true;
+    st_request_stop s;
+    (match s.st_async with
+    | None -> ()
+    | Some a ->
+      let failures =
+        Fun.protect ~finally:exit_phase (fun () -> await_async s.st_pool a)
+      in
+      (* driver-machinery failures only: the worker function's own
+         exceptions are routed through [st_exn] above *)
+      Array.iter (function Some e -> raise e | None -> ()) failures);
+    if s.auto_stop then
+      match Atomic.get s.st_exn with Some e -> raise e | None -> ()
+  end

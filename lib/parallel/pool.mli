@@ -63,6 +63,100 @@ val map_chunks : t -> ?chunk_size:int -> ('a array -> 'b) -> 'a array -> 'b arra
 val run : t -> (unit -> 'a) list -> 'a list
 (** Fork-join over explicit thunks, results in input order. *)
 
+(** {1 Parallel-phase hooks}
+
+    Subsystems with domain-local cache overlays (e.g. the closure
+    kernel's memo arenas) register an [enter]/[exit] pair; the pool
+    brackets every multi-domain parallel phase with them.  [enter]
+    runs on the submitting domain before any worker touches a task;
+    [exit] runs after every worker of the phase is quiescent (so the
+    exit hook may merge domain-local state without further
+    synchronisation).  Phases never nest; single-domain pools and
+    single-task batches run no hooks. *)
+
+val register_phase_hooks : enter:(unit -> unit) -> exit:(unit -> unit) -> unit
+
+(** {1 Work-stealing deques}
+
+    Per-worker double-ended queues in the Chase–Lev layout — owner
+    pushes/pops newest-first at the bottom, thieves take the oldest
+    half from the top.  Structural operations take a per-deque mutex
+    (not the full lock-free protocol); an atomic size mirror lets
+    thieves scan for victims without locking.  Exposed for unit
+    testing; exploration goes through the stealing sessions below. *)
+module Deque : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val size : 'a t -> int
+  (** Published size; exact for the owner, a racy hint for thieves. *)
+
+  val push : 'a t -> 'a -> unit
+  (** Owner end: append as the newest item. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner end: remove the newest item. *)
+
+  val steal_half : 'a t -> 'a list
+  (** Thief end: remove the oldest ⌈size/2⌉ items, oldest first.
+      Never holds more than the victim's lock, so a steal may run
+      concurrently with the victim's own [push]/[pop] and with steals
+      from other deques. *)
+end
+
+(** {1 Work-stealing sessions}
+
+    A session turns the pool's spawned workers into a frontier
+    scheduler: each worker owns a deque, runs [f ~worker ~push item]
+    on its own newest item first, steals half of the nearest
+    non-empty deque when it runs dry, and parks when the whole
+    session looks empty.  [push] makes new work visible to the whole
+    session (it may be processed by any worker, including the
+    pusher).
+
+    While a session is open the pool must not run batches
+    ({!parallel_map} and friends) — the spawned workers are occupied
+    by the session's driver loops.  The caller coordinates from its
+    own domain and closes the session with {!stealing_stop}. *)
+
+type 'a stealing
+
+val stealing_start :
+  t ->
+  ?auto_stop:bool ->
+  (worker:int -> push:('a -> unit) -> 'a -> unit) ->
+  'a stealing
+(** Open a session on the pool, starting one driver loop per spawned
+    worker ([domains - 1] of them; a 1-domain pool starts none and
+    relies on {!stealing_participate}).  [worker] ranges over
+    [0 .. domains - 1]; the caller participates as [domains - 1].
+
+    With [~auto_stop:true] the session stops itself when every pushed
+    item has been processed (exact quiescence: pushes count the item
+    before it becomes visible, processing decrements after the
+    handler — and everything it pushed — is accounted).  Exceptions
+    raised by [f] are then re-raised at {!stealing_stop}; without
+    [auto_stop] the session is speculative and exceptions in [f] are
+    swallowed (the coordinator is expected to re-derive
+    authoritatively). *)
+
+val stealing_push : 'a stealing -> 'a -> unit
+(** Seed work from the caller, distributed round-robin over all
+    deques.  In an [auto_stop] session, push at least one item before
+    waiting on termination. *)
+
+val stealing_participate : 'a stealing -> unit
+(** Run the driver loop on the calling domain (as worker
+    [domains - 1]) until the session stops.  This is how [auto_stop]
+    sessions (and 1-domain pools) make the caller's domain work. *)
+
+val stealing_stop : 'a stealing -> unit
+(** Stop the session (idempotent): signal every driver, wait for the
+    spawned workers to leave their loops, then re-raise the first
+    worker exception if the session was [auto_stop].  Items still
+    queued are discarded. *)
+
 (** {1 Statistics}
 
     Global counters, summed over every pool since program start;
@@ -74,7 +168,10 @@ type stats = {
   batches : int;      (** fork-join barriers executed *)
   tasks : int;        (** tasks claimed and run, across all batches *)
   caller_tasks : int; (** of those, tasks run by the submitting domain *)
-  lock_waits : int;   (** contended pool-mutex acquisitions *)
+  lock_waits : int;   (** contended pool/deque-mutex acquisitions *)
+  steals : int;       (** successful [Deque.steal_half] operations *)
+  stolen : int;       (** items moved between deques by those steals *)
+  stealing_tasks : int;  (** items processed by stealing sessions *)
 }
 
 val stats : unit -> stats

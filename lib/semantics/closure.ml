@@ -2,6 +2,7 @@ module Event = Csp_trace.Event
 module Trace = Csp_trace.Trace
 module Channel = Csp_trace.Channel
 module Obs = Csp_obs.Obs
+module Pool = Csp_parallel.Pool
 
 (* Wall-clock spent interning nodes (the unique-table critical section
    plus the cardinal/depth folds).  Recorded only while telemetry is
@@ -67,52 +68,94 @@ module Unique = Weak.Make (struct
   let hash a = children_hash a.children
 end)
 
-(* One lock guards the unique table, the compute tables and the
-   statistics counters, making interning safe under OCaml 5 domains.
-   The critical sections are tiny (a hash lookup / insert); recursive
-   descent happens outside the lock. *)
-let lock = Mutex.create ()
+(* The unique table is sharded by the children hash — one weak table
+   and one mutex per shard — so concurrent interning on several
+   domains contends per shard, not globally (mirroring [Proc]'s
+   sharded intern table).  The critical sections are tiny (a hash
+   lookup / insert); recursive descent and the cardinal/depth folds
+   happen outside any lock. *)
+let n_shards = 16
+let shard_mask = n_shards - 1
 
-(* Contended acquisitions of [lock] (see [Proc.lock_waits]): probed
-   with [try_lock] so the sequential fast path pays nothing. *)
+(* Contended mutex acquisitions, shards and memo lock together (see
+   [Proc.lock_waits]): probed with [try_lock] so the sequential fast
+   path pays nothing. *)
 let lock_waits = Atomic.make 0
 
-let[@inline] locked f =
-  if not (Mutex.try_lock lock) then begin
+type shard = {
+  s_lock : Mutex.t;
+  s_table : Unique.t;
+  mutable s_misses : int;  (* nodes created through this shard *)
+}
+
+let shards =
+  Array.init n_shards (fun _ ->
+      { s_lock = Mutex.create (); s_table = Unique.create 512; s_misses = 0 })
+
+let[@inline] with_lock m f =
+  if not (Mutex.try_lock m) then begin
     Atomic.incr lock_waits;
-    Mutex.lock lock
+    Mutex.lock m
   end;
   match f () with
   | v ->
-    Mutex.unlock lock;
+    Mutex.unlock m;
     v
   | exception e ->
-    Mutex.unlock lock;
+    Mutex.unlock m;
     raise e
 
-let unique = Unique.create 4096
-let next_id = ref 1
-let nodes_created = ref 1 (* [empty] below *)
+(* The memo lock guards the shared compute tables and their counters
+   in sequential mode; parallel phases bypass it entirely (see the
+   arena machinery below). *)
+let memo_lock = Mutex.create ()
+let[@inline] locked f = with_lock memo_lock f
+
+let next_id = Atomic.make 1
 let memo_hits = ref 0
 let memo_misses = ref 0
 
 let empty = { id = 0; children = []; cardinal = 1; depth = 0 }
-let () = Unique.add unique empty
 
+let[@inline] shard_of_children children =
+  shards.(children_hash children land shard_mask)
+
+let () = Unique.add (shard_of_children []).s_table empty
+
+let nodes_created () =
+  1 (* [empty] *) + Array.fold_left (fun a sh -> a + sh.s_misses) 0 shards
+
+(* Lock-free read probe, locked insert: published nodes are only ever
+   added under their shard's lock and [children_equal] compares
+   children by pointer, so a positive unlocked probe can only return
+   the canonical node.  A concurrent resize may make the probe miss or
+   raise — either falls through to the locked path, which re-checks
+   under mutual exclusion before publishing.  The id counter is only
+   consumed on a real insert, so sequential runs still see dense ids. *)
 let intern_children children =
-  locked (fun () ->
-      let cardinal =
-        List.fold_left (fun acc (_, t) -> acc + t.cardinal) 1 children
-      and depth =
-        List.fold_left (fun acc (_, t) -> max acc (1 + t.depth)) 0 children
-      in
-      let candidate = { id = !next_id; children; cardinal; depth } in
-      let interned = Unique.merge unique candidate in
-      if interned == candidate then begin
-        incr next_id;
-        incr nodes_created
-      end;
-      interned)
+  let cardinal =
+    List.fold_left (fun acc (_, t) -> acc + t.cardinal) 1 children
+  and depth =
+    List.fold_left (fun acc (_, t) -> max acc (1 + t.depth)) 0 children
+  in
+  let sh = shard_of_children children in
+  let probe = { id = -1; children; cardinal; depth } in
+  let slow () =
+    with_lock sh.s_lock (fun () ->
+        match Unique.find_opt sh.s_table probe with
+        | Some interned -> interned
+        | None ->
+          let candidate =
+            { id = Atomic.fetch_and_add next_id 1; children; cardinal; depth }
+          in
+          Unique.add sh.s_table candidate;
+          sh.s_misses <- sh.s_misses + 1;
+          candidate)
+  in
+  match Unique.find_opt sh.s_table probe with
+  | Some interned -> interned
+  | None -> slow ()
+  | exception _ -> slow ()
 
 let node children =
   match children with
@@ -141,37 +184,146 @@ end
 
 module Memo = Hashtbl.Make (Int_pair)
 
-let memo_find tbl key =
-  locked (fun () ->
-      match Memo.find_opt tbl key with
-      | Some _ as r ->
-        incr memo_hits;
-        r
-      | None ->
-        incr memo_misses;
-        None)
-
-let memo_add tbl key v = locked (fun () -> Memo.replace tbl key v)
-
 let union_tbl : t Memo.t = Memo.create 4096
 let inter_tbl : t Memo.t = Memo.create 1024
 let truncate_tbl : t Memo.t = Memo.create 1024
 let subset_tbl : bool Memo.t = Memo.create 1024
+
+(* ---- domain-local memo arenas ---------------------------------------- *)
+
+(* During a parallel phase (bracketed by the pool's phase hooks) the
+   shared compute tables are frozen read-only: every domain reads them
+   without a lock and writes fresh results into its own arena — a
+   private mirror of the four tables plus local hit/miss counters —
+   generalizing [Step.view]'s overlay pattern.  At the phase exit
+   (every worker quiescent) the arenas are flushed into the shared
+   tables add-if-absent and reset, so the next phase (or sequential
+   code) sees every result computed anywhere.
+
+   Arenas live in domain-local storage: a pool worker allocates one on
+   first use and keeps it for the pool's lifetime; the registry below
+   lets the exit hook find every arena ever created. *)
+type arena = {
+  a_union : t Memo.t;
+  a_inter : t Memo.t;
+  a_truncate : t Memo.t;
+  a_subset : bool Memo.t;
+  mutable a_hits : int;
+  mutable a_misses : int;
+}
+
+(* Depth, not a flag: defensive against nested enter/exit pairs (the
+   pool never nests phases, but a miscounted flag would corrupt the
+   shared tables silently; a depth only delays the flush). *)
+let phase_depth = Atomic.make 0
+
+let arenas : arena list ref = ref []
+let arenas_lock = Mutex.create ()
+
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      let a =
+        {
+          a_union = Memo.create 256;
+          a_inter = Memo.create 64;
+          a_truncate = Memo.create 64;
+          a_subset = Memo.create 64;
+          a_hits = 0;
+          a_misses = 0;
+        }
+      in
+      with_lock arenas_lock (fun () -> arenas := a :: !arenas);
+      a)
+
+let[@inline] my_arena () = Domain.DLS.get arena_key
+
+let flush_arena a =
+  (* runs at phase exit with every worker quiescent; the memo lock is
+     still taken so a concurrent [stats]/sequential reader is safe *)
+  locked (fun () ->
+      let add_absent shared local =
+        Memo.iter
+          (fun k v -> if not (Memo.mem shared k) then Memo.add shared k v)
+          local
+      in
+      add_absent union_tbl a.a_union;
+      add_absent inter_tbl a.a_inter;
+      add_absent truncate_tbl a.a_truncate;
+      add_absent subset_tbl a.a_subset;
+      memo_hits := !memo_hits + a.a_hits;
+      memo_misses := !memo_misses + a.a_misses);
+  Memo.reset a.a_union;
+  Memo.reset a.a_inter;
+  Memo.reset a.a_truncate;
+  Memo.reset a.a_subset;
+  a.a_hits <- 0;
+  a.a_misses <- 0
+
+let () =
+  Pool.register_phase_hooks
+    ~enter:(fun () -> Atomic.incr phase_depth)
+    ~exit:(fun () ->
+      if Atomic.fetch_and_add phase_depth (-1) = 1 then
+        List.iter flush_arena (with_lock arenas_lock (fun () -> !arenas)))
+
+(* [arena_of] projects the matching private table out of the caller's
+   arena, so one find/add pair serves all four shared tables. *)
+let memo_find tbl arena_of key =
+  if Atomic.get phase_depth > 0 then begin
+    (* shared tables are frozen: read them without the lock *)
+    match Memo.find_opt tbl key with
+    | Some _ as r ->
+      let a = my_arena () in
+      a.a_hits <- a.a_hits + 1;
+      r
+    | None -> (
+      let a = my_arena () in
+      match Memo.find_opt (arena_of a) key with
+      | Some _ as r ->
+        a.a_hits <- a.a_hits + 1;
+        r
+      | None ->
+        a.a_misses <- a.a_misses + 1;
+        None)
+  end
+  else
+    locked (fun () ->
+        match Memo.find_opt tbl key with
+        | Some _ as r ->
+          incr memo_hits;
+          r
+        | None ->
+          incr memo_misses;
+          None)
+
+let memo_add tbl arena_of key v =
+  if Atomic.get phase_depth > 0 then Memo.replace (arena_of (my_arena ())) key v
+  else locked (fun () -> Memo.replace tbl key v)
 
 type stats = {
   nodes : int;
   memo_hits : int;
   memo_misses : int;
   lock_waits : int;
+  shards : int;
+  max_shard_len : int;
 }
 
 let stats () =
+  let max_len =
+    Array.fold_left
+      (fun acc sh ->
+        max acc (with_lock sh.s_lock (fun () -> Unique.count sh.s_table)))
+      0 shards
+  in
   locked (fun () ->
       {
-        nodes = !nodes_created;
+        nodes = nodes_created ();
         memo_hits = !memo_hits;
         memo_misses = !memo_misses;
         lock_waits = Atomic.get lock_waits;
+        shards = n_shards;
+        max_shard_len = max_len;
       })
 
 let clear_caches () =
@@ -189,6 +341,8 @@ let () =
         ("memo_hits", Obs.Int s.memo_hits);
         ("memo_misses", Obs.Int s.memo_misses);
         ("lock_waits", Obs.Int s.lock_waits);
+        ("shards", Obs.Int s.shards);
+        ("max_shard_len", Obs.Int s.max_shard_len);
       ])
 
 (* ---- set operations -------------------------------------------------- *)
@@ -200,11 +354,11 @@ let rec union a b =
   else
     (* union is commutative: normalise the key so both orders hit *)
     let key = if a.id <= b.id then (a.id, b.id) else (b.id, a.id) in
-    match memo_find union_tbl key with
+    match memo_find union_tbl (fun ar -> ar.a_union) key with
     | Some r -> r
     | None ->
       let r = node (merge a.children b.children) in
-      memo_add union_tbl key r;
+      memo_add union_tbl (fun ar -> ar.a_union) key r;
       r
 
 and merge xs ys =
@@ -236,11 +390,11 @@ let rec inter a b =
   else if a == empty || b == empty then empty
   else
     let key = if a.id <= b.id then (a.id, b.id) else (b.id, a.id) in
-    match memo_find inter_tbl key with
+    match memo_find inter_tbl (fun ar -> ar.a_inter) key with
     | Some r -> r
     | None ->
       let r = node (inter_children a.children b.children) in
-      memo_add inter_tbl key r;
+      memo_add inter_tbl (fun ar -> ar.a_inter) key r;
       r
 
 and inter_children xs ys =
@@ -311,11 +465,11 @@ let rec truncate n t =
   else if t.depth <= n then t (* already within the bound: share *)
   else
     let key = (n, t.id) in
-    match memo_find truncate_tbl key with
+    match memo_find truncate_tbl (fun ar -> ar.a_truncate) key with
     | Some r -> r
     | None ->
       let r = node (List.map (fun (e, t') -> (e, truncate (n - 1) t')) t.children) in
-      memo_add truncate_tbl key r;
+      memo_add truncate_tbl (fun ar -> ar.a_truncate) key r;
       r
 
 (* [hide]/[par]/[interleave] close over predicates and so cannot key a
@@ -399,7 +553,7 @@ let rec subset a b =
   else if a.cardinal > b.cardinal || a.depth > b.depth then false
   else
     let key = (a.id, b.id) in
-    match memo_find subset_tbl key with
+    match memo_find subset_tbl (fun ar -> ar.a_subset) key with
     | Some r -> r
     | None ->
       let r =
@@ -410,7 +564,7 @@ let rec subset a b =
             | None -> false)
           a.children
       in
-      memo_add subset_tbl key r;
+      memo_add subset_tbl (fun ar -> ar.a_subset) key r;
       r
 
 (* Synchronous walk over the shared part of both tries — no trace

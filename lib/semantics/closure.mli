@@ -102,14 +102,23 @@ type stats = {
   memo_hits : int;
   memo_misses : int;
   lock_waits : int;
-      (** contended acquisitions of the unique/compute-table mutex
-          (only ever non-zero under multi-domain execution) *)
+      (** contended shard/memo-mutex acquisitions (only ever non-zero
+          under multi-domain execution) *)
+  shards : int;  (** shard count of the unique table *)
+  max_shard_len : int;
+      (** live nodes in the fullest shard — occupancy-skew check *)
 }
 
 val stats : unit -> stats
 (** Global counters: nodes interned, compute-table hits/misses, lock
-    contention — for the bench's memoisation hit-rate report and the
-    engine's parallel statistics. *)
+    contention, shard occupancy — for the bench's memoisation hit-rate
+    report and the engine's parallel statistics.
+
+    The unique table is sharded by hash with one mutex per shard.
+    During a pool parallel phase (see [Pool.register_phase_hooks]) the
+    compute tables are frozen read-only and each domain accumulates
+    fresh results in a private arena, flushed add-if-absent at the
+    join — so [memo_hits]/[memo_misses] may lag by one phase. *)
 
 val clear_caches : unit -> unit
 (** Drop the compute tables (unique table entries become collectable

@@ -208,58 +208,46 @@ type raw = {
   raw_truncated : bool array;
 }
 
-let min_parallel_frontier = 8
-
-(* Materialise every missing row of one BFS layer.  The parallel path
-   derives the missing states' transition lists through domain-local
-   {!Step.view}s (shared caches stay read-only for the phase), merges
-   the views at the barrier, and appends the rows sequentially in
-   frontier order — so state ids assigned during packing are identical
-   to the sequential path's. *)
-let materialise_layer t pool (layer : int array) =
-  let missing = Array.of_list
-      (List.filter (fun s -> t.row_off.(s) < 0) (Array.to_list layer))
-  in
-  if Array.length missing = 0 then ()
-  else
-    match pool with
-    | Some pool
-      when Pool.domains pool > 1
-           && Array.length missing >= min_parallel_frontier ->
-      let chunk_results =
-        Pool.map_chunks pool
-          (fun chunk ->
-            Obs.span ~cat:"step" "derive-chunk"
-              ~args:(fun () -> [ ("states", Obs.Int (Array.length chunk)) ])
-              (fun () ->
-                let v = Step.view t.cfg in
-                let ts =
-                  Array.map (fun s -> Step.transitions_view v t.nodes.(s)) chunk
-                in
-                (v, ts)))
-          missing
-      in
-      Obs.span ~cat:"explore" "merge-views"
-        ~args:(fun () -> [ ("chunks", Obs.Int (Array.length chunk_results)) ])
-        (fun () -> Array.iter (fun (v, _) -> Step.merge_view v) chunk_results);
-      let all = Array.concat (Array.to_list (Array.map snd chunk_results)) in
-      Array.iteri
-        (fun k s ->
-          t.n_fallbacks <- t.n_fallbacks + 1;
-          Obs.Counter.incr fallback_rows;
-          append_row t s all.(k))
-        missing
-    | _ -> Array.iter (materialise t) missing
-
 let explore_raw ?(max_states = 2000) ?pool t =
   Obs.span ~cat:"explore" "explore-compiled"
     ~args:(fun () -> [ ("max_states", Obs.Int max_states) ])
   @@ fun () ->
+  (* A multi-domain pool runs a speculative {!Frontier} session over
+     the *interned nodes* (never the CSR arrays — those are
+     single-writer and grown only by this coordinator): workers race
+     ahead deriving the transition lists of states past the compile
+     budget, the coordinator consumes them when it appends rows.
+     States inside the budget have rows already; speculation on them
+     costs only shared-cache hits. *)
+  let fs =
+    match pool with
+    | Some pool when Pool.domains pool > 1 ->
+      Some (Frontier.start ~pool ~cap:max_states t.cfg)
+    | _ -> None
+  in
+  let row_of s =
+    if t.row_off.(s) < 0 then begin
+      t.n_fallbacks <- t.n_fallbacks + 1;
+      Obs.Counter.incr fallback_rows;
+      let ts =
+        match fs with
+        | Some fs -> Frontier.get fs t.nodes.(s)
+        | None -> Step.transitions_i t.cfg t.nodes.(s)
+      in
+      append_row t s ts
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Frontier.stop fs)
+  @@ fun () ->
+  Option.iter (fun fs -> Frontier.prefetch fs t.nodes.(0)) fs;
   (* Dense visited set: state id -> query number, -1 = unseen.  This
-     replaces the per-exploration hashtable of the interpreted path;
-     the query numbering it assigns replays [Lts.explore]'s exactly
-     (FIFO layers, transitions in row = derivation order, interning
-     stops at [max_states] mid-row just as the interpreter does). *)
+     replaces the per-exploration hashtable of the interpreted path.
+     The FIFO dequeues states in BFS discovery order — exactly the
+     order the historical layer loop processed them — so the query
+     numbering replays [Lts.explore]'s exactly (transitions in row =
+     derivation order, interning stops at [max_states] mid-row just as
+     the interpreter does). *)
   let visited = ref (Array.make (max 64 t.n_states) (-1)) in
   let ensure_visited () =
     if t.n_states > Array.length !visited then
@@ -279,49 +267,45 @@ let explore_raw ?(max_states = 2000) ?pool t =
   let complete = ref true in
   let truncated_ids = ref [] in
   let initial = qintern 0 in
-  let frontier = ref [| 0 |] in
-  while Array.length !frontier > 0 do
-    let layer = !frontier in
-    materialise_layer t pool layer;
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    row_of s;
     ensure_visited ();
     let v = !visited in
-    let next = ref [] in
-    Array.iter
-      (fun s ->
-        let i = v.(s) in
-        let dropped = ref false in
-        let off = t.row_off.(s) in
-        for k = off to off + t.row_len.(s) - 1 do
-          let s' = t.pk_target.(k) in
-          let e = t.events.(t.pk_event.(k)) in
-          let visible = Bytes.get t.pk_visible k <> '\000' in
-          if !n_q >= max_states then begin
-            (* record the transition only if the target is already
-               numbered; otherwise the source keeps an unrecorded way
-               out and must not read as a deadlock *)
-            let j = v.(s') in
-            if j >= 0 then transitions := (i, e, visible, j) :: !transitions
-            else begin
-              complete := false;
-              dropped := true
-            end
-          end
+    let i = v.(s) in
+    let dropped = ref false in
+    let off = t.row_off.(s) in
+    for k = off to off + t.row_len.(s) - 1 do
+      let s' = t.pk_target.(k) in
+      let e = t.events.(t.pk_event.(k)) in
+      let visible = Bytes.get t.pk_visible k <> '\000' in
+      if !n_q >= max_states then begin
+        (* record the transition only if the target is already
+           numbered; otherwise the source keeps an unrecorded way
+           out and must not read as a deadlock *)
+        let j = v.(s') in
+        if j >= 0 then transitions := (i, e, visible, j) :: !transitions
+        else begin
+          complete := false;
+          dropped := true
+        end
+      end
+      else begin
+        let j = if v.(s') >= 0 then v.(s') else -1 in
+        let j =
+          if j >= 0 then j
           else begin
-            let j = if v.(s') >= 0 then v.(s') else -1 in
-            let j =
-              if j >= 0 then j
-              else begin
-                let j = qintern s' in
-                next := s' :: !next;
-                j
-              end
-            in
-            transitions := (i, e, visible, j) :: !transitions
+            let j = qintern s' in
+            Queue.add s' queue;
+            j
           end
-        done;
-        if !dropped then truncated_ids := i :: !truncated_ids)
-      layer;
-    frontier := Array.of_list (List.rev !next)
+        in
+        transitions := (i, e, visible, j) :: !transitions
+      end
+    done;
+    if !dropped then truncated_ids := i :: !truncated_ids
   done;
   let truncated = Array.make !n_q false in
   List.iter (fun i -> truncated.(i) <- true) !truncated_ids;

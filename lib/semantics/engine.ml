@@ -15,6 +15,8 @@ let () =
         ("hits", Obs.Int s.Proc.hits);
         ("misses", Obs.Int s.Proc.misses);
         ("lock_waits", Obs.Int s.Proc.lock_waits);
+        ("shards", Obs.Int s.Proc.shards);
+        ("max_shard_len", Obs.Int s.Proc.max_shard_len);
       ])
 
 type t = {
@@ -115,14 +117,19 @@ let hit_rate hits misses =
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "@[<v>intern: %d nodes, %d live, hit-rate %.2f, lock-waits %d@,\
-     closure: %d nodes, memo hit-rate %.2f, lock-waits %d@,\
+    "@[<v>intern: %d nodes, %d live (%d shards, max %d), hit-rate %.2f, \
+     lock-waits %d@,\
+     closure: %d nodes (%d shards, max %d), memo hit-rate %.2f, lock-waits %d@,\
      step: trans hit-rate %.2f, unfold hit-rate %.2f@,\
      denote: eval hit-rate %.2f@,\
-     pool: %d pools, %d workers, %d batches, %d tasks (%d on caller), lock-waits %d@]"
-    s.intern.Proc.nodes s.intern.Proc.table_len
+     pool: %d pools, %d workers, %d batches, %d tasks (%d on caller), \
+     lock-waits %d@,\
+     steal: %d steals, %d stolen, %d stealing-tasks@]"
+    s.intern.Proc.nodes s.intern.Proc.table_len s.intern.Proc.shards
+    s.intern.Proc.max_shard_len
     (hit_rate s.intern.Proc.hits s.intern.Proc.misses)
     s.intern.Proc.lock_waits s.closure.Closure.nodes
+    s.closure.Closure.shards s.closure.Closure.max_shard_len
     (hit_rate s.closure.Closure.memo_hits s.closure.Closure.memo_misses)
     s.closure.Closure.lock_waits
     (hit_rate s.step.Step.trans_hits s.step.Step.trans_misses)
@@ -130,3 +137,4 @@ let pp_stats ppf (s : stats) =
     (hit_rate s.denote.Denote.eval_hits s.denote.Denote.eval_misses)
     s.pool.Pool.pools s.pool.Pool.workers s.pool.Pool.batches
     s.pool.Pool.tasks s.pool.Pool.caller_tasks s.pool.Pool.lock_waits
+    s.pool.Pool.steals s.pool.Pool.stolen s.pool.Pool.stealing_tasks

@@ -76,6 +76,91 @@ let test_pool_stats () =
   Alcotest.(check bool) "tasks ran" true Pool.(s1.tasks - s0.tasks >= 20);
   Alcotest.(check bool) "a batch ran" true Pool.(s1.batches > s0.batches)
 
+(* ---- work-stealing deques -------------------------------------------- *)
+
+let test_deque_lifo () =
+  let d = Pool.Deque.create () in
+  Alcotest.(check (option int)) "empty pops None" None (Pool.Deque.pop d);
+  (* 100 items crosses the initial capacity: growth re-packs from the
+     head, so order survives the copy *)
+  for i = 1 to 100 do
+    Pool.Deque.push d i
+  done;
+  Alcotest.(check int) "size counts the pushes" 100 (Pool.Deque.size d);
+  let popped = List.init 100 (fun _ -> Option.get (Pool.Deque.pop d)) in
+  Alcotest.(check (list int))
+    "owner pops newest-first"
+    (List.init 100 (fun i -> 100 - i))
+    popped;
+  Alcotest.(check (option int)) "drained" None (Pool.Deque.pop d)
+
+let test_deque_steal_half () =
+  let d = Pool.Deque.create () in
+  for i = 1 to 7 do
+    Pool.Deque.push d i
+  done;
+  Alcotest.(check (list int))
+    "steal takes the oldest ⌈7/2⌉, oldest first" [ 1; 2; 3; 4 ]
+    (Pool.Deque.steal_half d);
+  Alcotest.(check int) "victim keeps the rest" 3 (Pool.Deque.size d);
+  Alcotest.(check (option int))
+    "owner still pops its newest" (Some 7) (Pool.Deque.pop d);
+  Alcotest.(check (list int))
+    "steal of 2 takes 1" [ 5 ] (Pool.Deque.steal_half d);
+  Alcotest.(check (list int))
+    "steal of 1 takes it" [ 6 ] (Pool.Deque.steal_half d);
+  Alcotest.(check (list int))
+    "steal of empty is empty" [] (Pool.Deque.steal_half d)
+
+(* One owner pushing and popping, three thieves stealing — four
+   domains on the same deque.  Conservation: every pushed item
+   surfaces exactly once, on exactly one side. *)
+let test_deque_conservation_4_domains () =
+  let d = Pool.Deque.create () in
+  let n = 10_000 in
+  let finished = Atomic.make false in
+  let thieves =
+    Array.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            let rec loop () =
+              match Pool.Deque.steal_half d with
+              | [] ->
+                if Atomic.get finished then !acc
+                else begin
+                  Domain.cpu_relax ();
+                  loop ()
+                end
+              | xs ->
+                acc := List.rev_append xs !acc;
+                loop ()
+            in
+            loop ()))
+  in
+  let owner_got = ref [] in
+  for i = 0 to n - 1 do
+    Pool.Deque.push d i;
+    if i mod 3 = 0 then
+      match Pool.Deque.pop d with
+      | Some x -> owner_got := x :: !owner_got
+      | None -> ()
+  done;
+  let rec drain () =
+    match Pool.Deque.pop d with
+    | Some x ->
+      owner_got := x :: !owner_got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  (* thieves only remove and the owner stopped pushing, so empty is
+     final: release the thieves and collect their shares *)
+  Atomic.set finished true;
+  let stolen = Array.to_list thieves |> List.concat_map Domain.join in
+  let all = List.sort compare (stolen @ !owner_got) in
+  Alcotest.(check int) "nothing lost, nothing duplicated" n (List.length all);
+  Alcotest.(check (list int)) "every item exactly once" (List.init n Fun.id) all
+
 (* ---- parallel exploration ≡ sequential exploration ------------------- *)
 
 let lts_equal_seq (seq : Lts.t) (par : Lts.t) =
@@ -122,6 +207,61 @@ let test_explore_philosophers_identical () =
             (Printf.sprintf "philosophers identical at %d domains" domains)
             true (lts_equal_seq seq par)))
     domain_counts
+
+(* ---- relaxed exploration: set-equality against deterministic --------- *)
+
+(* Relaxed mode numbers states in claim order, so numbering and
+   transition order are schedule-dependent — but on a complete
+   exploration the state set and transition set must match the
+   deterministic run exactly.  [Lts.signature] is the
+   numbering-independent canonical form. *)
+let test_relaxed_signature_oracle () =
+  let models =
+    [
+      ( "philosophers-3",
+        fun () ->
+          let ph = Paper.Philosophers.make ~n:3 ~left_handed_last:true () in
+          ( Step.config ~sampler:(Sampler.nat_bound 3)
+              ph.Paper.Philosophers.defs,
+            ph.Paper.Philosophers.network ) );
+      ( "sliding-window-w2",
+        fun () ->
+          let m = Models.Sliding_window.make ~w:2 in
+          ( Step.config ~sampler:(Sampler.nat_bound 2)
+              m.Models.Sliding_window.defs,
+            m.Models.Sliding_window.network ) );
+    ]
+  in
+  List.iter
+    (fun (label, mk) ->
+      let cfg, net = mk () in
+      let seq = Lts.explore ~max_states:20_000 cfg net in
+      Alcotest.(check bool)
+        (label ^ ": deterministic run is complete")
+        true seq.Lts.complete;
+      let want = Lts.signature seq in
+      (* without a pool, relaxed falls back to the deterministic path *)
+      let fallback =
+        let cfg, net = mk () in
+        Lts.explore ~max_states:20_000 ~relaxed:true cfg net
+      in
+      Alcotest.(check bool)
+        (label ^ ": relaxed without pool is byte-identical")
+        true
+        (lts_equal_seq seq fallback);
+      List.iter
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool ->
+              let cfg, net = mk () in
+              let relaxed =
+                Lts.explore ~max_states:20_000 ~pool ~relaxed:true cfg net
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s: relaxed signature at %d domains" label
+                   domains)
+                want (Lts.signature relaxed)))
+        domain_counts)
+    models
 
 (* ---- sharded fuzzing ≡ sequential fuzzing ---------------------------- *)
 
@@ -304,11 +444,22 @@ let () =
             test_exception_lowest_index;
           Alcotest.test_case "stats counters" `Quick test_pool_stats;
         ] );
+      ( "deque",
+        [
+          Alcotest.test_case "push/pop LIFO across growth" `Quick
+            test_deque_lifo;
+          Alcotest.test_case "steal_half takes the oldest half" `Quick
+            test_deque_steal_half;
+          Alcotest.test_case "conservation under 4 domains" `Quick
+            test_deque_conservation_4_domains;
+        ] );
       ( "explore",
         [
           explore_deterministic;
           Alcotest.test_case "philosophers byte-identical" `Quick
             test_explore_philosophers_identical;
+          Alcotest.test_case "relaxed signature oracle" `Quick
+            test_relaxed_signature_oracle;
         ] );
       ( "fuzz",
         [

@@ -137,6 +137,23 @@ let test_unproductive () =
   | exception Step.Unproductive "loop" -> ()
   | _ -> Alcotest.fail "expected Unproductive"
 
+(* Regression for the transition cache's keying: within one query the
+   cache can only miss (each state is derived once), so hits must come
+   from a *second* query on the same configuration.  A keying bug that
+   never hits shows up here as a zero delta. *)
+let test_trans_cache_hits_across_queries () =
+  let c = cfg defs_copier in
+  let copier = Process.ref_ "copier" in
+  let explore () = ignore (Lts.explore ~max_states:200 c copier) in
+  explore ();
+  let before = Step.stats () in
+  explore ();
+  let after = Step.stats () in
+  check_bool "second query hits the warm cache" true
+    (after.Step.trans_hits > before.Step.trans_hits);
+  check_int "and derives nothing new" before.Step.trans_misses
+    after.Step.trans_misses
+
 let test_traces_growth () =
   let defs = defs_copier in
   let c = cfg defs in
@@ -215,6 +232,11 @@ let () =
         [
           Alcotest.test_case "after / accepts" `Quick test_after_accepts;
           Alcotest.test_case "unproductive recursion" `Quick test_unproductive;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "trans cache hits across queries" `Quick
+            test_trans_cache_hits_across_queries;
         ] );
       ( "traces",
         [
