@@ -1755,6 +1755,130 @@ let p14_fuzz_coverage ?(smoke = false) () =
   result "  wrote BENCH_fuzz.json\n"
 
 (* ---------------------------------------------------------------------- *)
+(* P15: the verification service — replayed traffic, cold vs warm start    *)
+(* ---------------------------------------------------------------------- *)
+
+(* [cspc serve] exists to amortise engine warm-up across requests, so
+   the two numbers that justify it are sustained throughput on a mixed
+   request stream (the same stream `cspc client --bench` and the CI
+   smoke leg replay) and the first-request latency of a server started
+   [--warm] from a snapshot versus one starting cold.  The probe
+   request is a compiled-engine graph exploration — the most
+   compile-heavy item in the stream — so cold-vs-warm isolates exactly
+   the work the snapshot replays. *)
+
+module Server = Csp_server.Server
+module Workload = Csp_server.Workload
+module Wjson = Csp_persist.Json
+
+let p15_start_server cfg =
+  let t =
+    match Server.create cfg with Ok t -> t | Error m -> failwith m
+  in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.serve ~ready:(fun () -> Atomic.set ready true) t cfg)
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  d
+
+let p15_request socket payload =
+  match Workload.connect socket with
+  | Error m -> failwith ("p15: connect: " ^ m)
+  | Ok conn ->
+    let r = Workload.request conn (Wjson.Obj payload) in
+    Workload.close conn;
+    (match r with
+    | Ok resp when Wjson.mem_bool "ok" resp = Some true -> resp
+    | Ok resp -> failwith ("p15: request refused: " ^ Wjson.to_string resp)
+    | Error m -> failwith ("p15: request: " ^ m))
+
+let p15_stop_server socket d =
+  (match Workload.connect socket with
+  | Ok conn ->
+    ignore (Workload.request conn (Wjson.Obj [ ("op", Wjson.str "shutdown") ]));
+    Workload.close conn
+  | Error _ -> ());
+  Domain.join d
+
+let p15_time_first socket probe =
+  match Workload.time_first ~socket probe with
+  | Ok (ms, resp) when Wjson.mem_bool "ok" resp = Some true -> ms
+  | Ok (_, resp) -> failwith ("p15: probe refused: " ^ Wjson.to_string resp)
+  | Error m -> failwith ("p15: probe: " ^ m)
+
+let write_p15_json path ~jobs ~connections ~repeat ~distinct ~cold_ms ~warm_ms
+    (s : Workload.summary) =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"p15_serve\",\n  \"jobs\": %d,\n  \"connections\": \
+     %d,\n  \"repeat\": %d,\n  \"distinct_items\": %d,\n  \"requests\": \
+     %d,\n  \"errors\": %d,\n  \"wall_s\": %.3f,\n  \"req_per_s\": %.1f,\n  \
+     \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n  \"cold_first_ms\": %.3f,\n  \
+     \"warm_first_ms\": %.3f,\n  \"warm_faster_than_cold\": %b,\n  \
+     \"snapshot\": %s\n}\n"
+    jobs connections repeat distinct s.Workload.requests s.Workload.errors
+    s.Workload.wall_s s.Workload.req_per_s s.Workload.p50_ms s.Workload.p99_ms
+    cold_ms warm_ms (warm_ms < cold_ms)
+    (Obs.snapshot_json ());
+  close_out oc
+
+let p15_serve ?(smoke = false) () =
+  section "P15: cspc serve — replayed traffic, cold vs warm first request";
+  let tmp = Filename.get_temp_dir_name () in
+  let socket =
+    Filename.concat tmp (Printf.sprintf "cspc-p15-%d.sock" (Unix.getpid ()))
+  in
+  let snapshot =
+    Filename.concat tmp (Printf.sprintf "cspc-p15-%d.snap" (Unix.getpid ()))
+  in
+  List.iter
+    (fun f -> if Sys.file_exists f then Sys.remove f)
+    [ socket; snapshot ];
+  let jobs = 2 and connections = 2 in
+  let repeat = if smoke then 1 else 3 in
+  let items = Workload.mixed ~stress:(not smoke) ~sources:[] () in
+  let probe =
+    let is_graph (it : Workload.item) =
+      let n = String.length it.label in
+      n >= 6 && String.sub it.label (n - 6) 6 = ":graph"
+    in
+    (List.find is_graph items).Workload.request
+  in
+  (* cold: a fresh server's first request pays parse + Engine.compile *)
+  let d = p15_start_server (Server.config ~jobs socket) in
+  let cold_ms = p15_time_first socket probe in
+  let summary =
+    match Workload.replay ~connections ~repeat ~socket items with
+    | Ok (_, s) -> s
+    | Error m -> failwith ("p15: replay: " ^ m)
+  in
+  ignore
+    (p15_request socket
+       [ ("op", Wjson.str "save"); ("path", Wjson.str snapshot) ]);
+  p15_stop_server socket d;
+  (* warm: [--warm] replays the snapshot before the socket opens, so
+     the first request runs against hot caches *)
+  let d2 = p15_start_server (Server.config ~jobs ~warm:snapshot socket) in
+  let warm_ms = p15_time_first socket probe in
+  p15_stop_server socket d2;
+  Sys.remove snapshot;
+  result "  workload: %d distinct items x%d over %d connections, jobs=%d\n"
+    (List.length items) repeat connections jobs;
+  result "  %8d requests  %d errors  %8.1f req/s  p50 %6.2f ms  p99 %6.2f ms\n"
+    summary.Workload.requests summary.Workload.errors
+    summary.Workload.req_per_s summary.Workload.p50_ms summary.Workload.p99_ms;
+  result "  first request: cold %.1f ms, warm %.1f ms — warm faster: %s\n"
+    cold_ms warm_ms
+    (ok (warm_ms < cold_ms));
+  write_p15_json "BENCH_serve.json" ~jobs ~connections ~repeat
+    ~distinct:(List.length items) ~cold_ms ~warm_ms summary;
+  result "  wrote BENCH_serve.json\n"
+
+(* ---------------------------------------------------------------------- *)
 (* Part 2: Bechamel timing suites (P1–P6)                                  *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1946,6 +2070,7 @@ let () =
     p12_obs_overhead ~smoke:true ();
     p13_compiled ~smoke:true ();
     p14_fuzz_coverage ~smoke:true ();
+    p15_serve ~smoke:true ();
     p9_fuzz_throughput ~cases:100 ();
     print_newline ()
   | "p8" ->
@@ -1965,6 +2090,9 @@ let () =
     print_newline ()
   | "p14" | "fuzz" ->
     p14_fuzz_coverage ();
+    print_newline ()
+  | "p15" | "serve" ->
+    p15_serve ();
     print_newline ()
   | _ ->
     let quick = mode = "quick" in
@@ -1988,6 +2116,7 @@ let () =
       p12_obs_overhead ();
       p13_compiled ();
       p14_fuzz_coverage ();
+      p15_serve ();
       p9_fuzz_throughput ();
       run_timings ()
     end;

@@ -480,6 +480,96 @@ let cmd_fuzz seed cases budget oracle_names save replay jobs coverage telemetry
   | None -> ());
   if replay_failures > 0 || report.Fuzz.counterexamples <> [] then exit 1
 
+(* ---- serve / client -------------------------------------------------- *)
+
+module Server = Csp_server.Server
+module Protocol = Csp_server.Protocol
+module Workload = Csp_server.Workload
+module Json = Csp_persist.Json
+
+let cmd_serve socket jobs warm max_frame max_states max_depth max_cases
+    telemetry =
+  with_telemetry "serve" telemetry @@ fun () ->
+  let limits = { Protocol.max_frame; max_states; max_depth; max_cases } in
+  let cfg = Server.config ~jobs ~limits ?warm socket in
+  let ready () =
+    Printf.eprintf "cspc serve: listening on %s (jobs=%d%s)\n%!" socket
+      (max 1 jobs)
+      (match warm with Some f -> ", warm from " ^ f | None -> "")
+  in
+  match Server.run ~ready cfg with Ok () -> () | Error m -> die "%s" m
+
+let slurp path =
+  let ic = try open_in path with Sys_error m -> die "%s" m in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let corpus_sources dir =
+  match Sys.readdir dir with
+  | exception Sys_error m -> die "%s" m
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".csp")
+    |> List.sort compare
+    |> List.map (fun n -> (n, slurp (Filename.concat dir n)))
+
+let summary_json (s : Workload.summary) =
+  Json.Obj
+    [
+      ("requests", Json.int s.Workload.requests);
+      ("errors", Json.int s.Workload.errors);
+      ("wall_s", Json.Num s.Workload.wall_s);
+      ("req_per_s", Json.Num s.Workload.req_per_s);
+      ("p50_ms", Json.Num s.Workload.p50_ms);
+      ("p99_ms", Json.Num s.Workload.p99_ms);
+    ]
+
+let cmd_client socket req bench stress repeat connections corpus out telemetry
+    =
+  with_telemetry "client" telemetry @@ fun () ->
+  if bench then begin
+    let sources =
+      match corpus with None -> [] | Some dir -> corpus_sources dir
+    in
+    let items = Workload.mixed ~stress ~sources () in
+    match Workload.replay ~connections ~repeat ~socket items with
+    | Error m -> die "%s" m
+    | Ok (_, s) ->
+      let line = Json.to_string (summary_json s) in
+      print_endline line;
+      Option.iter (fun p -> write_file p (line ^ "\n")) out;
+      if s.Workload.errors > 0 then exit 1
+  end
+  else begin
+    let line =
+      match req with
+      | Some s -> s
+      | None -> (
+        try input_line stdin
+        with End_of_file -> die "client: no request given (--req or stdin)")
+    in
+    match Json.parse line with
+    | Error m -> die "request is not valid JSON: %s" m
+    | Ok j -> (
+      match Workload.connect socket with
+      | Error m -> die "%s" m
+      | Ok conn ->
+        let resp =
+          match Workload.request conn j with
+          | Ok r -> r
+          | Error m ->
+            Workload.close conn;
+            die "%s" m
+        in
+        Workload.close conn;
+        print_endline (Json.to_string resp);
+        (match Json.mem_bool "ok" resp with
+        | Some true -> ()
+        | _ -> exit 1))
+  end
+
 (* ---- cmdliner glue --------------------------------------------------- *)
 
 open Cmdliner
@@ -756,6 +846,118 @@ let deadlock_cmd =
       const cmd_deadlock $ path_arg $ name_arg $ steps_arg $ runs_arg
       $ nat_arg $ seed_arg $ compiled_arg $ telemetry_arg)
 
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let serve_cmd =
+  let warm =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "warm" ] ~docv:"FILE"
+          ~doc:"Load this cache snapshot before accepting requests; the \
+                first request then runs at warm-cache speed.  A corrupt or \
+                version-mismatched snapshot refuses to start.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Protocol.default_limits.Protocol.max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request frame; oversized frames are \
+                rejected without unbounded buffering")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt int Protocol.default_limits.Protocol.max_states
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Per-request cap on graph exploration budgets")
+  in
+  let max_depth =
+    Arg.(
+      value
+      & opt int Protocol.default_limits.Protocol.max_depth
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Per-request cap on refinement depth bounds")
+  in
+  let max_cases =
+    Arg.(
+      value
+      & opt int Protocol.default_limits.Protocol.max_cases
+      & info [ "max-cases" ] ~docv:"N"
+          ~doc:"Per-request cap on fuzz case counts")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent verification service: a Unix-socket server \
+             answering parse/graph/refine/prove/fuzz requests \
+             (newline-delimited JSON) from one shared cache-warm engine, \
+             byte-identical to the one-shot subcommands")
+    Term.(
+      const cmd_serve $ socket_arg $ jobs_arg $ warm $ max_frame $ max_states
+      $ max_depth $ max_cases $ telemetry_arg)
+
+let client_cmd =
+  let req =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "req" ] ~docv:"JSON"
+          ~doc:"One request object to send (default: read a line from stdin)")
+  in
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:"Replay the mixed benchmark workload and print a summary \
+                (req/sec, p50/p99 latency) as one JSON line")
+  in
+  let stress =
+    Arg.(
+      value & flag
+      & info [ "stress" ]
+          ~doc:"Use the large model instances of the stress suite in the \
+                --bench workload")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N" ~doc:"Replay the --bench workload N times")
+  in
+  let connections =
+    Arg.(
+      value & opt int 1
+      & info [ "connections" ] ~docv:"N"
+          ~doc:"Persistent connections to round-robin --bench requests over")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Add every .csp file of this directory to the --bench \
+                workload")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the --bench summary JSON here")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running cspc serve: send one request (exit status \
+             follows the response), or replay the benchmark workload with \
+             --bench")
+    Term.(
+      const cmd_client $ socket_arg $ req $ bench $ stress $ repeat
+      $ connections $ corpus $ out $ telemetry_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cspc" ~version:"1.0.0"
@@ -764,7 +966,7 @@ let main =
     [
       parse_cmd; traces_cmd; simulate_cmd; check_cmd; prove_cmd;
       deadlock_cmd; graph_cmd; refusals_cmd; infer_cmd; refine_cmd;
-      check_cert_cmd; fuzz_cmd;
+      check_cert_cmd; fuzz_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

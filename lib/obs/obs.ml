@@ -291,6 +291,33 @@ let snapshot () =
   in
   List.sort (fun (a, _) (b, _) -> String.compare a b) rows
 
+(* Concurrent delta probes would attribute one job's counter movement
+   to another, so probes serialise on one mutex: each diff is exact.
+   Counters are always live (an increment is one atomic RMW), so the
+   deltas are meaningful even while telemetry is disabled. *)
+let delta_mutex = Mutex.create ()
+
+let delta_snapshot f =
+  Mutex.lock delta_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock delta_mutex) @@ fun () ->
+  let before = snapshot () in
+  let x = f () in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (k, v) -> match v with Int n -> Hashtbl.replace tbl k n | _ -> ())
+    before;
+  let deltas =
+    List.filter_map
+      (fun (k, v) ->
+        match v with
+        | Int n ->
+          let d = n - Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+          if d > 0 then Some (k, d) else None
+        | _ -> None)
+      (snapshot ())
+  in
+  (x, deltas)
+
 (* Timer histograms are not part of [snapshot] (48 buckets per timer
    would swamp the key space); coverage tooling reads them separately
    and treats each occupied bucket as one feature. *)

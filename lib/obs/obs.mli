@@ -131,6 +131,17 @@ val snapshot : unit -> (string * value) list
     name; timers as [.count], [.total_ms], [.mean_ms], [.max_ms])
     followed by every registered source, merged and sorted by key. *)
 
+val delta_snapshot : (unit -> 'a) -> 'a * (string * int) list
+(** [delta_snapshot f] runs [f] and diffs the integer counters of
+    {!snapshot} around it, returning [f]'s result and every counter
+    that increased, as [(key, delta)] pairs in snapshot (key) order.
+    Serialised by a mutex so concurrent probes cannot attribute one
+    job's counter movement to another — this is how the coverage map
+    and the [cspc serve] per-request statistics isolate one job's
+    telemetry without {!reset}.  Counters are live even while
+    telemetry is disabled, so the deltas do not require
+    {!set_enabled}. *)
+
 val timer_buckets : unit -> (string * int array) list
 (** The log₂(ns) histogram of every registered timer, sorted by name.
     Not folded into {!snapshot} (48 buckets per timer would swamp the

@@ -576,6 +576,8 @@ let stealing_push s x =
 
 let stealing_participate s = st_drive s ~worker:(Array.length s.deques - 1)
 
+let stealing_pending s = Atomic.get s.outstanding
+
 let stealing_stop s =
   if not s.closed then begin
     s.closed <- true;

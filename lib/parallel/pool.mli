@@ -151,6 +151,11 @@ val stealing_participate : 'a stealing -> unit
     [domains - 1]) until the session stops.  This is how [auto_stop]
     sessions (and 1-domain pools) make the caller's domain work. *)
 
+val stealing_pending : 'a stealing -> int
+(** Items pushed but not yet fully processed (queued plus in-flight) —
+    a racy load of the session's outstanding counter, for load
+    reporting by long-lived hosts such as [cspc serve]. *)
+
 val stealing_stop : 'a stealing -> unit
 (** Stop the session (idempotent): signal every driver, wait for the
     spawned workers to leave their loops, then re-raise the first

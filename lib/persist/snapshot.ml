@@ -1,0 +1,140 @@
+type compiled_root = { process : string; budget : int option; nat_bound : int }
+type entry = { source : string; compiled : compiled_root list; certs : string }
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+let version = 1
+let magic = "cspc-snapshot"
+
+(* ---- encoding --------------------------------------------------------- *)
+
+let json_of_root r =
+  Json.Obj
+    ([ ("process", Json.str r.process); ("nat_bound", Json.int r.nat_bound) ]
+    @ match r.budget with
+      | Some b -> [ ("budget", Json.int b) ]
+      | None -> [])
+
+let json_of_entry e =
+  Json.Obj
+    [
+      ("source", Json.str e.source);
+      ("compiled", Json.Arr (List.map json_of_root e.compiled));
+      ("certs", Json.str e.certs);
+    ]
+
+let payload t =
+  Json.to_string
+    (Json.Obj [ ("entries", Json.Arr (List.map json_of_entry t.entries)) ])
+
+let encode t =
+  let body = payload t in
+  Printf.sprintf "%s %d %s %d\n%s" magic version
+    (Digest.to_hex (Digest.string body))
+    (String.length body) body
+
+(* ---- decoding --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let root_of_json j =
+  match (Json.mem_str "process" j, Json.mem_int "nat_bound" j) with
+  | Some process, Some nat_bound ->
+    Ok { process; budget = Json.mem_int "budget" j; nat_bound }
+  | _ -> Error "snapshot: malformed compiled root"
+
+let entry_of_json j =
+  match (Json.mem_str "source" j, Json.mem_str "certs" j) with
+  | Some source, Some certs ->
+    let roots =
+      Option.bind (Json.member "compiled" j) Json.to_list
+      |> Option.value ~default:[]
+    in
+    let* compiled =
+      List.fold_left
+        (fun acc r ->
+          let* acc = acc in
+          let* r = root_of_json r in
+          Ok (r :: acc))
+        (Ok []) roots
+    in
+    Ok { source; compiled = List.rev compiled; certs }
+  | _ -> Error "snapshot: malformed entry"
+
+let decode s =
+  let* header, body_start =
+    match String.index_opt s '\n' with
+    | Some i -> Ok (String.sub s 0 i, i + 1)
+    | None -> Error "not a cspc snapshot: missing header line"
+  in
+  let* ver, digest, len =
+    match String.split_on_char ' ' header with
+    | [ m; v; d; l ] when m = magic -> (
+      match (int_of_string_opt v, int_of_string_opt l) with
+      | Some v, Some l when String.length d = 32 -> Ok (v, d, l)
+      | _ -> Error "not a cspc snapshot: malformed header")
+    | m :: _ when m <> magic -> Error "not a cspc snapshot: bad magic"
+    | _ -> Error "not a cspc snapshot: malformed header"
+  in
+  let* () =
+    if ver = version then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "snapshot version mismatch: file is version %d, this build reads \
+            version %d"
+           ver version)
+  in
+  let* body =
+    if String.length s - body_start < len then
+      Error
+        (Printf.sprintf "truncated snapshot: header promises %d bytes, %d \
+                         present" len
+           (String.length s - body_start))
+    else if String.length s - body_start > len then
+      Error "corrupt snapshot: trailing bytes after payload"
+    else Ok (String.sub s body_start len)
+  in
+  let* () =
+    if Digest.to_hex (Digest.string body) = digest then Ok ()
+    else Error "corrupt snapshot: integrity digest mismatch"
+  in
+  let* json =
+    match Json.parse body with
+    | Ok j -> Ok j
+    | Error m -> Error ("corrupt snapshot: " ^ m)
+  in
+  let* entries =
+    match Option.bind (Json.member "entries" json) Json.to_list with
+    | Some es -> Ok es
+    | None -> Error "snapshot: payload has no entries array"
+  in
+  let* entries =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* e = entry_of_json e in
+        Ok (e :: acc))
+      (Ok []) entries
+  in
+  Ok { entries = List.rev entries }
+
+(* ---- files ------------------------------------------------------------ *)
+
+let save path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (encode t);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> decode s
+  | exception Sys_error m -> Error m

@@ -1,0 +1,46 @@
+(** Versioned on-disk cache snapshots for the verification service.
+
+    A snapshot is the replayable warm state of a [cspc serve] process:
+    for every source file the server has seen, the source text itself,
+    the roots that were compiled into successor automata (process
+    name, compile budget and sampler bound — enough to re-issue the
+    exact {!Csp_semantics.Engine.compile} call), and the proof
+    certificates of every sequent proved against it.  Loading a
+    snapshot replays those steps — re-parse, re-intern, re-compile,
+    re-admit the certificates — so a restarted server answers its
+    first request at warm-cache speed while remaining byte-identical
+    to a cold computation: nothing semantic is deserialised, only
+    rebuilt from the same inputs.
+
+    On disk: one header line
+    [cspc-snapshot <version> <md5-hex-of-payload> <payload-bytes>]
+    followed by the JSON payload.  {!load} refuses version mismatches,
+    truncation (length check) and corruption (digest check) with a
+    clean [Error] — it never raises on bad input. *)
+
+type compiled_root = {
+  process : string;  (** the root, as concrete syntax (usually a name) *)
+  budget : int option;  (** eager-materialisation budget of the compile *)
+  nat_bound : int;  (** sampler bound of the engine that compiled it *)
+}
+
+type entry = {
+  source : string;  (** full [.csp] text, exactly as first submitted *)
+  compiled : compiled_root list;
+  certs : string;  (** {!Csp_proof.Cert.write_many} output; may be empty *)
+}
+
+type t = { entries : entry list }
+
+val empty : t
+val version : int
+
+val encode : t -> string
+(** The full file image, header line included. *)
+
+val decode : string -> (t, string) result
+
+val save : string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"] then renames over [path]. *)
+
+val load : string -> (t, string) result

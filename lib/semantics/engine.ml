@@ -75,15 +75,26 @@ let with_seed t seed = { t with seed }
    [with_depth]/[with_seed] copies, which share the table): the cache
    is keyed by the interned root's id — ids are never reused, and the
    cached automaton keeps its root alive, so the key stays valid for
-   the automaton's lifetime. *)
+   the automaton's lifetime.  The hit/miss counters let a long-lived
+   host (the [cspc serve] cache-warm story) observe how often a
+   request was answered from an already-compiled automaton. *)
+let compile_hits = Obs.Counter.make "engine.compile_hits"
+let compile_misses = Obs.Counter.make "engine.compile_misses"
+
 let compile ?budget t p =
   let root = Proc.intern p in
   match Hashtbl.find_opt t.compiled (Proc.id root) with
-  | Some c -> c
+  | Some c ->
+    Obs.Counter.incr compile_hits;
+    c
   | None ->
+    Obs.Counter.incr compile_misses;
     let c = Compiled.compile ?budget t.step p in
     Hashtbl.add t.compiled (Proc.id root) c;
     c
+
+let compiled_count t = Hashtbl.length t.compiled
+let compiled_mem t p = Hashtbl.mem t.compiled (Proc.id (Proc.intern p))
 
 let with_sampler t sampler =
   create ~depth:t.depth ~seed:t.seed ~domains:t.domains ~sampler

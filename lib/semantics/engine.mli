@@ -86,6 +86,16 @@ val compile : ?budget:int -> t -> Csp_lang.Process.t -> Compiled.t
     {!Compiled.compile}); it only takes effect on the compiling
     call. *)
 
+val compiled_count : t -> int
+(** Automata in this engine's compile cache (shared with its
+    {!with_depth}/{!with_seed} copies). *)
+
+val compiled_mem : t -> Csp_lang.Process.t -> bool
+(** Whether {!compile} on this root would be answered from the cache —
+    how [cspc serve] and its tests observe warm-start state.  The
+    cache hit/miss traffic is also counted under the
+    [engine.compile_hits] / [engine.compile_misses] snapshot keys. *)
+
 (** {1 Statistics} *)
 
 type stats = {

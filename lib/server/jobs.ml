@@ -1,0 +1,272 @@
+open Csp
+module Parser = Csp_syntax.Parser
+module Printer = Csp_syntax.Printer
+module Snapshot = Csp_persist.Snapshot
+
+type ctx = {
+  digest : string;
+  source : string;
+  file : Parser.file;
+  engines : (int, Engine.t) Hashtbl.t;
+  mutable compiled_roots : Snapshot.compiled_root list;
+  mutable proofs : (string * (Sequent.judgment * Proof.t)) list;
+  lock : Mutex.t;
+}
+
+let ctx_of_source source =
+  match Parser.parse_file source with
+  | Error m -> Error m
+  | Ok file ->
+    Ok
+      {
+        digest = Digest.to_hex (Digest.string source);
+        source;
+        file;
+        engines = Hashtbl.create 2;
+        compiled_roots = [];
+        proofs = [];
+        lock = Mutex.create ();
+      }
+
+(* Engines are keyed by the sampler bound: depth and seed are
+   per-query parameters ([with_depth]/[with_seed] share the caches),
+   but [nat_bound] changes the transition relation and needs its own
+   cache hierarchy — exactly the [Engine.with_sampler] rule. *)
+let engine ctx ~nat_bound =
+  match Hashtbl.find_opt ctx.engines nat_bound with
+  | Some eng -> eng
+  | None ->
+    let eng = Engine.create ~nat_bound ctx.file.Parser.defs in
+    Hashtbl.add ctx.engines nat_bound eng;
+    eng
+
+type outcome = { output : string; exit_code : int }
+
+let record_compile ctx ~process ~budget ~nat_bound =
+  let root = { Snapshot.process; budget; nat_bound } in
+  if not (List.mem root ctx.compiled_roots) then
+    ctx.compiled_roots <- root :: ctx.compiled_roots
+
+let admit_proofs ctx proofs =
+  List.iter
+    (fun (j, proof) ->
+      let key = Sequent.judgment_to_string j in
+      if not (List.mem_assoc key ctx.proofs) then
+        ctx.proofs <- (key, (j, proof)) :: ctx.proofs)
+    proofs
+
+let find_process ctx name =
+  match Defs.lookup ctx.file.Parser.defs name with
+  | Some _ -> Ok (Process.ref_ name)
+  | None -> Error (Printf.sprintf "process %s is not defined" name)
+
+let ( let* ) = Result.bind
+
+(* ---- parse ------------------------------------------------------------ *)
+
+(* Byte-for-byte the output of [cspc parse]: the printed definitions
+   (print_endline appends one newline) followed by one line per
+   assertion declaration. *)
+let parse ctx =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printer.defs ctx.file.Parser.defs);
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Parser.Assert_plain (n, a) ->
+        Buffer.add_string buf
+          (Printf.sprintf "assert %s sat %s\n" n (Printer.assertion a))
+      | Parser.Assert_array (q, x, m, a) ->
+        Buffer.add_string buf
+          (Printf.sprintf "assert forall %s:%s. %s[%s] sat %s\n" x
+             (Printer.vset m) q x
+             (Printer.assertion ~bound:[ x ] a)))
+    ctx.file.Parser.decls;
+  { output = Buffer.contents buf; exit_code = 0 }
+
+(* ---- graph ------------------------------------------------------------ *)
+
+let graph ctx ~process ~max_states ~nat_bound ~compiled:use_compiled =
+  let* p = find_process ctx process in
+  let eng = engine ctx ~nat_bound in
+  let compiled =
+    if use_compiled then begin
+      record_compile ctx ~process ~budget:(Some max_states) ~nat_bound;
+      Some (Engine.compile ~budget:max_states eng p)
+    end
+    else None
+  in
+  let lts =
+    Lts.explore ~max_states ?compiled (Engine.step_config eng) p
+  in
+  let status =
+    Printf.sprintf
+      "%d states, %d transitions%s; deterministic=%b; deadlock states: %d\n"
+      (Lts.num_states lts) (Lts.num_transitions lts)
+      (if lts.Lts.complete then ""
+       else
+         Printf.sprintf " (truncated; %d states with dropped moves)"
+           (List.length (Lts.truncated_states lts)))
+      (Lts.is_deterministic lts)
+      (List.length (Lts.deadlock_states lts))
+  in
+  Ok
+    {
+      output = status ^ Lts.to_dot ~name:process lts;
+      exit_code = 0;
+    }
+
+(* ---- refine ----------------------------------------------------------- *)
+
+let refine ctx ~impl ~spec ~depth ~nat_bound ~weak ~compiled:use_compiled =
+  let* p = find_process ctx impl in
+  let* q = find_process ctx spec in
+  let eng = Engine.with_depth (engine ctx ~nat_bound) depth in
+  let cfg = Engine.step_config eng in
+  if weak then begin
+    let compiler =
+      if use_compiled then begin
+        let compile r = Engine.compile ~budget:2000 eng r in
+        record_compile ctx ~process:impl ~budget:(Some 2000) ~nat_bound;
+        record_compile ctx ~process:spec ~budget:(Some 2000) ~nat_bound;
+        ignore (compile p);
+        ignore (compile q);
+        Some compile
+      end
+      else None
+    in
+    let bisimilar = Bisim.weak_equivalent ?compiler cfg p q in
+    Ok
+      {
+        output =
+          Printf.sprintf "%s and %s weakly bisimilar (bounded): %b\n" impl
+            spec bisimilar;
+        exit_code = 0;
+      }
+  end
+  else
+    match Equiv.trace_refines ~depth cfg ~impl:p ~spec:q with
+    | Ok () ->
+      Ok
+        {
+          output =
+            Printf.sprintf "%s trace-refines %s up to depth %d\n" impl spec
+              depth;
+          exit_code = 0;
+        }
+    | Error s ->
+      Ok
+        {
+          output =
+            Printf.sprintf "NOT a refinement: %s allows %s, %s does not\n"
+              impl (Trace.to_string s) spec;
+          exit_code = 1;
+        }
+
+(* ---- prove ------------------------------------------------------------ *)
+
+let tables_of file =
+  let invariants =
+    List.filter_map
+      (function Parser.Assert_plain (n, a) -> Some (n, a) | _ -> None)
+      file.Parser.decls
+  in
+  let array_invariants =
+    List.filter_map
+      (function
+        | Parser.Assert_array (q, x, m, a) -> Some (q, (x, m, a))
+        | _ -> None)
+      file.Parser.decls
+  in
+  Tactic.tables ~invariants ~array_invariants ()
+
+(* [Tactic.prove_and_check] is [auto] followed by [Check.check], so
+   re-checking a stored proof tree yields the same report — and hence
+   the same output line — as searching for it afresh; only the search
+   is skipped.  A stored proof that no longer checks (it cannot, for
+   a fixed source) falls back to the tactic. *)
+let prove ctx =
+  let tables = tables_of ctx.file in
+  let sctx = Sequent.context ctx.file.Parser.defs in
+  let buf = Buffer.create 256 in
+  let failures = ref 0 in
+  List.iter
+    (fun decl ->
+      let name, judgment =
+        match decl with
+        | Parser.Assert_plain (n, a) -> (n, Sequent.Holds (Process.ref_ n, a))
+        | Parser.Assert_array (q, x, m, a) ->
+          (q ^ "[]", Sequent.Holds_all (q, x, m, a))
+      in
+      let key = Sequent.judgment_to_string judgment in
+      let proved =
+        match List.assoc_opt key ctx.proofs with
+        | Some (_, proof) -> (
+          match Check.check sctx judgment proof with
+          | Ok report -> Some (proof, report)
+          | Error _ -> None)
+        | None -> None
+      in
+      let result =
+        match proved with
+        | Some pr -> Ok pr
+        | None -> (
+          match Tactic.prove_and_check ~tables sctx judgment with
+          | Ok (proof, report) ->
+            ctx.proofs <- (key, (judgment, proof)) :: ctx.proofs;
+            Ok (proof, report)
+          | Error m -> Error m)
+      in
+      match result with
+      | Ok (proof, report) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "PROVED %s: %d rules, %d obligations (%d by testing)\n" name
+             (Proof.size proof)
+             (List.length report.Check.obligations)
+             (Check.tested_obligations report))
+      | Error m ->
+        incr failures;
+        Buffer.add_string buf (Printf.sprintf "FAILED %s: %s\n" name m))
+    ctx.file.Parser.decls;
+  { output = Buffer.contents buf;
+    exit_code = (if !failures > 0 then 1 else 0) }
+
+(* ---- fuzz ------------------------------------------------------------- *)
+
+module Oracle = Csp_testkit.Oracle
+module Fuzz = Csp_testkit.Fuzz
+
+let resolve_oracles = function
+  | [] -> Ok Oracle.all
+  | names ->
+    List.fold_left
+      (fun acc n ->
+        let* acc = acc in
+        match Oracle.find n with
+        | Some o -> Ok (o :: acc)
+        | None ->
+          Error
+            (Printf.sprintf "unknown oracle %s (available: %s)" n
+               (String.concat ", " (Oracle.names ()))))
+      (Ok []) names
+    |> Result.map List.rev
+
+let fuzz ~seed ~count ~budget ~oracle_names =
+  let* oracles = resolve_oracles oracle_names in
+  let config =
+    {
+      Fuzz.default_config with
+      Fuzz.seed;
+      max_cases = count;
+      budget;
+      oracles;
+      jobs = 1;
+    }
+  in
+  let report = Fuzz.run config in
+  Ok
+    {
+      output = Format.asprintf "%a@." Fuzz.pp_report report;
+      exit_code = (if report.Fuzz.counterexamples <> [] then 1 else 0);
+    }

@@ -1,0 +1,87 @@
+(** Job execution for the verification service.
+
+    Each job reproduces, byte for byte, the stdout of the matching
+    one-shot [cspc] subcommand on the same input — the differential
+    suite in [test_server.ml] pins this down against the real binary.
+    The difference is purely economic: a {!ctx} survives across
+    requests, so the parsed file, the per-[nat_bound] engines (with
+    their interned IR, step/denote memos and compiled automata) and
+    the proved sequents are paid for once and reused by every later
+    job on the same source.
+
+    A [ctx] additionally records what would be needed to rebuild its
+    warm state — the compile calls it has issued and the certificates
+    of the sequents it has proved — which is exactly what
+    {!Csp_persist.Snapshot} persists. *)
+
+open Csp
+
+type ctx = {
+  digest : string;  (** MD5 of the source text — the cache key *)
+  source : string;
+  file : Csp_syntax.Parser.file;
+  engines : (int, Engine.t) Hashtbl.t;  (** keyed by [nat_bound] *)
+  mutable compiled_roots : Csp_persist.Snapshot.compiled_root list;
+      (** compile calls issued so far, newest first, deduplicated *)
+  mutable proofs : (string * (Sequent.judgment * Proof.t)) list;
+      (** proved sequents, keyed by {!Sequent.judgment_to_string} *)
+  lock : Mutex.t;
+      (** held for the duration of any job on this context: the
+          engine caches are single-writer *)
+}
+
+val ctx_of_source : string -> (ctx, string) result
+(** Parse and cache-key a source; [Error] is the parser's message. *)
+
+val engine : ctx -> nat_bound:int -> Engine.t
+(** The shared engine of this context for the given sampler bound,
+    created on first use. *)
+
+type outcome = { output : string; exit_code : int }
+(** Exactly the stdout text and exit status of the one-shot CLI. *)
+
+val parse : ctx -> outcome
+
+val graph :
+  ctx ->
+  process:string ->
+  max_states:int ->
+  nat_bound:int ->
+  compiled:bool ->
+  (outcome, string) result
+(** [Error] when [process] is not defined (the CLI dies with the same
+    message on stderr). *)
+
+val refine :
+  ctx ->
+  impl:string ->
+  spec:string ->
+  depth:int ->
+  nat_bound:int ->
+  weak:bool ->
+  compiled:bool ->
+  (outcome, string) result
+
+val prove : ctx -> outcome
+(** Proves every declared assertion.  Sequents already proved through
+    this context (including ones admitted from a warm snapshot) skip
+    the tactic search: the stored proof tree is re-checked with
+    {!Check.check}, which yields the identical report — and therefore
+    the identical output — at a fraction of the cost. *)
+
+val fuzz :
+  seed:int ->
+  count:int ->
+  budget:float option ->
+  oracle_names:string list ->
+  (outcome, string) result
+(** [Error] on an unknown oracle name.  Runs sequentially ([jobs=1]);
+    the wall-clock [budget] is the per-request time budget. *)
+
+val record_compile :
+  ctx -> process:string -> budget:int option -> nat_bound:int -> unit
+(** Note a compile call for snapshot purposes (deduplicated). *)
+
+val admit_proofs : ctx -> (Sequent.judgment * Proof.t) list -> unit
+(** Admit certificate-loaded proofs into the proved-sequent cache
+    (existing keys win — they were proved in this process). *)

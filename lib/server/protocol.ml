@@ -1,0 +1,116 @@
+module Json = Csp_persist.Json
+
+type error_kind =
+  | Bad_request
+  | Parse_error
+  | Budget_exceeded
+  | Frame_too_large
+  | Malformed_frame
+  | Internal
+
+let kind_string = function
+  | Bad_request -> "bad-request"
+  | Parse_error -> "parse-error"
+  | Budget_exceeded -> "budget-exceeded"
+  | Frame_too_large -> "frame-too-large"
+  | Malformed_frame -> "malformed-frame"
+  | Internal -> "internal"
+
+type limits = {
+  max_frame : int;
+  max_states : int;
+  max_depth : int;
+  max_cases : int;
+}
+
+let default_limits =
+  { max_frame = 4 * 1024 * 1024; max_states = 200_000; max_depth = 40;
+    max_cases = 20_000 }
+
+(* ---- framing ---------------------------------------------------------- *)
+
+(* The buffer holds at most [max_frame + 1] bytes: we stop reading as
+   soon as a newline is present, and declare the frame oversized the
+   moment the buffered prefix exceeds the cap without one — bounded
+   memory per connection by construction. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : bytes;
+  max_frame : int;
+  mutable carry : string;  (** bytes after the last returned frame *)
+}
+
+let reader ?(max_frame = default_limits.max_frame) fd =
+  { fd; buf = Buffer.create 1024; chunk = Bytes.create 65536; max_frame;
+    carry = "" }
+
+let read_frame r =
+  Buffer.clear r.buf;
+  Buffer.add_string r.buf r.carry;
+  r.carry <- "";
+  let split_at_newline () =
+    let s = Buffer.contents r.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      r.carry <- String.sub s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  in
+  let rec go () =
+    match split_at_newline () with
+    | Some frame -> `Frame frame
+    | None ->
+      if Buffer.length r.buf > r.max_frame then `Too_large
+      else begin
+        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        (* EOF with a partial (unterminated) frame buffered is a client
+           that died mid-request: discard the fragment, it was never a
+           complete request *)
+        | 0 -> `Eof
+        | n ->
+          Buffer.add_subbytes r.buf r.chunk 0 n;
+          go ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          `Eof
+      end
+  in
+  go ()
+
+let buffered_frame r = String.contains r.carry '\n'
+
+let write_frame fd s =
+  let data = Bytes.of_string (s ^ "\n") in
+  let n = Bytes.length data in
+  let rec go off =
+    if off < n then
+      let k = Unix.write fd data off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+(* ---- responses -------------------------------------------------------- *)
+
+let error_response ?(id = Json.Null) kind msg =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool false);
+      ("kind", Json.str (kind_string kind));
+      ("error", Json.str msg);
+    ]
+
+let ok_response ~id ~op ?output ?exit_code ?stats ?(extra = []) ~elapsed_ms ()
+    =
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool true); ("op", Json.str op) ]
+    @ (match output with Some o -> [ ("output", Json.str o) ] | None -> [])
+    @ (match exit_code with
+      | Some e -> [ ("exit", Json.int e) ]
+      | None -> [])
+    @ [ ("elapsed_ms", Json.Num elapsed_ms) ]
+    @ (match stats with
+      | Some kvs ->
+        [ ("stats", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) kvs)) ]
+      | None -> [])
+    @ extra)

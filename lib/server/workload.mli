@@ -1,0 +1,102 @@
+(** Client-side plumbing and replayed-traffic workloads for the
+    verification service.
+
+    The client half ({!connect}/{!request}) speaks the one-line-JSON
+    protocol over a Unix socket; the workload half builds a mixed
+    request stream — fuzz-corpus sources, {!Csp.Models} protocol
+    instances rendered back to concrete syntax, and proof obligations
+    — and {!replay}s it against a running server, timing every
+    request from the client side.  Bench P15, [cspc client --bench]
+    and the CI smoke leg all drive this module, so the traffic they
+    measure is the same traffic. *)
+
+module Json = Csp_persist.Json
+
+(** {1 Client} *)
+
+type conn
+
+val connect : string -> (conn, string) result
+(** Connect to the server socket.  [Error] carries the [Unix] error
+    string (server not running, stale socket, …). *)
+
+val request : conn -> Json.t -> (Json.t, string) result
+(** One request frame out, one response frame in.  [Error] on
+    disconnect, oversized response or a response that is not valid
+    JSON. *)
+
+val close : conn -> unit
+
+val time_first : socket:string -> Json.t -> (float * Json.t, string) result
+(** Fresh connection, one request, disconnect: the client-side
+    latency in milliseconds plus the response.  This is how the bench
+    measures cold-start vs warm-start first-request latency. *)
+
+(** {1 Workloads} *)
+
+type item = {
+  label : string;
+  request : Json.t;  (** complete request object, [id] added by replay *)
+}
+
+val model_items : stress:bool -> item list
+(** Requests over {!Csp.Models} instances (token ring, two-phase
+    commit, sliding window) rendered to concrete syntax: graph
+    explorations through the compiled engine and trace-refinement
+    checks against each model's specification.  With [stress] the
+    instances are the large ones of the [@stress] suite — token ring
+    at [n = 10], commit at [n = 6], the sliding window explored
+    deeper — sized for sustained-throughput measurement rather than a
+    smoke signal. *)
+
+val corpus_items : (string * string) list -> item list
+(** [(name, source)] pairs — typically the [.csp] fuzz corpus — each
+    contributing a [parse], a [graph main] when [main] is defined,
+    and a [prove] when the source declares assertions. *)
+
+val prove_items : unit -> item list
+(** Proof traffic on embedded paper sources (the copier and the
+    ACK/NACK protocol) — the requests that exercise the
+    proved-sequent cache across repetitions. *)
+
+val fuzz_items : stress:bool -> item list
+
+val mixed : ?stress:bool -> sources:(string * string) list -> unit -> item list
+(** The replayed workload: corpus, model, proof and fuzz traffic
+    interleaved deterministically (no randomness: the same call
+    builds the same stream, so runs are comparable). *)
+
+(** {1 Replay} *)
+
+type timing = {
+  label : string;
+  ok : bool;  (** the response's [ok] field *)
+  client_ms : float;  (** wall time around the socket round-trip *)
+  server_ms : float;  (** the response's [elapsed_ms] field *)
+}
+
+type summary = {
+  requests : int;
+  errors : int;  (** transport failures plus [ok = false] responses *)
+  wall_s : float;
+  req_per_s : float;
+  p50_ms : float;  (** client-side latency percentiles *)
+  p99_ms : float;
+}
+
+val percentile : float -> float list -> float
+(** Nearest-rank percentile; [0.] on the empty list. *)
+
+val summarise : wall_s:float -> timing list -> summary
+
+val replay :
+  ?connections:int ->
+  ?repeat:int ->
+  socket:string ->
+  item list ->
+  (timing list * summary, string) result
+(** Replay the stream [repeat] times (default 1) round-robin over
+    [connections] persistent connections (default 1), sequentially —
+    the client is single-threaded; server-side concurrency is
+    exercised by opening the server with [--jobs].  [Error] only on
+    transport-level failure (cannot connect / server vanished). *)

@@ -58,18 +58,19 @@ let timer_features () =
              if n > 0 then Some (Printf.sprintf "%s@%d" name i) else None))
     (Obs.timer_buckets ())
 
-(* Concurrent probes would attribute one case's counter movement to
-   another; the mutex makes each diff exact.  Coverage-guided
-   generation is inherently a sequential feedback loop anyway — the
-   guided driver runs cases one at a time whatever [--jobs] says. *)
-let probe_mutex = Mutex.create ()
-
+(* [Obs.delta_snapshot] serialises concurrent probes so each diff is
+   exact; coverage keeps only the stable keys and buckets the raw
+   deltas.  Coverage-guided generation is inherently a sequential
+   feedback loop anyway — the guided driver runs cases one at a time
+   whatever [--jobs] says. *)
 let probe f =
-  Mutex.lock probe_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock probe_mutex) @@ fun () ->
-  let before = Obs.snapshot () in
-  let x = f () in
-  let fs = diff before (Obs.snapshot ()) in
+  let x, deltas = Obs.delta_snapshot f in
+  let fs =
+    List.filter_map
+      (fun (k, d) ->
+        if stable_key k then Some (feature_of_delta k d) else None)
+      deltas
+  in
   (x, fs)
 
 (* FNV-1a over the sorted feature list: stable across runs, processes

@@ -1,0 +1,83 @@
+(* @stress: the protocol library at sizes the default suite never
+   visits — token ring at n=10, two-phase commit at n=6, the sliding
+   window refined deeper — explored through the compiled successor
+   engine, plus the stress benchmark workload replayed against an
+   in-process server.  Excluded from the default runtest alias: run
+   with `dune build @stress`. *)
+
+open Csp
+module Server = Csp_server.Server
+module Workload = Csp_server.Workload
+module Json = Csp_persist.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let explore_compiled defs p ~max_states =
+  let eng = Engine.create ~nat_bound:3 defs in
+  let compiled = Engine.compile ~budget:max_states eng p in
+  Lts.explore ~max_states ~compiled (Engine.step_config eng) p
+
+let test_token_ring_10 () =
+  let m = Models.Token_ring.make ~n:10 in
+  let lts = explore_compiled m.defs m.system ~max_states:100_000 in
+  check_bool "complete" true lts.Lts.complete;
+  check_int "deadlock-free" 0 (List.length (Lts.deadlock_states lts));
+  (* one token over n stations: the state count is linear in n *)
+  check_bool "state count scales with n" true (Lts.num_states lts >= 2 * 10)
+
+let test_commit_6 () =
+  let m = Models.Commit.make ~n:6 in
+  let lts = explore_compiled m.defs m.system ~max_states:200_000 in
+  check_bool "complete" true lts.Lts.complete;
+  check_int "deadlock-free" 0 (List.length (Lts.deadlock_states lts));
+  (* sequential polling keeps the coordinator's state linear in n *)
+  check_bool "state count scales with n" true (Lts.num_states lts >= 5 * 6)
+
+let test_sliding_window_deep () =
+  let m = Models.Sliding_window.make ~w:2 in
+  let eng = Engine.create ~depth:10 ~nat_bound:2 m.defs in
+  match
+    Equiv.trace_refines ~depth:10 (Engine.step_config eng) ~impl:m.system
+      ~spec:m.spec
+  with
+  | Ok () -> ()
+  | Error tr ->
+    Alcotest.failf "window system diverges from its spec at %s"
+      (Trace.to_string tr)
+
+(* The stress-sized benchmark workload (the same items bench P15 and
+   `cspc client --bench --stress` replay) answered by an in-process
+   server: every request must succeed, and the refinements must hold. *)
+let test_stress_workload () =
+  let t =
+    match Server.create (Server.config "unused.sock") with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  let items = Workload.mixed ~stress:true ~sources:[] () in
+  check_bool "workload nonempty" true (List.length items > 5);
+  List.iter
+    (fun (it : Workload.item) ->
+      match Json.parse (Server.handle_line t (Json.to_string it.request)) with
+      | Error m -> Alcotest.failf "%s: response not JSON: %s" it.label m
+      | Ok resp ->
+        check_bool (it.label ^ " ok") true
+          (Json.mem_bool "ok" resp = Some true);
+        check_int (it.label ^ " exit") 0
+          (Option.value ~default:0 (Json.mem_int "exit" resp)))
+    items
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "token ring n=10" `Slow test_token_ring_10;
+          Alcotest.test_case "two-phase commit n=6" `Slow test_commit_6;
+          Alcotest.test_case "sliding window deep" `Slow
+            test_sliding_window_deep;
+        ] );
+      ( "service",
+        [ Alcotest.test_case "stress workload" `Slow test_stress_workload ] );
+    ]
