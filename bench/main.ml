@@ -19,7 +19,8 @@
              dune exec bench/main.exe -- p11     (parallel scaling only)
              dune exec bench/main.exe -- p13     (compiled successor engine)
              dune exec bench/main.exe -- p14     (coverage-guided fuzzing)
-             dune exec bench/main.exe -- smoke   (E11 + P8–P14, tiny
+             dune exec bench/main.exe -- p16     (counter abstraction)
+             dune exec bench/main.exe -- smoke   (E11 + P8–P16, tiny
                                                   sizes; @bench-smoke) *)
 
 open Csp
@@ -1879,6 +1880,182 @@ let p15_serve ?(smoke = false) () =
   result "  wrote BENCH_serve.json\n"
 
 (* ---------------------------------------------------------------------- *)
+(* P16: counter abstraction — flat quotient vs superlinear concrete        *)
+(* ---------------------------------------------------------------------- *)
+
+(* The whole point of lib/abstraction: the concrete state space of a
+   replica family grows with n (exactly 2^n for the workers pool)
+   while the counter-abstract quotient saturates at the cutoff.  Each
+   row explores both sides of one (family, n) pair and re-checks the
+   soundness inclusion — every erased concrete trace must be a trace
+   of the abstract LTS — so the emitted JSON doubles as a CI gate:
+   any [sound_vs_concrete: false], or a ring row at n ≥ 8 whose
+   abstract side is not strictly smaller than the concrete one, is a
+   bug.  A final record times [check_family] certifying the ring for
+   every n ≤ 32 in one run. *)
+
+type p16_row = {
+  p16_family : string;
+  p16_n : int;
+  p16_concrete_states : int;
+  p16_concrete_complete : bool;
+  p16_concrete_ms : float;
+  p16_abstract_states : int;
+  p16_collapses : int;
+  p16_abstract_ms : float;
+  p16_sound : bool;
+}
+
+let write_p16_json path rows ~check_model ~check_formula ~check_classes
+    ~check_certified ~check_ms =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"p16_abstraction\",\n  \"results\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"family\": \"%s\", \"n\": %d, \"concrete_states\": %d, \
+         \"concrete_complete\": %b, \"concrete_ms\": %.3f, \
+         \"abstract_states\": %d, \"omega_collapses\": %d, \
+         \"abstract_ms\": %.3f, \"abstract_lt_concrete\": %b, \
+         \"sound_vs_concrete\": %b }%s\n"
+        r.p16_family r.p16_n r.p16_concrete_states r.p16_concrete_complete
+        r.p16_concrete_ms r.p16_abstract_states r.p16_collapses
+        r.p16_abstract_ms
+        (r.p16_abstract_states < r.p16_concrete_states)
+        r.p16_sound
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"family_check\": { \"model\": \"%s\", \"formula\": \"%s\", \
+     \"classes\": %d, \"certified\": %b, \"ms\": %.3f },\n  \"snapshot\": \
+     %s\n}\n"
+    check_model check_formula check_classes check_certified check_ms
+    (Obs.snapshot_json ());
+  close_out oc
+
+let p16_abstraction ?(smoke = false) () =
+  section "P16: counter abstraction — abstract quotient vs concrete product";
+  let time_ms f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    ((Unix.gettimeofday () -. t0) *. 1000., r)
+  in
+  let concrete name ~n =
+    match name with
+    | "token-ring" ->
+      let m = Models.Token_ring.make ~n in
+      (m.Models.Token_ring.defs, m.Models.Token_ring.network)
+    | "leader" ->
+      let m = Models.Leader.make ~n in
+      (m.Models.Leader.defs, m.Models.Leader.network)
+    | "workers" ->
+      let m = Models.Workers.make ~n in
+      (m.Models.Workers.defs, m.Models.Workers.network)
+    | other -> failwith ("p16: no concrete instance for " ^ other)
+  in
+  let cases =
+    if smoke then
+      [ ("token-ring", [ 2; 4; 8 ]); ("leader", [ 2; 3 ]);
+        ("workers", [ 2; 4; 8 ]) ]
+    else
+      [ ("token-ring", [ 2; 4; 8; 16 ]); ("leader", [ 2; 4; 6 ]);
+        ("workers", [ 2; 4; 8; 16 ]) ]
+  in
+  let sound_depth = 3 in
+  let rows =
+    List.concat_map
+      (fun (name, sizes) ->
+        let fam =
+          match Abstraction.Family.find name with
+          | Some f -> f
+          | None -> failwith ("p16: no family preset " ^ name)
+        in
+        List.map
+          (fun n ->
+            let defs, network = concrete name ~n in
+            let concrete_ms, lts =
+              time_ms (fun () ->
+                  let eng = Engine.create ~nat_bound:2 defs in
+                  let compiled = Engine.compile ~budget:200_000 eng network in
+                  Lts.explore ~max_states:200_000 ~compiled
+                    (Engine.step_config eng) network)
+            in
+            let abstract_ms, r =
+              time_ms (fun () ->
+                  Abstraction.Counter.explore
+                    fam.Abstraction.Family.fam ~n)
+            in
+            (* the inclusion that makes the quotient a sound verdict
+               carrier: α(concrete traces) ⊆ traces(abstract) *)
+            let cfg =
+              Step.config ~sampler:(Sampler.nat_bound 2) defs
+            in
+            let traces =
+              Closure.to_traces (Step.traces cfg ~depth:sound_depth network)
+            in
+            let sound =
+              List.for_all
+                (fun tr ->
+                  Abstraction.Counter.accepts r.Abstraction.Counter.lts
+                    (Abstraction.Family.abstract_trace fam tr))
+                traces
+            in
+            {
+              p16_family = name;
+              p16_n = n;
+              p16_concrete_states = Lts.num_states lts;
+              p16_concrete_complete = lts.Lts.complete;
+              p16_concrete_ms = concrete_ms;
+              p16_abstract_states = r.Abstraction.Counter.quotient_states;
+              p16_collapses = r.Abstraction.Counter.omega_collapses;
+              p16_abstract_ms = abstract_ms;
+              p16_sound = sound;
+            })
+          sizes)
+      cases
+  in
+  result "  %-12s %4s %10s %10s %9s %12s %8s\n" "family" "n" "concrete"
+    "abstract" "collapse" "sound" "abs(ms)";
+  List.iter
+    (fun r ->
+      result "  %-12s %4d %9d%s %10d %9d %12s %8.2f\n" r.p16_family r.p16_n
+        r.p16_concrete_states
+        (if r.p16_concrete_complete then "" else "+")
+        r.p16_abstract_states r.p16_collapses (ok r.p16_sound)
+        r.p16_abstract_ms)
+    rows;
+  (* one run certifying the ring for every n up to 32 *)
+  let fam =
+    match Abstraction.Family.find "token-ring" with
+    | Some f -> f
+    | None -> failwith "p16: no token-ring preset"
+  in
+  let check_formula = "n<=32" in
+  let formula =
+    match Abstraction.Formula.of_string check_formula with
+    | Ok f -> f
+    | Error m -> failwith ("p16: " ^ m)
+  in
+  let check_ms, outcome =
+    time_ms (fun () ->
+        Abstraction.Family.check_family ~depth:(if smoke then 6 else 8) fam
+          ~formula)
+  in
+  let check_classes, check_certified =
+    match outcome with
+    | Ok o ->
+      (List.length o.Abstraction.Family.classes,
+       o.Abstraction.Family.certified)
+    | Error m -> failwith ("p16: family check: " ^ m)
+  in
+  result "  ring for all %s: %d class(es), certified %s in %.1f ms\n"
+    check_formula check_classes (ok check_certified) check_ms;
+  write_p16_json "BENCH_abstraction.json" rows ~check_model:"token-ring"
+    ~check_formula ~check_classes ~check_certified ~check_ms;
+  result "  wrote BENCH_abstraction.json\n"
+
+(* ---------------------------------------------------------------------- *)
 (* Part 2: Bechamel timing suites (P1–P6)                                  *)
 (* ---------------------------------------------------------------------- *)
 
@@ -2071,6 +2248,7 @@ let () =
     p13_compiled ~smoke:true ();
     p14_fuzz_coverage ~smoke:true ();
     p15_serve ~smoke:true ();
+    p16_abstraction ~smoke:true ();
     p9_fuzz_throughput ~cases:100 ();
     print_newline ()
   | "p8" ->
@@ -2093,6 +2271,9 @@ let () =
     print_newline ()
   | "p15" | "serve" ->
     p15_serve ();
+    print_newline ()
+  | "p16" | "abstraction" ->
+    p16_abstraction ();
     print_newline ()
   | _ ->
     let quick = mode = "quick" in
@@ -2117,6 +2298,7 @@ let () =
       p13_compiled ();
       p14_fuzz_coverage ();
       p15_serve ();
+      p16_abstraction ();
       p9_fuzz_throughput ();
       run_timings ()
     end;

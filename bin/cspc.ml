@@ -185,8 +185,42 @@ let cmd_check path depth nat_bound telemetry =
 
 (* ---- prove ---------------------------------------------------------- *)
 
-let cmd_prove path verbose emit telemetry =
+(* [--family FORMULA] switches prove from the file's assertions to a
+   preset replica family: one counter-abstract exploration per
+   assignment class of the formula certifies the family's erased
+   invariants for every satisfying instance at once. *)
+let cmd_prove_family ~model ~formula ~depth =
+  let fam =
+    match Abstraction.Family.find model with
+    | Some f -> f
+    | None ->
+      die "unknown family %s (have: %s)" model
+        (String.concat ", "
+           (List.map
+              (fun (f : Abstraction.Family.t) -> f.fam.Abstraction.Counter.name)
+              Abstraction.Family.presets))
+  in
+  let f =
+    match Abstraction.Formula.of_string formula with
+    | Ok f -> f
+    | Error m -> die "bad formula %S: %s" formula m
+  in
+  match Abstraction.Family.check_family ~depth fam ~formula:f with
+  | Error m -> die "%s: %s" model m
+  | Ok o ->
+    Format.printf "%a@." Abstraction.Family.pp_outcome o;
+    if not o.Abstraction.Family.certified then exit 1
+
+let cmd_prove path verbose emit family model depth telemetry =
   with_telemetry "prove" telemetry @@ fun () ->
+  match family with
+  | Some formula -> cmd_prove_family ~model ~formula ~depth
+  | None ->
+  let path =
+    match path with
+    | Some p -> p
+    | None -> die "FILE is required unless --family is given"
+  in
   let file = load path in
   let tables = tables_of file in
   let ctx = Sequent.context file.Parser.defs in
@@ -285,9 +319,53 @@ let cmd_deadlock path name steps runs nat_bound seed use_compiled telemetry =
 
 (* ---- graph ----------------------------------------------------------- *)
 
+(* [--abstract counter] graphs the counter-abstract quotient of a
+   preset family at instance size [--n] instead of a concrete file. *)
+let cmd_graph_abstract ~model ~n ~max_states output =
+  let fam =
+    match Abstraction.Family.find model with
+    | Some f -> f
+    | None -> die "unknown family %s" model
+  in
+  let r = Abstraction.Counter.explore ~max_states fam.fam ~n in
+  Printf.printf
+    "%d abstract states, %d transitions%s; %d omega collapse(s); %d local \
+     state(s) in legend\n"
+    r.Abstraction.Counter.quotient_states
+    (Lts.num_transitions r.Abstraction.Counter.lts)
+    (if r.Abstraction.Counter.lts.Lts.complete then "" else " (truncated)")
+    r.Abstraction.Counter.omega_collapses
+    (List.length r.Abstraction.Counter.legend);
+  List.iter
+    (fun (i, p) ->
+      Printf.printf "  s%d = %s\n" i (Printer.process p))
+    r.Abstraction.Counter.legend;
+  let dot = Lts.to_dot ~name:(model ^ "_abs") r.Abstraction.Counter.lts in
+  match output with
+  | None -> print_string dot
+  | Some f ->
+    let oc = open_out f in
+    output_string oc dot;
+    close_out oc;
+    Printf.printf "wrote %s\n" f
+
 let cmd_graph path name max_states nat_bound output jobs use_compiled relaxed
-    telemetry =
+    abstract model fam_n telemetry =
   with_telemetry "graph" telemetry @@ fun () ->
+  match abstract with
+  | Some "counter" -> cmd_graph_abstract ~model ~n:fam_n ~max_states output
+  | Some m -> die "unknown abstraction %s (have: counter)" m
+  | None ->
+  let path =
+    match path with
+    | Some p -> p
+    | None -> die "FILE is required unless --abstract is given"
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> die "--process is required unless --abstract is given"
+  in
   let file = load path in
   let p = find_process file name in
   let eng = engine ~domains:jobs file ~nat_bound in
@@ -488,9 +566,11 @@ module Workload = Csp_server.Workload
 module Json = Csp_persist.Json
 
 let cmd_serve socket jobs warm max_frame max_states max_depth max_cases
-    telemetry =
+    max_sources telemetry =
   with_telemetry "serve" telemetry @@ fun () ->
-  let limits = { Protocol.max_frame; max_states; max_depth; max_cases } in
+  let limits =
+    { Protocol.max_frame; max_states; max_depth; max_cases; max_sources }
+  in
   let cfg = Server.config ~jobs ~limits ?warm socket in
   let ready () =
     Printf.eprintf "cspc serve: listening on %s (jobs=%d%s)\n%!" socket
@@ -576,6 +656,22 @@ open Cmdliner
 
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".csp file")
+
+let opt_path_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:".csp file (may be omitted in --family / --abstract modes)")
+
+let model_arg =
+  Arg.(
+    value
+    & opt string "token-ring"
+    & info [ "model" ] ~docv:"NAME"
+        ~doc:
+          "Preset replica family: token-ring, leader, philosophers or \
+           workers (aliases: ring, phils, pool)")
 
 let name_arg =
   Arg.(
@@ -692,11 +788,24 @@ let prove_cmd =
       & opt (some string) None
       & info [ "emit" ] ~docv:"FILE" ~doc:"Write proof certificates here")
   in
+  let family =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "family" ] ~docv:"FORMULA"
+          ~doc:
+            "Certify the --model family's invariants for every parameter \
+             value satisfying this assumption formula (e.g. 'n <= 32' or \
+             'n >= 2'), one counter-abstract run per assignment class")
+  in
   Cmd.v
     (Cmd.info "prove"
        ~doc:"Prove every declared assertion with the inference rules of the \
-             paper, using the declarations as loop invariants")
-    Term.(const cmd_prove $ path_arg $ verbose_arg $ emit $ telemetry_arg)
+             paper, using the declarations as loop invariants; with \
+             --family, certify a whole parameterised family instead")
+    Term.(
+      const cmd_prove $ opt_path_arg $ verbose_arg $ emit $ family $ model_arg
+      $ depth_arg 6 $ telemetry_arg)
 
 let check_cert_cmd =
   let cert =
@@ -731,12 +840,35 @@ let graph_cmd =
              checked against deterministic mode by the test oracle).  Only \
              meaningful with --jobs > 1.")
   in
+  let abstract =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "abstract" ] ~docv:"MODE"
+          ~doc:
+            "Graph an abstraction instead of a concrete file; the only mode \
+             is 'counter' (counter-abstract quotient of the --model family \
+             at size --n)")
+  in
+  let fam_n =
+    Arg.(
+      value & opt int 4
+      & info [ "size" ] ~docv:"N" ~doc:"Family instance size n for --abstract")
+  in
+  let opt_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "process" ] ~docv:"NAME" ~doc:"Process name to explore")
+  in
   Cmd.v
     (Cmd.info "graph"
-       ~doc:"Explore the labelled transition system and emit Graphviz DOT")
+       ~doc:"Explore the labelled transition system and emit Graphviz DOT; \
+             with --abstract counter, graph a family's abstract quotient")
     Term.(
-      const cmd_graph $ path_arg $ name_arg $ max_states $ nat_arg $ out
-      $ jobs_arg $ compiled_arg $ relaxed $ telemetry_arg)
+      const cmd_graph $ opt_path_arg $ opt_name $ max_states $ nat_arg $ out
+      $ jobs_arg $ compiled_arg $ relaxed $ abstract $ model_arg $ fam_n
+      $ telemetry_arg)
 
 let refusals_cmd =
   Cmd.v
@@ -891,6 +1023,15 @@ let serve_cmd =
       & info [ "max-cases" ] ~docv:"N"
           ~doc:"Per-request cap on fuzz case counts")
   in
+  let max_sources =
+    Arg.(
+      value
+      & opt int Protocol.default_limits.Protocol.max_sources
+      & info [ "max-sources" ] ~docv:"N"
+          ~doc:"Cached source contexts kept warm; the least recently used \
+                is evicted when a new source would exceed this, so the \
+                table stays bounded under a stream of distinct sources")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the persistent verification service: a Unix-socket server \
@@ -899,7 +1040,7 @@ let serve_cmd =
              byte-identical to the one-shot subcommands")
     Term.(
       const cmd_serve $ socket_arg $ jobs_arg $ warm $ max_frame $ max_states
-      $ max_depth $ max_cases $ telemetry_arg)
+      $ max_depth $ max_cases $ max_sources $ telemetry_arg)
 
 let client_cmd =
   let req =

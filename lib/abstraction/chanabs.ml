@@ -1,0 +1,133 @@
+module Value = Csp_trace.Value
+module Channel = Csp_trace.Channel
+module Trace = Csp_trace.Trace
+module Expr = Csp_lang.Expr
+module Vset = Csp_lang.Vset
+module Chan_expr = Csp_lang.Chan_expr
+module Chan_set = Csp_lang.Chan_set
+module Valuation = Csp_lang.Valuation
+module Process = Csp_lang.Process
+module Defs = Csp_lang.Defs
+
+type projected = {
+  defs : Csp_lang.Defs.t;
+  proc : Csp_lang.Process.t;
+  exact : bool;
+}
+
+let in_bases bases (ce : Chan_expr.t) = List.mem ce.Chan_expr.name bases
+
+(* Remove every item mentioning one of the erased base names.  Items
+   match at least their own base, so dropping by base never keeps an
+   erased channel in an alphabet. *)
+let strip_bases bases (cs : Chan_set.t) : Chan_set.t =
+  List.filter
+    (fun item ->
+      match item with
+      | Chan_set.Chan ce -> not (in_bases bases ce)
+      | Chan_set.Family (n, _) -> not (List.mem n bases)
+      | Chan_set.Base n -> not (List.mem n bases))
+    cs
+
+let map_defs f defs =
+  List.fold_left
+    (fun acc name ->
+      match Defs.lookup defs name with
+      | Some d -> Defs.add { d with Defs.body = f d.Defs.body } acc
+      | None -> acc)
+    Defs.empty (Defs.names defs)
+
+(* ---- Ignore ----------------------------------------------------------- *)
+
+let rec ignore_proc bases bound p =
+  let go = ignore_proc bases bound in
+  match p with
+  | Process.Stop -> Process.Stop
+  | Process.Output (ce, _, k) when in_bases bases ce -> go k
+  | Process.Output (ce, e, k) -> Process.Output (ce, e, go k)
+  | Process.Input (ce, x, m, k) when in_bases bases ce -> (
+    (* the environment could have supplied any value: internal choice
+       over the substituted continuations *)
+    match Vset.enumerate_bounded ~bound m with
+    | [] -> Process.Stop
+    | vs -> Process.choice (List.map (fun v -> go (Process.subst_value x v k)) vs))
+  | Process.Input (ce, x, m, k) -> Process.Input (ce, x, m, go k)
+  | Process.Choice (a, b) -> Process.Choice (go a, go b)
+  | Process.Par (xa, ya, a, b) ->
+    Process.Par (strip_bases bases xa, strip_bases bases ya, go a, go b)
+  | Process.Hide (l, k) -> (
+    match strip_bases bases l with
+    | [] -> go k
+    | l' -> Process.Hide (l', go k))
+  | Process.Ref _ as r -> r
+
+let ignore_bases ~bases ~bound defs p =
+  let defs' = map_defs (ignore_proc bases bound) defs in
+  match Defs.well_guarded defs' with
+  | Ok () -> Ok (defs', ignore_proc bases bound p)
+  | Error m -> Error ("ignore: erasure leaves unguarded recursion: " ^ m)
+
+(* ---- Project ---------------------------------------------------------- *)
+
+let project_proc ~base ~f ~dom ~bound exact p =
+  let rec go p =
+    match p with
+    | Process.Stop -> Process.Stop
+    | Process.Output (ce, e, k) when in_bases [ base ] ce -> (
+      match Expr.eval Valuation.empty e with
+      | v -> Process.Output (ce, Expr.value (f v), go k)
+      | exception Expr.Eval_error _ -> (
+        (* the message is not statically known: widen to any abstract
+           value.  This loses the over-approximation guarantee. *)
+        exact := false;
+        match dom with
+        | [] -> Process.Output (ce, e, go k)
+        | _ ->
+          Process.choice
+            (List.map (fun w -> Process.Output (ce, Expr.value w, go k)) dom)))
+    | Process.Output (ce, e, k) -> Process.Output (ce, e, go k)
+    | Process.Input (ce, x, m, k) when in_bases [ base ] ce -> (
+      (* one branch per concrete value: the event carries the abstract
+         image, the continuation keeps the concrete binding — values
+         with equal images become nondeterminism *)
+      match Vset.enumerate_bounded ~bound m with
+      | [] -> Process.Stop
+      | vs ->
+        Process.choice
+          (List.map
+             (fun v ->
+               Process.Input
+                 (ce, x, Vset.Enum [ f v ], go (Process.subst_value x v k)))
+             vs))
+    | Process.Input (ce, x, m, k) -> Process.Input (ce, x, m, go k)
+    | Process.Choice (a, b) -> Process.Choice (go a, go b)
+    | Process.Par (xa, ya, a, b) -> Process.Par (xa, ya, go a, go b)
+    | Process.Hide (l, k) -> Process.Hide (l, go k)
+    | Process.Ref _ as r -> r
+  in
+  go p
+
+let project ~base ~f ~dom ~bound defs p =
+  let exact = ref true in
+  let tr = project_proc ~base ~f ~dom ~bound exact in
+  let defs' = map_defs tr defs in
+  match Defs.well_guarded defs' with
+  | Ok () -> Ok { defs = defs'; proc = tr p; exact = !exact }
+  | Error m -> Error ("project: transformed definitions unguarded: " ^ m)
+
+(* ---- trace-level images ----------------------------------------------- *)
+
+let cap_value k = function
+  | Value.Int v when v > k -> Value.Int k
+  | v -> v
+
+let erase_trace ~bases tr =
+  Trace.hide (fun c -> List.mem (Channel.base c) bases) tr
+
+let map_trace ~base ~f tr =
+  List.map
+    (fun (ev : Csp_trace.Event.t) ->
+      if String.equal (Channel.base ev.Csp_trace.Event.chan) base then
+        Csp_trace.Event.make ev.Csp_trace.Event.chan (f ev.Csp_trace.Event.value)
+      else ev)
+    tr

@@ -1,0 +1,84 @@
+(** Channel abstractions: [Ignore] and [Project] as process-to-process
+    transformers.
+
+    Both abstractions are {e over-approximations of traces} — their
+    soundness direction is one-way.  Writing [α] for the trace-level
+    image of the abstraction (dropping the ignored events, or mapping
+    the projected values), the guarantee is
+
+    {v α(traces(P)) ⊆ traces(abstract(P)) v}
+
+    so a property of the form "R holds on every trace" proved of the
+    abstract process transfers to the (α-image of the) concrete one,
+    while a counterexample found abstractly may be spurious.  The
+    [abstract-sound] differential oracle checks exactly this inclusion
+    against bounded concrete enumeration.
+
+    [Ignore] erases a set of channels: outputs on them disappear,
+    inputs become internal choices over the values that could have
+    been received, and the channels leave every parallel alphabet and
+    hiding set.  [Project] quotients the value domain of one channel
+    through a mapping [f]: constant outputs are mapped, and each input
+    binder unrolls into one branch per concrete value — the event
+    carries the abstract value [f v] while the continuation keeps the
+    concrete binding, so two values with the same image become
+    nondeterminism, which is what collapses the state space.
+
+    Erasing a guarding prefix can make a recursive definition
+    unguarded; the transformers detect this ({!Csp_lang.Defs.well_guarded})
+    and return [Error] rather than an unproductive system.  [Project]
+    additionally reports whether the transformation stayed in the
+    {e exact} fragment: an output on the projected channel whose value
+    cannot be evaluated statically is widened to a choice over the
+    abstract domain, which is no longer guaranteed to over-approximate
+    — oracles skip the inclusion check when [exact] is false. *)
+
+type projected = {
+  defs : Csp_lang.Defs.t;
+  proc : Csp_lang.Process.t;
+  exact : bool;
+      (** no output on the projected channel needed widening; the
+          trace-inclusion guarantee holds *)
+}
+
+val ignore_bases :
+  bases:string list ->
+  bound:int ->
+  Csp_lang.Defs.t ->
+  Csp_lang.Process.t ->
+  (Csp_lang.Defs.t * Csp_lang.Process.t, string) result
+(** Erase every channel whose base name is listed.  [bound] caps the
+    enumeration of infinite input sets (match it to the sampler bound
+    of the configuration the result will run under).  [Error] when the
+    erasure leaves an unguarded recursion. *)
+
+val project :
+  base:string ->
+  f:(Csp_trace.Value.t -> Csp_trace.Value.t) ->
+  dom:Csp_trace.Value.t list ->
+  bound:int ->
+  Csp_lang.Defs.t ->
+  Csp_lang.Process.t ->
+  (projected, string) result
+(** Quotient the value domain of channels with the given base name
+    through [f].  [dom] is the abstract domain used to widen
+    statically unevaluable outputs (see [exact]).  [Error] when the
+    transformed definitions are not well guarded (cannot happen for
+    [project] itself — prefixes are kept — but kept symmetric). *)
+
+val cap_value : int -> Csp_trace.Value.t -> Csp_trace.Value.t
+(** [cap_value k]: integers above [k] map to [k]; other values are
+    unchanged.  The standard projection for identifier-carrying
+    channels. *)
+
+val erase_trace : bases:string list -> Csp_trace.Trace.t -> Csp_trace.Trace.t
+(** The trace-level image of {!ignore_bases}: drop every event on the
+    listed base names. *)
+
+val map_trace :
+  base:string ->
+  f:(Csp_trace.Value.t -> Csp_trace.Value.t) ->
+  Csp_trace.Trace.t ->
+  Csp_trace.Trace.t
+(** The trace-level image of {!project}: map the value of every event
+    on the given base name through [f]. *)

@@ -1,0 +1,278 @@
+type cmp = Le | Lt | Ge | Gt | Eq | Ne
+
+type t =
+  | True
+  | False
+  | Atom of string * cmp * int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+
+type env = (string * int) list
+
+exception Unbound of string
+
+let cmp_holds op v k =
+  match op with
+  | Le -> v <= k
+  | Lt -> v < k
+  | Ge -> v >= k
+  | Gt -> v > k
+  | Eq -> v = k
+  | Ne -> v <> k
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Atom (x, op, k) -> (
+    match List.assoc_opt x env with
+    | Some v -> cmp_holds op v k
+    | None -> raise (Unbound x))
+  | Not f -> not (eval env f)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Imp (a, b) -> (not (eval env a)) || eval env b
+
+let negate_cmp = function
+  | Le -> Gt
+  | Lt -> Ge
+  | Ge -> Lt
+  | Gt -> Le
+  | Eq -> Ne
+  | Ne -> Eq
+
+let rec nnf = function
+  | (True | False | Atom _) as f -> f
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Imp (a, b) -> Or (nnf (Not a), nnf b)
+  | Not f -> (
+    match f with
+    | True -> False
+    | False -> True
+    | Atom (x, op, k) -> Atom (x, negate_cmp op, k)
+    | Not g -> nnf g
+    | And (a, b) -> Or (nnf (Not a), nnf (Not b))
+    | Or (a, b) -> And (nnf (Not a), nnf (Not b))
+    | Imp (a, b) -> And (nnf a, nnf (Not b)))
+
+let vars f =
+  let rec go acc = function
+    | True | False -> acc
+    | Atom (x, _, _) -> if List.mem x acc then acc else x :: acc
+    | Not g -> go acc g
+    | And (a, b) | Or (a, b) | Imp (a, b) -> go (go acc a) b
+  in
+  List.rev (go [] f)
+
+let rec max_const f x =
+  match f with
+  | True | False -> min_int
+  | Atom (y, _, k) -> if String.equal x y then k else min_int
+  | Not g -> max_const g x
+  | And (a, b) | Or (a, b) | Imp (a, b) -> max (max_const a x) (max_const b x)
+
+let unbounded_above ~lo f x =
+  (match vars f with
+  | [] | [ _ ] -> ()
+  | vs ->
+    if List.exists (fun v -> not (String.equal v x)) vs then
+      invalid_arg "Formula.unbounded_above: multi-parameter formula");
+  let probe = max lo (max_const f x + 1) in
+  eval [ (x, probe) ] f
+
+let all_sat ~lo ~hi f =
+  let xs = List.sort String.compare (vars f) in
+  let rec assign acc = function
+    | [] ->
+      let env = List.rev acc in
+      if eval env f then [ env ] else []
+    | x :: rest ->
+      List.concat_map
+        (fun v -> assign ((x, v) :: acc) rest)
+        (List.init (max 0 (hi - lo + 1)) (fun i -> lo + i))
+  in
+  assign [] xs
+
+(* ---- printing --------------------------------------------------------- *)
+
+let cmp_to_string = function
+  | Le -> "<="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Gt -> ">"
+  | Eq -> "=="
+  | Ne -> "!="
+
+(* precedence: Or 1, And 2, Imp 0, Not/atoms 3 *)
+let rec pp_prec prec fmt f =
+  let open Format in
+  let paren p body =
+    if prec > p then fprintf fmt "(%t)" body else body fmt
+  in
+  match f with
+  | True -> pp_print_string fmt "true"
+  | False -> pp_print_string fmt "false"
+  | Atom (x, op, k) -> fprintf fmt "%s %s %d" x (cmp_to_string op) k
+  | Not g -> fprintf fmt "!%a" (pp_prec 3) g
+  | And (a, b) ->
+    paren 2 (fun fmt -> fprintf fmt "%a && %a" (pp_prec 2) a (pp_prec 2) b)
+  | Or (a, b) ->
+    paren 1 (fun fmt -> fprintf fmt "%a || %a" (pp_prec 1) a (pp_prec 1) b)
+  | Imp (a, b) ->
+    (* no concrete syntax for Imp: print its NNF expansion *)
+    pp_prec prec fmt (Or (nnf (Not a), nnf b))
+
+let pp fmt f = pp_prec 0 fmt f
+let to_string f = Format.asprintf "%a" pp f
+
+let rec equal a b =
+  match (a, b) with
+  | True, True | False, False -> true
+  | Atom (x, op, k), Atom (y, oq, l) -> String.equal x y && op = oq && k = l
+  | Not a, Not b -> equal a b
+  | And (a1, a2), And (b1, b2)
+  | Or (a1, a2), Or (b1, b2)
+  | Imp (a1, a2), Imp (b1, b2) ->
+    equal a1 b1 && equal a2 b2
+  | _ -> false
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+type token = TIdent of string | TInt of int | TOp of string | TLp | TRp
+
+exception Parse_error of string
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '(' then (
+      toks := TLp :: !toks;
+      incr i)
+    else if c = ')' then (
+      toks := TRp :: !toks;
+      incr i)
+    else if is_alpha c then (
+      let j = ref !i in
+      while !j < n && (is_alpha s.[!j] || is_digit s.[!j]) do
+        incr j
+      done;
+      toks := TIdent (String.sub s !i (!j - !i)) :: !toks;
+      i := !j)
+    else if is_digit c then (
+      let j = ref !i in
+      while !j < n && is_digit s.[!j] do
+        incr j
+      done;
+      toks := TInt (int_of_string (String.sub s !i (!j - !i))) :: !toks;
+      i := !j)
+    else
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "==" | "!=" | "&&" | "||" ->
+        toks := TOp two :: !toks;
+        i := !i + 2
+      | _ -> (
+        match c with
+        | '<' | '>' | '=' | '!' ->
+          toks := TOp (String.make 1 c) :: !toks;
+          incr i
+        | _ -> raise (Parse_error (Printf.sprintf "unexpected character %C" c)))
+  done;
+  List.rev !toks
+
+let cmp_of_op = function
+  | "<=" -> Some Le
+  | "<" -> Some Lt
+  | ">=" -> Some Ge
+  | ">" -> Some Gt
+  | "=" | "==" -> Some Eq
+  | "!=" -> Some Ne
+  | _ -> None
+
+(* [k op x] normalised onto the parameter: flip the comparison. *)
+let flip_cmp = function
+  | Le -> Ge
+  | Lt -> Gt
+  | Ge -> Le
+  | Gt -> Lt
+  | Eq -> Eq
+  | Ne -> Ne
+
+let of_string s =
+  try
+    let toks = ref (tokenize s) in
+    let peek () = match !toks with [] -> None | t :: _ -> Some t in
+    let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+    let expect_cmp () =
+      match peek () with
+      | Some (TOp o) -> (
+        match cmp_of_op o with
+        | Some c ->
+          advance ();
+          c
+        | None -> raise (Parse_error ("expected comparison, got " ^ o)))
+      | _ -> raise (Parse_error "expected comparison operator")
+    in
+    let rec formula () =
+      let a = conj () in
+      match peek () with
+      | Some (TOp "||") ->
+        advance ();
+        Or (a, formula ())
+      | _ -> a
+    and conj () =
+      let a = unit_ () in
+      match peek () with
+      | Some (TOp "&&") ->
+        advance ();
+        And (a, conj ())
+      | _ -> a
+    and unit_ () =
+      match peek () with
+      | Some (TOp "!") ->
+        advance ();
+        Not (unit_ ())
+      | Some TLp ->
+        advance ();
+        let f = formula () in
+        (match peek () with
+        | Some TRp -> advance ()
+        | _ -> raise (Parse_error "expected ')'"));
+        f
+      | Some (TIdent "true") ->
+        advance ();
+        True
+      | Some (TIdent "false") ->
+        advance ();
+        False
+      | Some (TIdent x) ->
+        advance ();
+        let op = expect_cmp () in
+        (match peek () with
+        | Some (TInt k) ->
+          advance ();
+          Atom (x, op, k)
+        | _ -> raise (Parse_error "expected integer after comparison"))
+      | Some (TInt k) ->
+        advance ();
+        let op = expect_cmp () in
+        (match peek () with
+        | Some (TIdent x) ->
+          advance ();
+          Atom (x, flip_cmp op, k)
+        | _ -> raise (Parse_error "expected parameter after comparison"))
+      | _ -> raise (Parse_error "expected formula")
+    in
+    let f = formula () in
+    match !toks with
+    | [] -> Ok f
+    | _ -> raise (Parse_error "trailing input")
+  with Parse_error m -> Error ("formula: " ^ m)

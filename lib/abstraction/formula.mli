@@ -1,0 +1,76 @@
+(** Assumption formulae over family parameters.
+
+    A family obligation like "the token ring satisfies its invariant
+    for every n with 2 ≤ n ≤ 32" quantifies over the instances
+    selected by a boolean formula whose atoms compare a parameter
+    against integer constants.  The engine here mirrors the feature
+    formulae of product-line model checkers: negation normal form,
+    enumeration-based [all_sat], and the observation that makes
+    unbounded families tractable — every atom compares against a
+    constant, so a formula's truth value is {e eventually constant} in
+    each parameter ({!unbounded_above}), and all sufficiently large
+    instances fall into one assignment class. *)
+
+type cmp = Le | Lt | Ge | Gt | Eq | Ne
+
+type t =
+  | True
+  | False
+  | Atom of string * cmp * int  (** [x ⋈ k] *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+
+type env = (string * int) list
+(** An assignment of integers to parameters. *)
+
+exception Unbound of string
+(** Raised by {!eval} on a parameter the environment does not bind. *)
+
+val eval : env -> t -> bool
+
+val nnf : t -> t
+(** Negation normal form: [Imp] eliminated, [Not] pushed onto atoms
+    and absorbed by flipping the comparison ([¬(x ≤ k) = x > k], …).
+    The result contains no [Not] and no [Imp], and is
+    {!eval}-equivalent to the input. *)
+
+val vars : t -> string list
+(** Parameters mentioned, deduplicated, in first-occurrence order. *)
+
+val max_const : t -> string -> int
+(** The largest constant the formula compares [x] against ([min_int]
+    when [x] never occurs).  For every [v > max_const f x] each atom
+    on [x] has a fixed truth value, so satisfaction of [f] is constant
+    in [x] above that point. *)
+
+val unbounded_above : lo:int -> t -> string -> bool
+(** Does the single-parameter formula admit arbitrarily large
+    satisfying values of [x] (at least [lo])?  Decided exactly by
+    evaluating at [max_const + 1].
+    @raise Invalid_argument when the formula mentions a parameter
+    other than [x]. *)
+
+val all_sat : lo:int -> hi:int -> t -> env list
+(** Every satisfying assignment with each parameter drawn from
+    [lo..hi], in lexicographic order of the (sorted) parameter list.
+    A formula with no parameters yields [[ [] ]] when it holds and
+    [[]] otherwise. *)
+
+val of_string : string -> (t, string) result
+(** Parse a formula.  Grammar (whitespace-insensitive):
+    {v
+      formula ::= conj ( '||' conj )*
+      conj    ::= unit ( '&&' unit )*
+      unit    ::= '!' unit | '(' formula ')' | 'true' | 'false' | atom
+      atom    ::= ident op int | int op ident
+      op      ::= '<=' | '<' | '>=' | '>' | '==' | '=' | '!=' v}
+    A reversed atom [k op x] is normalised onto the parameter
+    ([2 <= n] parses as [n >= 2]). *)
+
+val to_string : t -> string
+(** Prints in the concrete syntax {!of_string} accepts. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -55,6 +55,10 @@ module Tactic = Csp_proof.Tactic
 module Infer = Csp_proof.Infer
 module Cert = Csp_proof.Cert
 
+(* Parameterised-family verification (counter abstraction, channel
+   abstractions, assumption formulae) *)
+module Abstraction = Csp_abstraction
+
 (* Parallel execution substrate *)
 module Pool = Csp_parallel.Pool
 

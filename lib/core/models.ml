@@ -350,6 +350,64 @@ module Leader = struct
   let default = make ~n:3
 end
 
+(* ---- independent worker pool ------------------------------------------ *)
+
+module Workers = struct
+  type t = {
+    n : int;
+    defs : Defs.t;
+    network : Process.t;
+    system : Process.t;
+    spec : Process.t;
+    invariants : Assertion.t list;
+  }
+
+  let worker_name i = Printf.sprintf "wrk%d" i
+
+  (* n fully independent two-phase cyclers with disjoint alphabets.
+     Nothing synchronises, so the concrete interleaving has exactly
+     2^n states — the counter abstraction of the same family stays
+     flat in n, which is what BENCH_abstraction exhibits. *)
+  let make ~n =
+    if n < 1 then invalid_arg "Workers.make: need at least one worker";
+    let tick i = Chan_expr.indexed "tick" (Expr.int i) in
+    let tock i = Chan_expr.indexed "tock" (Expr.int i) in
+    let wrk i =
+      seq
+        [
+          (fun k -> Process.Output (tick i, Expr.int i, k));
+          (fun k -> Process.Output (tock i, Expr.int i, k));
+        ]
+        (Process.ref_ (worker_name i))
+    in
+    let defs =
+      List.fold_left
+        (fun d i -> Defs.define (worker_name i) (wrk i) d)
+        Defs.empty (List.init n Fun.id)
+    in
+    let alpha i =
+      Chan_set.of_channels
+        [ Channel.indexed "tick" i; Channel.indexed "tock" i ]
+    in
+    let network =
+      par_chain (List.init n (fun i -> (Process.ref_ (worker_name i), alpha i)))
+    in
+    let invariants =
+      List.concat_map
+        (fun i ->
+          [
+            le (len_of "tock" i) (len_of "tick" i);
+            le (len_of "tick" i) (Term.Add (len_of "tock" i, Term.int 1));
+          ])
+        (List.init n Fun.id)
+    in
+    (* no internal channels and no sequencing across workers: the
+       network is its own specification *)
+    { n; defs; network; system = network; spec = network; invariants }
+
+  let default = make ~n:3
+end
+
 (* ---- two-phase commit ------------------------------------------------- *)
 
 module Commit = struct

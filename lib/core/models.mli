@@ -78,6 +78,27 @@ module Leader : sig
   val default : t  (** three nodes *)
 end
 
+(** Independent worker pool: [n] two-phase cyclers
+    [tick[i]!i -> tock[i]!i -> repeat] with pairwise-disjoint
+    alphabets.  Nothing synchronises, so the concrete interleaving
+    has exactly [2^n] states — the smallest honest exhibit of
+    state-space blow-up that a counter abstraction flattens
+    (see {!Csp_abstraction.Family.workers}). *)
+module Workers : sig
+  type t = {
+    n : int;  (** workers ≥ 1 *)
+    defs : Defs.t;
+    network : Process.t;  (** tick and tock channels visible *)
+    system : Process.t;  (** = network: nothing is internal *)
+    spec : Process.t;  (** = network: its own specification *)
+    invariants : Assertion.t list;
+        (** per worker [#tock[i] ≤ #tick[i] ≤ #tock[i] + 1] *)
+  }
+
+  val make : n:int -> t
+  val default : t  (** three workers *)
+end
+
 (** Two-phase commit: the coordinator polls every participant,
     conjoins the votes and broadcasts the decision.  The
     specification is rounds of full broadcasts with a

@@ -21,11 +21,12 @@ type limits = {
   max_states : int;
   max_depth : int;
   max_cases : int;
+  max_sources : int;
 }
 
 let default_limits =
   { max_frame = 4 * 1024 * 1024; max_states = 200_000; max_depth = 40;
-    max_cases = 20_000 }
+    max_cases = 20_000; max_sources = 64 }
 
 (* ---- framing ---------------------------------------------------------- *)
 

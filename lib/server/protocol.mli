@@ -30,6 +30,9 @@ type limits = {
   max_states : int;  (** exploration/compile state budget (default 200k) *)
   max_depth : int;  (** trace depth bound (default 40) *)
   max_cases : int;  (** fuzz cases per request (default 20k) *)
+  max_sources : int;
+      (** cached source contexts; the least recently used is evicted
+          when a new source would exceed this (default 64) *)
 }
 
 val default_limits : limits

@@ -15,6 +15,9 @@ let config ?(jobs = 1) ?(limits = Protocol.default_limits) ?warm socket_path =
 
 type t = {
   table : (string, Jobs.ctx) Hashtbl.t;  (* keyed by source digest *)
+  stamps : (string, int) Hashtbl.t;
+      (* digest → last-use stamp, for LRU eviction; same lock *)
+  clock : int ref;
   table_lock : Mutex.t;
   stop : bool Atomic.t;
   limits : Protocol.limits;
@@ -47,10 +50,41 @@ let stopping t = Atomic.get t.stop
 
 (* ---- source contexts --------------------------------------------------- *)
 
+(* caller holds [table_lock] *)
+let touch t digest =
+  incr t.clock;
+  Hashtbl.replace t.stamps digest !(t.clock)
+
+(* Evict least-recently-used contexts until the table fits one more
+   entry.  Caller holds [table_lock].  A worker still running a job on
+   an evicted context keeps its own reference and finishes normally —
+   eviction only drops the cache slot, so the next request on that
+   source re-parses cold. *)
+let evict_for_insert t =
+  while Hashtbl.length t.table >= max 1 t.limits.Protocol.max_sources do
+    let victim =
+      Hashtbl.fold
+        (fun digest stamp acc ->
+          match acc with
+          | Some (_, best) when best <= stamp -> acc
+          | _ -> Some (digest, stamp))
+        t.stamps None
+    in
+    match victim with
+    | None ->
+      (* stamps lost track of the table; drop everything *)
+      Hashtbl.reset t.table;
+      Hashtbl.reset t.stamps
+    | Some (digest, _) ->
+      Hashtbl.remove t.table digest;
+      Hashtbl.remove t.stamps digest
+  done
+
 let ctx_for t source =
   let digest = Digest.to_hex (Digest.string source) in
   Mutex.lock t.table_lock;
   let found = Hashtbl.find_opt t.table digest in
+  (match found with Some _ -> touch t digest | None -> ());
   Mutex.unlock t.table_lock;
   match found with
   | Some ctx -> Ok ctx
@@ -65,9 +99,11 @@ let ctx_for t source =
         match Hashtbl.find_opt t.table digest with
         | Some existing -> existing
         | None ->
+          evict_for_insert t;
           Hashtbl.add t.table digest ctx;
           ctx
       in
+      touch t digest;
       Mutex.unlock t.table_lock;
       Ok ctx)
 
@@ -138,6 +174,8 @@ let create (cfg : config) =
   let t =
     {
       table = Hashtbl.create 16;
+      stamps = Hashtbl.create 16;
+      clock = ref 0;
       table_lock = Mutex.create ();
       stop = Atomic.make false;
       limits = cfg.limits;

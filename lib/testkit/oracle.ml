@@ -476,6 +476,171 @@ let choreo_refine_check (s : Scenario.t) =
                     choreography network");
     ]
 
+(* ---- oracle 6: abstraction soundness ----------------------------------- *)
+
+module Chanabs = Csp.Abstraction.Chanabs
+module Counter = Csp.Abstraction.Counter
+module Family = Csp.Abstraction.Family
+module Formula = Csp.Abstraction.Formula
+
+(* enumeration bound for the transformers, matching the engine's
+   [nat_bound 2]: the transformed process must offer at least the
+   values the concrete sampler can produce *)
+let abs_bound = 2
+
+(* Leg 1/2 — channel abstractions on the scenario itself: erasing or
+   value-projecting a channel must over-approximate, i.e. the image of
+   every bounded concrete trace is a trace of the transformed process.
+   Transformer failures (unguarded erasure, inexact projection) only
+   skip the leg: soundness is claimed for the Ok/exact fragment. *)
+let transformer_sound_check (s : Scenario.t) =
+  let defs = s.Scenario.defs in
+  let p = Scenario.process s in
+  let cfg = step_config defs in
+  let traces = Closure.to_traces (Step.traces cfg ~depth p) in
+  match List.sort_uniq String.compare (Defs.channel_bases defs p) with
+  | [] -> Pass
+  | base :: _ ->
+    sequence
+      [
+        (fun () ->
+          match
+            Chanabs.ignore_bases ~bases:[ base ] ~bound:abs_bound defs p
+          with
+          | Error _ -> Pass
+          | Ok (defs', p') ->
+            let cfg' = step_config defs' in
+            (match
+               List.find_opt
+                 (fun tr ->
+                   not
+                     (Step.accepts_trace cfg' p'
+                        (Chanabs.erase_trace ~bases:[ base ] tr)))
+                 traces
+             with
+            | None -> Pass
+            | Some tr ->
+              failf
+                "ignore %s: erased concrete trace %s escapes the abstraction"
+                base (Trace.to_string tr)));
+        (fun () ->
+          let f = Chanabs.cap_value 1 in
+          match
+            Chanabs.project ~base ~f
+              ~dom:[ Value.Int 0; Value.Int 1 ]
+              ~bound:abs_bound defs p
+          with
+          | Error _ -> Pass
+          | Ok { Chanabs.defs = defs'; proc = p'; exact } ->
+            if not exact then Pass
+            else
+              let cfg' = step_config defs' in
+              (match
+                 List.find_opt
+                   (fun tr ->
+                     not
+                       (Step.accepts_trace cfg' p'
+                          (Chanabs.map_trace ~base ~f tr)))
+                   traces
+               with
+              | None -> Pass
+              | Some tr ->
+                failf
+                  "project %s through cap 1: mapped concrete trace %s \
+                   escapes the exact projection"
+                  base (Trace.to_string tr)));
+      ]
+
+(* Leg 3/4 — counter-abstract families against their concrete models.
+   The scenario seed picks the (family, n) pair, so a fuzz campaign
+   covers the whole grid; the check is deliberately NOT memoised
+   across cases — coverage features are per-case Obs counter deltas,
+   and a process-global cache would make them depend on scheduling
+   order.  The instances are small enough (≤ 20 abstract states) that
+   recomputing is cheap. *)
+let concrete_instance (fam : Family.t) ~n =
+  match fam.Family.fam.Counter.name with
+  | "token-ring" ->
+    let m = Csp.Models.Token_ring.make ~n in
+    (m.Csp.Models.Token_ring.defs, m.Csp.Models.Token_ring.network)
+  | "leader" ->
+    let m = Csp.Models.Leader.make ~n in
+    (m.Csp.Models.Leader.defs, m.Csp.Models.Leader.network)
+  | "workers" ->
+    let m = Csp.Models.Workers.make ~n in
+    (m.Csp.Models.Workers.defs, m.Csp.Models.Workers.network)
+  | other -> invalid_arg ("no concrete instance for family " ^ other)
+
+let family_sound_at (fam : Family.t) ~n =
+  let name = fam.Family.fam.Counter.name in
+      let defs, network = concrete_instance fam ~n in
+      let cfg = step_config defs in
+      let traces = Closure.to_traces (Step.traces cfg ~depth network) in
+      let r = Counter.explore fam.Family.fam ~n in
+      match
+        List.find_opt
+          (fun tr ->
+            not
+              (Counter.accepts r.Counter.lts (Family.abstract_trace fam tr)))
+          traces
+      with
+      | Some tr ->
+        failf "family %s n=%d: erased concrete trace %s escapes the \
+               abstract LTS"
+          name n (Trace.to_string tr)
+      | None -> (
+        (* a certified family verdict must transfer to the instance:
+           every erased concrete trace satisfies the invariants *)
+        let formula =
+          match
+            Formula.of_string (Printf.sprintf "%s<=%d" fam.Family.param n)
+          with
+          | Ok f -> f
+          | Error m -> invalid_arg m
+        in
+        match Family.check_family ~depth fam ~formula with
+        | Error m -> failf "family %s: check_family: %s" name m
+        | Ok o ->
+          if not o.Family.certified then
+            failf
+              "family %s: %s<=%d not certified though the invariants hold \
+               concretely"
+              name fam.Family.param n
+          else
+            let violation =
+              List.find_map
+                (fun tr ->
+                  let etr = Family.abstract_trace fam tr in
+                  let tctx = Term.ctx ~hist:(History.of_trace etr) () in
+                  List.find_map
+                    (fun (iname, a) ->
+                      match Assertion.eval tctx a with
+                      | true -> None
+                      | false -> Some (tr, iname)
+                      | exception Term.Eval_error _ -> None)
+                    fam.Family.invariants)
+                traces
+            in
+            (match violation with
+            | None -> Pass
+            | Some (tr, iname) ->
+              failf
+                "family %s n=%d: certified %s, but concrete trace %s \
+                 violates it after erasure"
+                name n iname (Trace.to_string tr)))
+
+let abstract_sound_check (s : Scenario.t) =
+  let seed = choreo_seed s in
+  let fam =
+    match seed mod 3 with
+    | 0 -> Family.token_ring
+    | 1 -> Family.leader
+    | _ -> Family.workers
+  in
+  let n = 2 + (seed / 3 mod 3) in
+  sequence
+    [ (fun () -> transformer_sound_check s); (fun () -> family_sound_at fam ~n) ]
+
 (* ---- registry --------------------------------------------------------- *)
 
 (* Every oracle invocation — fuzzing, corpus replay, direct calls from
@@ -532,6 +697,22 @@ let choreo_refine =
      interpreted and compiled alike"
     choreo_refine_check
 
-let all = [ closure_kernel; op_vs_deno; refinement; prover_sound; choreo_refine ]
+let abstract_sound =
+  make "abstract-sound"
+    "channel and counter abstractions over-approximate: the erased or \
+     value-projected image of every bounded concrete trace is a trace \
+     of the abstract process/LTS, and family-certified invariants hold \
+     on concrete instances"
+    abstract_sound_check
+
+let all =
+  [
+    closure_kernel;
+    op_vs_deno;
+    refinement;
+    prover_sound;
+    choreo_refine;
+    abstract_sound;
+  ]
 let find name = List.find_opt (fun o -> String.equal o.name name) all
 let names () = List.map (fun o -> o.name) all

@@ -9,7 +9,7 @@
     one of them).  Determinism is what makes the corpus replayable: a
     corpus entry records only the scenario and the oracle name.
 
-    The registry {!all} currently holds five oracles:
+    The registry {!all} currently holds six oracles:
 
     - [closure-kernel]: every memoised operation of the hash-consed
       {!Csp_semantics.Closure} agrees with the executable specification
@@ -29,7 +29,16 @@
       the scenario ({!Csp.Models.Choreo.generate} seeded by the
       scenario text) projects to a deadlock-free network whose traces
       are exactly the global interaction sequence's, under the
-      interpreted and the compiled engine alike. *)
+      interpreted and the compiled engine alike;
+    - [abstract-sound]: the {!Csp_abstraction} layer over-approximates
+      — erasing ({!Csp_abstraction.Chanabs.ignore_bases}) or
+      value-projecting ({!Csp_abstraction.Chanabs.project}, exact
+      fragment) a scenario channel keeps the image of every bounded
+      concrete trace inside the transformed process, the
+      counter-abstract LTS of a preset family (picked by the scenario
+      seed at n ∈ {2,3,4}) accepts every erased concrete-model trace,
+      and a {!Csp_abstraction.Family.check_family} certificate
+      transfers to the concrete instances. *)
 
 type verdict = Pass | Fail of string
 
@@ -53,6 +62,7 @@ val op_vs_deno : t
 val refinement : t
 val prover_sound : t
 val choreo_refine : t
+val abstract_sound : t
 
 val all : t list
 val find : string -> t option

@@ -14,8 +14,8 @@ let check_string = Alcotest.(check string)
 
 (* ---- in-process harness ------------------------------------------------ *)
 
-let fresh_server ?warm () =
-  match Server.create (Server.config ?warm "unused.sock") with
+let fresh_server ?limits ?warm () =
+  match Server.create (Server.config ?limits ?warm "unused.sock") with
   | Ok t -> t
   | Error m -> Alcotest.fail m
 
@@ -362,6 +362,80 @@ let test_client_disconnect_mid_request () =
   check_bool "server alive" true
     (Json.mem_bool "ok" resp = Some true)
 
+(* A client that submits an expensive job and vanishes before the
+   answer is ready: the worker's eventual write hits a dead socket
+   (EPIPE/ECONNRESET), which must be absorbed as a normal disconnect
+   — not kill the worker or wedge the accept loop. *)
+let test_disconnect_during_slow_job () =
+  with_server ~jobs:2 @@ fun socket ->
+  let slow =
+    req "graph"
+      [ src window_source; ("process", Json.str "main");
+        ("max_states", Json.int 50_000) ]
+  in
+  let line = Json.to_string slow ^ "\n" in
+  (* several in a row so at least one close lands mid-computation *)
+  for _ = 1 to 3 do
+    let fd = raw_connect socket in
+    ignore (Unix.write_substring fd line 0 (String.length line));
+    Unix.close fd
+  done;
+  (* the pool must still answer fresh connections, including the very
+     request the dead clients abandoned *)
+  let conn =
+    match Workload.connect socket with
+    | Ok c -> c
+    | Error m -> Alcotest.fail m
+  in
+  Fun.protect ~finally:(fun () -> Workload.close conn) @@ fun () ->
+  check_bool "server alive" true
+    (Json.mem_bool "ok" (request_exn conn (req "ping" [])) = Some true);
+  let _, code = outcome (request_exn conn slow) in
+  check_int "abandoned request still answerable" 0 code
+
+(* The source-context table is bounded: inserting more distinct
+   sources than [max_sources] evicts the least recently used one.
+   An evicted source is not an error — the next request on it just
+   re-parses cold. *)
+let test_source_table_bounded () =
+  let cap = 4 in
+  let limits =
+    { Protocol.default_limits with Protocol.max_sources = cap }
+  in
+  let t = fresh_server ~limits () in
+  let source i = Printf.sprintf "main = a!%d -> main\n" i in
+  let parse i =
+    let _, code = outcome (response t (req "parse" [ src (source i) ])) in
+    check_int (Printf.sprintf "source %d parses" i) 0 code
+  in
+  for i = 0 to 9 do
+    parse i;
+    check_bool
+      (Printf.sprintf "table bounded after %d distinct sources" (i + 1))
+      true
+      (Server.source_count t <= cap)
+  done;
+  check_int "table full at the cap" cap (Server.source_count t);
+  (* source 0 was evicted long ago; it answers correctly when it
+     comes back, through a cold re-parse *)
+  parse 0;
+  check_int "still at the cap after re-insert" cap (Server.source_count t);
+  (* a hit refreshes recency: touch the oldest survivor, insert one
+     more, and the touched source must still answer from cache while
+     the table stays at the cap *)
+  parse 7;
+  parse 10;
+  parse 7;
+  check_int "bounded across hits and inserts" cap (Server.source_count t);
+  (* the cached entries still do real work *)
+  let out, code =
+    outcome
+      (response t
+         (req "graph" [ src (source 7); ("process", Json.str "main") ]))
+  in
+  check_int "graph on cached source" 0 code;
+  check_bool "graph output nonempty" true (String.length out > 0)
+
 let test_socket_oversized_and_malformed () =
   let limits = { Protocol.default_limits with Protocol.max_frame = 1024 } in
   with_server ~limits @@ fun socket ->
@@ -531,6 +605,10 @@ let () =
         [
           Alcotest.test_case "mid-request disconnect" `Quick
             test_client_disconnect_mid_request;
+          Alcotest.test_case "disconnect during slow job" `Quick
+            test_disconnect_during_slow_job;
+          Alcotest.test_case "source table bounded" `Quick
+            test_source_table_bounded;
           Alcotest.test_case "oversized and malformed on socket" `Quick
             test_socket_oversized_and_malformed;
           Alcotest.test_case "concurrent jobs" `Quick test_concurrent_jobs;

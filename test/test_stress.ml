@@ -46,6 +46,59 @@ let test_sliding_window_deep () =
     Alcotest.failf "window system diverges from its spec at %s"
       (Trace.to_string tr)
 
+let test_leader_8 () =
+  let m = Models.Leader.make ~n:8 in
+  let lts = explore_compiled m.Models.Leader.defs m.Models.Leader.network
+      ~max_states:200_000
+  in
+  check_bool "complete" true lts.Lts.complete;
+  check_int "deadlock-free" 0 (List.length (Lts.deadlock_states lts))
+
+(* ---- whole-family verification at stress sizes ------------------------- *)
+
+module Family = Abstraction.Family
+module Counter = Abstraction.Counter
+module Formula = Abstraction.Formula
+
+(* Certifying the ring for every n ≤ 64 costs the same handful of
+   abstract explorations as n ≤ 8: all sizes above the counter cutoff
+   share one assignment class. *)
+let test_ring_family_64 () =
+  let fam =
+    match Family.find "ring" with
+    | Some f -> f
+    | None -> Alcotest.fail "no token-ring preset"
+  in
+  let formula =
+    match Formula.of_string "n<=64" with
+    | Ok f -> f
+    | Error m -> Alcotest.fail m
+  in
+  match Family.check_family ~depth:8 fam ~formula with
+  | Error m -> Alcotest.fail m
+  | Ok o ->
+    check_bool "certified up to 64" true o.Family.certified;
+    check_bool "few classes" true (List.length o.Family.classes <= 4);
+    let covered =
+      List.concat_map (fun (c : Family.class_outcome) -> c.Family.instances)
+        o.Family.classes
+    in
+    check_int "instances enumerated" 63 (List.length covered)
+
+(* The workers pool has 2^n concrete states; the abstract quotient at
+   n = 64 is the same handful of states as at the cutoff. *)
+let test_workers_abstract_64 () =
+  let fam = Family.workers in
+  let r64 = Counter.explore fam.Family.fam ~n:64 in
+  let r8 = Counter.explore fam.Family.fam ~n:8 in
+  check_int "flat beyond the cutoff" r8.Counter.quotient_states
+    r64.Counter.quotient_states;
+  check_bool "collapses counted" true (r64.Counter.omega_collapses > 0);
+  Alcotest.(check string)
+    "one assignment class"
+    (Counter.initial_signature fam.Family.fam ~n:8)
+    (Counter.initial_signature fam.Family.fam ~n:64)
+
 (* The stress-sized benchmark workload (the same items bench P15 and
    `cspc client --bench --stress` replay) answered by an in-process
    server: every request must succeed, and the refinements must hold. *)
@@ -77,6 +130,14 @@ let () =
           Alcotest.test_case "two-phase commit n=6" `Slow test_commit_6;
           Alcotest.test_case "sliding window deep" `Slow
             test_sliding_window_deep;
+          Alcotest.test_case "leader n=8" `Slow test_leader_8;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "ring certified to n=64" `Slow
+            test_ring_family_64;
+          Alcotest.test_case "workers abstract flat at n=64" `Slow
+            test_workers_abstract_64;
         ] );
       ( "service",
         [ Alcotest.test_case "stress workload" `Slow test_stress_workload ] );
