@@ -1,0 +1,13 @@
+module F = Csp_abstraction.Family
+module Formula = Csp_abstraction.Formula
+let () =
+  let fam = match F.find "token-ring" with Some f -> f | None -> assert false in
+  let formula = match Formula.of_string "n <= 8" with Ok f -> f | Error m -> failwith m in
+  (* max_states small enough to truncate the abstract exploration *)
+  match F.check_family ~depth:6 ~max_states:2 fam ~formula with
+  | Error m -> Printf.printf "error: %s\n" m
+  | Ok o ->
+    Printf.printf "certified=%b classes=%d\n" o.F.certified (List.length o.F.classes);
+    List.iter (fun c ->
+      Printf.printf "  rep=%d states=%d ok=%b\n" c.F.rep c.F.abstract_states
+        (match c.F.checked with Ok _ -> true | Error _ -> false)) o.F.classes
